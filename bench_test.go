@@ -1,0 +1,230 @@
+// Package repro's benchmark harness: one benchmark per table/figure of the
+// paper's evaluation plus the DESIGN.md ablations. Each benchmark runs the
+// corresponding experiment and reports its headline metrics through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the full
+// evaluation at bench scale:
+//
+//	BenchmarkFig2PriceConvergence  — λ_u sawtooth (message-level engine)
+//	BenchmarkFig3SocialWelfare     — welfare, auction vs Simple Locality
+//	BenchmarkFig4InterISPTraffic   — inter-ISP traffic share
+//	BenchmarkFig5ChunkMissRate     — deadline miss rate
+//	BenchmarkFig6PeerDynamics      — all three metrics under churn
+//	BenchmarkAblation*             — ε sweep, neighbors, seeds, engines
+//	BenchmarkSolver*               — raw solver throughput
+//
+// Figures at the paper's scale are produced by `p2psim -scale full`;
+// benches use the small scale so the suite stays fast.
+package repro_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// reportPair pulls "auction vs locality" numbers out of an experiment table.
+func reportPair(b *testing.B, rep *repro.Report, col int, metric string) {
+	b.Helper()
+	a, err := strconv.ParseFloat(rep.Table.Rows[0][col], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := strconv.ParseFloat(rep.Table.Rows[1][col], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(a, "auction-"+metric)
+	b.ReportMetric(l, "locality-"+metric)
+}
+
+func runExperiment(b *testing.B, id string) *repro.Report {
+	b.Helper()
+	var rep *repro.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = repro.Experiment(id, repro.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+func BenchmarkFig2PriceConvergence(b *testing.B) {
+	rep := runExperiment(b, "fig2")
+	samples, err := strconv.ParseFloat(rep.Table.Rows[0][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxLambda, err := strconv.ParseFloat(rep.Table.Rows[1][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(samples, "price-samples")
+	b.ReportMetric(maxLambda, "max-lambda")
+}
+
+func BenchmarkFig3SocialWelfare(b *testing.B) {
+	rep := runExperiment(b, "fig3")
+	reportPair(b, rep, 1, "welfare/slot")
+}
+
+func BenchmarkFig4InterISPTraffic(b *testing.B) {
+	rep := runExperiment(b, "fig4")
+	reportPair(b, rep, 3, "inter-isp")
+}
+
+func BenchmarkFig5ChunkMissRate(b *testing.B) {
+	rep := runExperiment(b, "fig5")
+	reportPair(b, rep, 4, "miss-rate")
+}
+
+func BenchmarkFig6PeerDynamics(b *testing.B) {
+	rep := runExperiment(b, "fig6")
+	reportPair(b, rep, 1, "welfare/slot")
+	reportPair(b, rep, 3, "inter-isp")
+	reportPair(b, rep, 4, "miss-rate")
+}
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	rep := runExperiment(b, "abl-eps")
+	// Report the gap at the largest ε (worst case of the sweep).
+	last := rep.Table.Rows[len(rep.Table.Rows)-1]
+	gap, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(gap, "worst-gap-%")
+}
+
+func BenchmarkAblationNeighbors(b *testing.B) {
+	rep := runExperiment(b, "abl-neighbors")
+	first, err := strconv.ParseFloat(rep.Table.Rows[0][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(rep.Table.Rows[len(rep.Table.Rows)-1][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(first, "welfare-fewest-neighbors")
+	b.ReportMetric(last, "welfare-most-neighbors")
+}
+
+func BenchmarkAblationSeeds(b *testing.B) {
+	rep := runExperiment(b, "abl-seeds")
+	first, err := strconv.ParseFloat(rep.Table.Rows[0][3], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(rep.Table.Rows[len(rep.Table.Rows)-1][3], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(first, "miss-1seed")
+	b.ReportMetric(last, "miss-5seeds")
+}
+
+func BenchmarkAblationEngines(b *testing.B) {
+	rep := runExperiment(b, "engines")
+	gap, err := strconv.ParseFloat(rep.Table.Rows[2][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(gap, "engine-welfare-gap-%")
+}
+
+// randomInstance builds a slot-shaped transportation problem for the raw
+// solver benchmarks.
+func randomInstance(rng *randx.Source, requests, sinks int) *repro.Problem {
+	p := repro.NewProblem()
+	for s := 0; s < sinks; s++ {
+		if _, err := p.AddSink(1 + rng.Intn(6)); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < requests; r++ {
+		req := p.AddRequest()
+		perm := rng.Perm(sinks)
+		degree := 1 + rng.Intn(8)
+		for k := 0; k < degree && k < len(perm); k++ {
+			if err := p.AddEdge(req, core.SinkID(perm[k]), rng.Range(-1, 8)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+func benchmarkAuctionSolver(b *testing.B, requests, sinks int) {
+	rng := randx.New(42)
+	p := randomInstance(rng, requests, sinks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.SolveAuction(p, repro.AuctionOptions{Epsilon: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverAuction200x40(b *testing.B)   { benchmarkAuctionSolver(b, 200, 40) }
+func BenchmarkSolverAuction1000x200(b *testing.B) { benchmarkAuctionSolver(b, 1000, 200) }
+func BenchmarkSolverAuction5000x500(b *testing.B) { benchmarkAuctionSolver(b, 5000, 500) }
+
+func BenchmarkSolverExact200x40(b *testing.B) {
+	rng := randx.New(42)
+	p := randomInstance(rng, 200, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.SolveExact(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationSlot(b *testing.B) {
+	// One full static slot pipeline at small scale per iteration.
+	cfg := repro.ReproConfig()
+	cfg.StaticPeers = 60
+	cfg.Slots = 1
+	cfg.Catalog.Count = 12
+	cfg.Catalog.SizeMB = 8
+	cfg.NeighborCount = 15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RunAuction(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustnessLoss(b *testing.B) {
+	rep := runExperiment(b, "robust-loss")
+	lossless, err := strconv.ParseFloat(rep.Table.Rows[0][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heaviest, err := strconv.ParseFloat(rep.Table.Rows[len(rep.Table.Rows)-1][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(lossless, "welfare-lossless")
+	b.ReportMetric(heaviest, "welfare-40pct-loss")
+}
+
+func BenchmarkStrategicBidding(b *testing.B) {
+	rep := runExperiment(b, "strategic")
+	truthful, err := strconv.ParseFloat(rep.Table.Rows[1][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exaggerated, err := strconv.ParseFloat(rep.Table.Rows[3][1], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(truthful, "grants-truthful")
+	b.ReportMetric(exaggerated, "grants-exaggerated")
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestInstanceShape(t *testing.T) {
+	rng := randx.New(5)
+	p := instance(rng, 50, 10)
+	if p.NumRequests() != 50 || p.NumSinks() != 10 {
+		t.Fatalf("instance %dx%d", p.NumRequests(), p.NumSinks())
+	}
+	if p.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestMeasureVerifiesCertificates(t *testing.T) {
+	rng := randx.New(6)
+	tl, err := measure(rng, 60, 12, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.auctionWelfare <= 0 || tl.exactWelfare <= 0 {
+		t.Fatalf("degenerate welfare: %+v", tl)
+	}
+	// Auction within n·ε of exact across the trials.
+	slack := 3 * 60 * 0.01
+	if tl.auctionWelfare < tl.exactWelfare-slack {
+		t.Fatalf("auction %v below exact %v - slack", tl.auctionWelfare, tl.exactWelfare)
+	}
+	if tl.greedyWelfare > tl.exactWelfare+1e-9 {
+		t.Fatalf("greedy beat exact: %v > %v", tl.greedyWelfare, tl.exactWelfare)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs solver sweeps")
+	}
+	if err := run([]string{"-requests", "40", "-sinks", "8", "-trials", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-requests", "30", "-sinks", "6", "-trials", "1", "-sweep", "eps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", "bogus"}); err == nil {
+		t.Error("bogus sweep should error")
+	}
+}

@@ -1,0 +1,157 @@
+// Command p2psim regenerates the paper's figures and the repository's
+// ablations from the command line:
+//
+//	p2psim -exp fig4 -scale full            # Fig. 4 at the paper's scale
+//	p2psim -exp all -scale small            # everything, quickly
+//	p2psim -exp fig3 -csv fig3.csv          # export the series as CSV
+//
+// Output: a summary table per experiment, an ASCII chart of its series, and
+// the reading notes that say what shape to expect against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "p2psim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("p2psim", flag.ContinueOnError)
+	var (
+		expID    = fs.String("exp", "all", "experiment id (fig2..fig6, abl-eps, abl-neighbors, abl-seeds, engines) or 'all'")
+		scaleStr = fs.String("scale", "small", "experiment scale: small, medium, full")
+		csvPath  = fs.String("csv", "", "write the experiment series to this CSV file")
+		noChart  = fs.Bool("nochart", false, "suppress ASCII charts")
+		width    = fs.Int("width", 72, "chart width")
+		height   = fs.Int("height", 14, "chart height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	ids, err := selectExperiments(*expID)
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" && len(ids) > 1 {
+		return fmt.Errorf("-csv requires a single experiment, got %d", len(ids))
+	}
+	for _, id := range ids {
+		rep, err := repro.Experiment(id, scale)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := render(rep, *noChart, *width, *height); err != nil {
+			return err
+		}
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("series written to %s\n", *csvPath)
+		}
+	}
+	return nil
+}
+
+func parseScale(s string) (repro.Scale, error) {
+	switch s {
+	case "small":
+		return repro.ScaleSmall, nil
+	case "medium":
+		return repro.ScaleMedium, nil
+	case "full":
+		return repro.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want small, medium or full)", s)
+	}
+}
+
+func selectExperiments(id string) ([]string, error) {
+	if id != "all" {
+		if _, ok := experiments.All()[id]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have: %s)",
+				id, strings.Join(sortedIDs(), ", "))
+		}
+		return []string{id}, nil
+	}
+	return sortedIDs(), nil
+}
+
+func sortedIDs() []string {
+	ids := repro.ExperimentIDs()
+	sort.Strings(ids)
+	return ids
+}
+
+func render(rep *repro.Report, noChart bool, width, height int) error {
+	fmt.Printf("\n=== %s: %s ===\n", rep.ID, rep.Title)
+	if rep.Table != nil {
+		printTable(rep.Table)
+	}
+	if !noChart && len(rep.Series) > 0 {
+		if err := metrics.Chart(os.Stdout, width, height, rep.Series...); err != nil {
+			return err
+		}
+	}
+	if rep.Notes != "" {
+		fmt.Printf("notes: %s\n", rep.Notes)
+	}
+	return nil
+}
+
+func printTable(t *experiments.Table) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func writeCSV(path string, rep *repro.Report) error {
+	if len(rep.Series) == 0 {
+		return fmt.Errorf("experiment %s has no series to export", rep.ID)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := metrics.WriteCSV(f, rep.Series...); err != nil {
+		return err
+	}
+	return f.Close()
+}

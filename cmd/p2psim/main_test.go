@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]string{
+		"small": "small", "medium": "medium", "full": "full",
+	} {
+		s, err := parseScale(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if s.String() != want {
+			t.Errorf("parseScale(%q) = %v", in, s)
+		}
+	}
+	if _, err := parseScale("gigantic"); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	ids, err := selectExperiments("fig3")
+	if err != nil || len(ids) != 1 || ids[0] != "fig3" {
+		t.Fatalf("single select: %v, %v", ids, err)
+	}
+	ids, err = selectExperiments("all")
+	if err != nil || len(ids) < 9 {
+		t.Fatalf("all select: %v, %v", ids, err)
+	}
+	if _, err := selectExperiments("no-such"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full small-scale experiment")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	err := run([]string{"-exp", "fig3", "-scale", "small", "-nochart", "-csv", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,") {
+		t.Fatalf("CSV header missing: %q", string(data[:20]))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("bogus experiment should error")
+	}
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Error("bogus scale should error")
+	}
+	if err := run([]string{"-exp", "all", "-csv", "x.csv"}); err == nil {
+		t.Error("-csv with all experiments should error")
+	}
+}

@@ -1,0 +1,266 @@
+// Package auction implements the paper's Algorithm 1 as a pair of
+// transport-agnostic state machines: a Bidder (one per downloading peer) and
+// an Auctioneer (one per uploading peer). They consume protocol messages and
+// emit outbound protocol messages, so the same logic runs unchanged over the
+// discrete-event simulator and over real sockets in the live engine.
+//
+// Within a slot the Bidder, for every wanted chunk, tracks the best and
+// second-best net utility v − w − λ across the neighbors caching the chunk
+// and bids b = λ* + (best − second) + ε at the best one; the Auctioneer keeps
+// the top-B(u) bids, evicts the lowest on overflow, and publishes λ_u (the
+// smallest accepted bid once full, 0 before). With ε = 0 this is the paper's
+// literal protocol, including the "wait for a price change" behaviour on tie
+// bids.
+package auction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/video"
+)
+
+// PeerRef identifies a remote peer from a state machine's point of view.
+type PeerRef int
+
+// Broadcast as an Outbound destination means "all current neighbors"; the
+// hosting node expands it, since only the host knows the neighbor set.
+const Broadcast PeerRef = -1
+
+// Outbound is a message the state machine wants delivered.
+type Outbound struct {
+	To  PeerRef
+	Msg protocol.Message
+}
+
+// Candidate is a neighbor that caches a wanted chunk, with the network cost
+// w_{u→d} of fetching it from there.
+type Candidate struct {
+	Peer PeerRef
+	Cost float64
+}
+
+// Request is one chunk the bidder wants this slot, its valuation v_c(d) and
+// the candidate upstream peers.
+type Request struct {
+	Chunk      video.ChunkID
+	Value      float64
+	Candidates []Candidate
+}
+
+// RequestStatus tracks the life cycle of a request inside a slot.
+type RequestStatus int
+
+// Request life-cycle states.
+const (
+	// StatusBidding means a bid is outstanding and unanswered.
+	StatusBidding RequestStatus = iota + 1
+	// StatusWaiting means the best possible bid ties the current price
+	// (ε = 0 only); the bidder waits for a price change, per the paper.
+	StatusWaiting
+	// StatusWon means the bid currently holds a bandwidth unit.
+	StatusWon
+	// StatusDropped means no candidate offers non-negative net utility.
+	StatusDropped
+)
+
+// requestState is the bidder-side record for one wanted chunk.
+type requestState struct {
+	req    Request
+	status RequestStatus
+	target PeerRef // auctioneer of the outstanding/winning bid
+}
+
+// Bidder is the per-peer bidding module.
+type Bidder struct {
+	epsilon  float64
+	requests map[video.ChunkID]*requestState
+	order    []video.ChunkID     // deterministic iteration order
+	prices   map[PeerRef]float64 // last observed λ_u per neighbor
+	bidsSent int
+}
+
+// NewBidder creates a bidder with the given ε increment (0 = paper-literal).
+func NewBidder(epsilon float64) (*Bidder, error) {
+	if epsilon < 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("auction: invalid epsilon %v", epsilon)
+	}
+	return &Bidder{
+		epsilon:  epsilon,
+		requests: make(map[video.ChunkID]*requestState),
+		prices:   make(map[PeerRef]float64),
+	}, nil
+}
+
+// StartSlot resets per-slot state and returns the initial bids for the given
+// requests. Price knowledge is also reset: the paper re-initializes λ_u = 0
+// at every slot.
+func (b *Bidder) StartSlot(requests []Request) []Outbound {
+	b.requests = make(map[video.ChunkID]*requestState, len(requests))
+	b.order = b.order[:0]
+	b.prices = make(map[PeerRef]float64)
+	b.bidsSent = 0
+	var out []Outbound
+	for _, req := range requests {
+		if _, dup := b.requests[req.Chunk]; dup {
+			continue // one request per chunk; ignore duplicates defensively
+		}
+		st := &requestState{req: req}
+		b.requests[req.Chunk] = st
+		b.order = append(b.order, req.Chunk)
+		out = b.evaluate(st, out)
+	}
+	sortChunkIDs(b.order)
+	return out
+}
+
+// price returns the last observed λ_u for peer u (0 if never heard).
+func (b *Bidder) price(u PeerRef) float64 { return b.prices[u] }
+
+// evaluate recomputes the best move for an unresolved request and appends any
+// resulting bid to out. Implements Alg. 1 bidder lines 3–4.
+func (b *Bidder) evaluate(st *requestState, out []Outbound) []Outbound {
+	best, second := math.Inf(-1), 0.0
+	var target PeerRef
+	found := false
+	for _, cand := range st.req.Candidates {
+		u := st.req.Value - cand.Cost - b.price(cand.Peer)
+		if !found || u > best {
+			if found && best > second {
+				second = best
+			}
+			best, target, found = u, cand.Peer, true
+		} else if u > second {
+			second = u
+		}
+	}
+	if !found || best < 0 {
+		st.status = StatusDropped
+		return out
+	}
+	bid := b.price(target) + (best - second) + b.epsilon
+	if bid <= b.price(target) {
+		// ε = 0 tie: the paper's bidder does not send a losing bid; it waits
+		// for prices to move.
+		st.status = StatusWaiting
+		return out
+	}
+	st.status = StatusBidding
+	st.target = target
+	b.bidsSent++
+	return append(out, Outbound{
+		To:  target,
+		Msg: protocol.Bid{Chunk: st.req.Chunk, Amount: bid},
+	})
+}
+
+// observePrice records a λ_u observation and wakes any waiting/dropped
+// requests if the price map changed. (Prices only rise within a slot, so a
+// dropped request can never become viable again — but an observation can
+// correct an optimistic stale value after an eviction, so re-evaluating
+// waiting requests is required for convergence.)
+func (b *Bidder) observePrice(u PeerRef, lambda float64, out []Outbound) []Outbound {
+	old, seen := b.prices[u]
+	if seen && old == lambda {
+		return out
+	}
+	b.prices[u] = lambda
+	// Wake waiting requests in deterministic chunk order (map iteration
+	// order must not leak into message order).
+	for _, c := range b.order {
+		if st := b.requests[c]; st.status == StatusWaiting {
+			out = b.evaluate(st, out)
+		}
+	}
+	return out
+}
+
+// OnBidResult processes an auctioneer's accept/reject answer.
+func (b *Bidder) OnBidResult(from PeerRef, m protocol.BidResult) []Outbound {
+	var out []Outbound
+	st, ok := b.requests[m.Chunk]
+	if !ok {
+		return nil // stale message from a previous slot; ignore
+	}
+	if m.Accepted {
+		if st.status == StatusBidding && st.target == from {
+			st.status = StatusWon
+		}
+		out = b.observePrice(from, m.Price, out)
+		return out
+	}
+	// Rejected: update price knowledge, then re-evaluate this request.
+	out = b.observePrice(from, m.Price, out)
+	if st.status == StatusBidding && st.target == from {
+		out = b.evaluate(st, out)
+	}
+	return out
+}
+
+// OnEvict processes the loss of a previously accepted bid.
+func (b *Bidder) OnEvict(from PeerRef, m protocol.Evict) []Outbound {
+	var out []Outbound
+	st, ok := b.requests[m.Chunk]
+	if !ok {
+		return nil
+	}
+	out = b.observePrice(from, m.Price, out)
+	if st.status == StatusWon && st.target == from {
+		out = b.evaluate(st, out)
+	}
+	return out
+}
+
+// OnPriceUpdate processes a broadcast λ_u change.
+func (b *Bidder) OnPriceUpdate(from PeerRef, m protocol.PriceUpdate) []Outbound {
+	return b.observePrice(from, m.Price, nil)
+}
+
+// Wins returns the (chunk → upstream peer) map of currently winning bids.
+func (b *Bidder) Wins() map[video.ChunkID]PeerRef {
+	wins := make(map[video.ChunkID]PeerRef)
+	for c, st := range b.requests {
+		if st.status == StatusWon {
+			wins[c] = st.target
+		}
+	}
+	return wins
+}
+
+// Unresolved returns how many requests are still bidding (outstanding bid in
+// flight). Waiting and dropped requests are settled from the bidder's side.
+func (b *Bidder) Unresolved() int {
+	n := 0
+	for _, st := range b.requests {
+		if st.status == StatusBidding {
+			n++
+		}
+	}
+	return n
+}
+
+// BidsSent returns the number of bids emitted this slot.
+func (b *Bidder) BidsSent() int { return b.bidsSent }
+
+// Status returns the life-cycle state of the request for chunk c.
+func (b *Bidder) Status(c video.ChunkID) (RequestStatus, bool) {
+	st, ok := b.requests[c]
+	if !ok {
+		return 0, false
+	}
+	return st.status, true
+}
+
+// sortChunkIDs orders chunk ids by (video, index).
+func sortChunkIDs(ids []video.ChunkID) {
+	sort.Slice(ids, func(i, j int) bool { return chunkLess(ids[i], ids[j]) })
+}
+
+func chunkLess(a, b video.ChunkID) bool {
+	if a.Video != b.Video {
+		return a.Video < b.Video
+	}
+	return a.Index < b.Index
+}

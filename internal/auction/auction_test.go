@@ -1,0 +1,455 @@
+package auction
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/randx"
+	"repro/internal/video"
+)
+
+func mustBidder(t *testing.T, eps float64) *Bidder {
+	t.Helper()
+	b, err := NewBidder(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustAuctioneer(t *testing.T, cap int) *Auctioneer {
+	t.Helper()
+	a, err := NewAuctioneer(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewBidder(-1); err == nil {
+		t.Error("negative epsilon should error")
+	}
+	if _, err := NewBidder(math.NaN()); err == nil {
+		t.Error("NaN epsilon should error")
+	}
+	if _, err := NewAuctioneer(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	a := mustAuctioneer(t, 1)
+	if err := a.StartSlot(-1); err == nil {
+		t.Error("negative capacity in StartSlot should error")
+	}
+}
+
+func TestBidderInitialBids(t *testing.T) {
+	b := mustBidder(t, 0.01)
+	c1 := video.ChunkID{Video: 0, Index: 1}
+	c2 := video.ChunkID{Video: 0, Index: 2}
+	out := b.StartSlot([]Request{
+		{Chunk: c1, Value: 5, Candidates: []Candidate{{Peer: 10, Cost: 1}, {Peer: 11, Cost: 3}}},
+		{Chunk: c2, Value: 1, Candidates: []Candidate{{Peer: 10, Cost: 4}}}, // negative utility
+	})
+	if len(out) != 1 {
+		t.Fatalf("expected one initial bid, got %d: %+v", len(out), out)
+	}
+	if out[0].To != 10 {
+		t.Fatalf("bid should target cheapest candidate, went to %d", out[0].To)
+	}
+	bid, ok := out[0].Msg.(protocol.Bid)
+	if !ok || bid.Chunk != c1 {
+		t.Fatalf("unexpected message %+v", out[0].Msg)
+	}
+	// best = 5-1 = 4 at peer10, second = 5-3 = 2 at peer11;
+	// bid = λ(0) + (4-2) + ε = 2.01.
+	if math.Abs(bid.Amount-2.01) > 1e-12 {
+		t.Fatalf("bid amount = %v, want 2.01", bid.Amount)
+	}
+	if st, _ := b.Status(c2); st != StatusDropped {
+		t.Fatalf("negative-utility request should be dropped, got %v", st)
+	}
+	if b.BidsSent() != 1 {
+		t.Fatalf("BidsSent = %d", b.BidsSent())
+	}
+}
+
+func TestBidderSingleCandidateBidsFullSurplus(t *testing.T) {
+	b := mustBidder(t, 0)
+	c := video.ChunkID{Video: 1, Index: 1}
+	out := b.StartSlot([]Request{
+		{Chunk: c, Value: 6, Candidates: []Candidate{{Peer: 5, Cost: 2}}},
+	})
+	if len(out) != 1 {
+		t.Fatalf("want 1 bid, got %d", len(out))
+	}
+	bid := out[0].Msg.(protocol.Bid)
+	// Only option: second-best floor is 0 (stay unassigned) → bid = 4.
+	if bid.Amount != 4 {
+		t.Fatalf("bid = %v, want 4", bid.Amount)
+	}
+}
+
+func TestBidderWaitsOnTieWithZeroEpsilon(t *testing.T) {
+	b := mustBidder(t, 0)
+	c := video.ChunkID{Video: 0, Index: 1}
+	// Two equally good candidates → best == second → bid == λ → wait.
+	out := b.StartSlot([]Request{
+		{Chunk: c, Value: 5, Candidates: []Candidate{{Peer: 1, Cost: 2}, {Peer: 2, Cost: 2}}},
+	})
+	if len(out) != 0 {
+		t.Fatalf("tie bid should be withheld, got %+v", out)
+	}
+	if st, _ := b.Status(c); st != StatusWaiting {
+		t.Fatalf("status = %v, want waiting", st)
+	}
+	// A price rise at peer 1 breaks the tie: now peer 2 strictly better.
+	out = b.OnPriceUpdate(1, protocol.PriceUpdate{Price: 1})
+	if len(out) != 1 || out[0].To != 2 {
+		t.Fatalf("expected re-bid at peer 2, got %+v", out)
+	}
+}
+
+func TestBidderRejectionRebids(t *testing.T) {
+	b := mustBidder(t, 0.1)
+	c := video.ChunkID{Video: 0, Index: 1}
+	out := b.StartSlot([]Request{
+		{Chunk: c, Value: 10, Candidates: []Candidate{{Peer: 1, Cost: 1}, {Peer: 2, Cost: 5}}},
+	})
+	if len(out) != 1 || out[0].To != 1 {
+		t.Fatalf("initial bid wrong: %+v", out)
+	}
+	// Peer 1 rejects with a high price → peer 2 becomes best.
+	out = b.OnBidResult(1, protocol.BidResult{Chunk: c, Accepted: false, Price: 7})
+	if len(out) != 1 || out[0].To != 2 {
+		t.Fatalf("expected re-bid at peer 2, got %+v", out)
+	}
+	// Peer 2 accepts.
+	out = b.OnBidResult(2, protocol.BidResult{Chunk: c, Accepted: true, Price: 0})
+	if len(out) != 0 {
+		t.Fatalf("acceptance should be quiet, got %+v", out)
+	}
+	if st, _ := b.Status(c); st != StatusWon {
+		t.Fatalf("status = %v, want won", st)
+	}
+	wins := b.Wins()
+	if wins[c] != 2 {
+		t.Fatalf("wins = %v", wins)
+	}
+}
+
+func TestBidderEvictionRebids(t *testing.T) {
+	b := mustBidder(t, 0.1)
+	c := video.ChunkID{Video: 0, Index: 1}
+	out := b.StartSlot([]Request{
+		{Chunk: c, Value: 10, Candidates: []Candidate{{Peer: 1, Cost: 1}}},
+	})
+	if len(out) != 1 {
+		t.Fatal("no initial bid")
+	}
+	if out = b.OnBidResult(1, protocol.BidResult{Chunk: c, Accepted: true, Price: 2}); len(out) != 0 {
+		t.Fatalf("unexpected output %+v", out)
+	}
+	// Evicted at price 8: value 10 − cost 1 − λ 8 = 1 ≥ 0 → re-bid.
+	out = b.OnEvict(1, protocol.Evict{Chunk: c, Price: 8})
+	if len(out) != 1 {
+		t.Fatalf("expected re-bid, got %+v", out)
+	}
+	// Evicted again at a price that kills the utility → drop.
+	if out = b.OnBidResult(1, protocol.BidResult{Chunk: c, Accepted: true, Price: 8}); len(out) != 0 {
+		t.Fatalf("unexpected output %+v", out)
+	}
+	out = b.OnEvict(1, protocol.Evict{Chunk: c, Price: 20})
+	if len(out) != 0 {
+		t.Fatalf("dead request should not re-bid: %+v", out)
+	}
+	if st, _ := b.Status(c); st != StatusDropped {
+		t.Fatalf("status = %v, want dropped", st)
+	}
+}
+
+func TestBidderIgnoresStaleMessages(t *testing.T) {
+	b := mustBidder(t, 0.1)
+	ghost := video.ChunkID{Video: 9, Index: 9}
+	if out := b.OnBidResult(1, protocol.BidResult{Chunk: ghost, Accepted: true}); out != nil {
+		t.Fatal("stale BidResult should be ignored")
+	}
+	if out := b.OnEvict(1, protocol.Evict{Chunk: ghost}); out != nil {
+		t.Fatal("stale Evict should be ignored")
+	}
+}
+
+func TestAuctioneerAcceptEvictPrice(t *testing.T) {
+	a := mustAuctioneer(t, 2)
+	c := func(i int) video.ChunkID { return video.ChunkID{Video: 0, Index: video.ChunkIndex(i)} }
+
+	// First bid: accepted, not full, price stays 0, no broadcast.
+	out := a.OnBid(1, protocol.Bid{Chunk: c(1), Amount: 3})
+	if len(out) != 1 {
+		t.Fatalf("want 1 msg, got %+v", out)
+	}
+	if res := out[0].Msg.(protocol.BidResult); !res.Accepted || res.Price != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// Second bid: fills the set → price = min(3,5)=3, broadcast expected.
+	out = a.OnBid(2, protocol.Bid{Chunk: c(2), Amount: 5})
+	if len(out) != 2 {
+		t.Fatalf("want result+broadcast, got %+v", out)
+	}
+	if a.Price() != 3 {
+		t.Fatalf("price = %v, want 3", a.Price())
+	}
+	foundBroadcast := false
+	for _, o := range out {
+		if o.To == Broadcast {
+			foundBroadcast = true
+			if pu := o.Msg.(protocol.PriceUpdate); pu.Price != 3 {
+				t.Fatalf("broadcast price %v", pu.Price)
+			}
+		}
+	}
+	if !foundBroadcast {
+		t.Fatal("no price broadcast on fill")
+	}
+	// Low bid rejected with current price.
+	out = a.OnBid(3, protocol.Bid{Chunk: c(3), Amount: 2})
+	if res := out[0].Msg.(protocol.BidResult); res.Accepted || res.Price != 3 {
+		t.Fatalf("low bid should be rejected at price 3: %+v", res)
+	}
+	// Higher bid evicts the lowest (bidder 1, bid 3) and raises the price.
+	out = a.OnBid(4, protocol.Bid{Chunk: c(4), Amount: 6})
+	var sawEvict bool
+	for _, o := range out {
+		if ev, ok := o.Msg.(protocol.Evict); ok {
+			sawEvict = true
+			if o.To != 1 || ev.Chunk != c(1) {
+				t.Fatalf("wrong eviction %+v to %d", ev, o.To)
+			}
+		}
+	}
+	if !sawEvict {
+		t.Fatal("no eviction emitted")
+	}
+	if a.Price() != 5 {
+		t.Fatalf("price = %v, want 5", a.Price())
+	}
+	if a.Evictions() != 1 || a.BidsSeen() != 4 {
+		t.Fatalf("stats: evictions=%d bids=%d", a.Evictions(), a.BidsSeen())
+	}
+	wins := a.Winners()
+	if len(wins) != 2 || wins[0].Bidder != 4 || wins[1].Bidder != 2 {
+		t.Fatalf("winners = %+v", wins)
+	}
+}
+
+func TestAuctioneerZeroCapacity(t *testing.T) {
+	a := mustAuctioneer(t, 0)
+	out := a.OnBid(1, protocol.Bid{Chunk: video.ChunkID{}, Amount: 100})
+	res := out[0].Msg.(protocol.BidResult)
+	if res.Accepted || !math.IsInf(res.Price, 1) {
+		t.Fatalf("zero-capacity auctioneer must reject with +Inf price: %+v", res)
+	}
+}
+
+func TestAuctioneerRemoveBidder(t *testing.T) {
+	a := mustAuctioneer(t, 2)
+	c := func(i int) video.ChunkID { return video.ChunkID{Video: 0, Index: video.ChunkIndex(i)} }
+	a.OnBid(1, protocol.Bid{Chunk: c(1), Amount: 3})
+	a.OnBid(2, protocol.Bid{Chunk: c(2), Amount: 5})
+	if a.Price() != 3 {
+		t.Fatal("setup failed")
+	}
+	out := a.RemoveBidder(1)
+	if a.Allocated() != 1 {
+		t.Fatalf("allocated = %d after removal", a.Allocated())
+	}
+	if a.Price() != 0 {
+		t.Fatalf("price should fall to 0 when un-full, got %v", a.Price())
+	}
+	if len(out) != 1 || out[0].To != Broadcast {
+		t.Fatalf("expected price broadcast, got %+v", out)
+	}
+	if out := a.RemoveBidder(42); out != nil {
+		t.Fatal("removing an absent bidder should be a no-op")
+	}
+}
+
+func TestAuctioneerStartSlotResets(t *testing.T) {
+	a := mustAuctioneer(t, 1)
+	a.OnBid(1, protocol.Bid{Chunk: video.ChunkID{}, Amount: 9})
+	if a.Price() != 9 {
+		t.Fatal("setup failed")
+	}
+	if err := a.StartSlot(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Price() != 0 || a.Allocated() != 0 || a.Capacity() != 3 {
+		t.Fatal("StartSlot did not reset state")
+	}
+}
+
+// pump runs a synchronous message loop between bidders and auctioneers until
+// quiescence, modeling instant delivery. Returns false if it failed to
+// converge within the budget.
+func pump(t *testing.T, bidders map[PeerRef]*Bidder, aucts map[PeerRef]*Auctioneer,
+	neighbors map[PeerRef][]PeerRef, initial []routedMsg) bool {
+	t.Helper()
+	queue := initial
+	for steps := 0; len(queue) > 0; steps++ {
+		if steps > 2_000_000 {
+			return false
+		}
+		m := queue[0]
+		queue = queue[1:]
+		var outs []Outbound
+		switch msg := m.msg.(type) {
+		case protocol.Bid:
+			outs = aucts[m.to].OnBid(m.from, msg)
+		case protocol.BidResult:
+			outs = bidders[m.to].OnBidResult(m.from, msg)
+		case protocol.Evict:
+			outs = bidders[m.to].OnEvict(m.from, msg)
+		case protocol.PriceUpdate:
+			if b, ok := bidders[m.to]; ok {
+				outs = b.OnPriceUpdate(m.from, msg)
+			}
+		default:
+			t.Fatalf("unexpected message %T", msg)
+		}
+		for _, o := range outs {
+			if o.To == Broadcast {
+				for _, n := range neighbors[m.to] {
+					queue = append(queue, routedMsg{from: m.to, to: n, msg: o.Msg})
+				}
+				continue
+			}
+			queue = append(queue, routedMsg{from: m.to, to: o.To, msg: o.Msg})
+		}
+	}
+	return true
+}
+
+type routedMsg struct {
+	from, to PeerRef
+	msg      protocol.Message
+}
+
+// TestDistributedMatchesCentralized is the package's key property: the
+// message-driven auction converges to the same welfare as the centralized
+// primal-dual solver (Theorem 1's claim, exercised end to end).
+func TestDistributedMatchesCentralized(t *testing.T) {
+	rng := randx.New(909)
+	const eps = 0.05
+	for trial := 0; trial < 60; trial++ {
+		nAuct := 2 + rng.Intn(4)
+		nBid := 1 + rng.Intn(5)
+		chunksPer := 1 + rng.Intn(4)
+
+		// Build the same instance for both solvers.
+		p := core.NewProblem()
+		aucts := make(map[PeerRef]*Auctioneer, nAuct)
+		neighbors := make(map[PeerRef][]PeerRef)
+		sinkOf := make(map[PeerRef]core.SinkID)
+		auctRefs := make([]PeerRef, 0, nAuct)
+		for i := 0; i < nAuct; i++ {
+			ref := PeerRef(100 + i)
+			capacity := rng.Intn(3)
+			s, err := p.AddSink(capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aucts[ref] = mustAuctioneer(t, capacity)
+			sinkOf[ref] = s
+			auctRefs = append(auctRefs, ref)
+		}
+
+		bidders := make(map[PeerRef]*Bidder, nBid)
+		var initial []routedMsg
+		type reqKey struct {
+			bidder PeerRef
+			chunk  video.ChunkID
+		}
+		reqIDs := make(map[reqKey]core.RequestID)
+		for i := 0; i < nBid; i++ {
+			ref := PeerRef(i)
+			bidders[ref] = mustBidder(t, eps)
+			var reqs []Request
+			for cIdx := 0; cIdx < chunksPer; cIdx++ {
+				chunk := video.ChunkID{Video: video.ID(i), Index: video.ChunkIndex(cIdx)}
+				value := rng.Range(0.8, 8)
+				var cands []Candidate
+				r := p.AddRequest()
+				reqIDs[reqKey{bidder: ref, chunk: chunk}] = r
+				for _, aref := range auctRefs {
+					if rng.Float64() < 0.7 {
+						cost := rng.Range(0, 6)
+						cands = append(cands, Candidate{Peer: aref, Cost: cost})
+						if err := p.AddEdge(r, sinkOf[aref], value-cost); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				reqs = append(reqs, Request{Chunk: chunk, Value: value, Candidates: cands})
+			}
+			for _, o := range bidders[ref].StartSlot(reqs) {
+				initial = append(initial, routedMsg{from: ref, to: o.To, msg: o.Msg})
+			}
+		}
+		// Every auctioneer broadcasts to every bidder.
+		for _, aref := range auctRefs {
+			for bref := range bidders {
+				neighbors[aref] = append(neighbors[aref], bref)
+			}
+			sortPeerRefs(neighbors[aref])
+		}
+
+		if !pump(t, bidders, aucts, neighbors, initial) {
+			t.Fatalf("trial %d: distributed auction did not converge", trial)
+		}
+
+		// Collect the distributed assignment from the auctioneers' books.
+		distributed := core.NewAssignment(p.NumRequests())
+		for _, aref := range auctRefs {
+			for _, w := range aucts[aref].Winners() {
+				r := reqIDs[reqKey{bidder: w.Bidder, chunk: w.Chunk}]
+				distributed.SinkOf[r] = sinkOf[aref]
+			}
+		}
+		if err := distributed.Verify(p); err != nil {
+			t.Fatalf("trial %d: distributed assignment infeasible: %v", trial, err)
+		}
+		// Bidder-side and auctioneer-side views must agree.
+		for bref, b := range bidders {
+			for chunk, target := range b.Wins() {
+				r := reqIDs[reqKey{bidder: bref, chunk: chunk}]
+				if distributed.SinkOf[r] != sinkOf[target] {
+					t.Fatalf("trial %d: books disagree for %v", trial, chunk)
+				}
+			}
+		}
+
+		central, err := core.SolveAuction(p, core.AuctionOptions{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := core.SolveExact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := float64(p.NumRequests()) * eps
+		distW := distributed.Welfare(p)
+		if distW < exact.Welfare(p)-slack-1e-9 {
+			t.Fatalf("trial %d: distributed welfare %v below optimal %v − n·ε (central got %v)",
+				trial, distW, exact.Welfare(p), central.Assignment.Welfare(p))
+		}
+	}
+}
+
+func sortPeerRefs(refs []PeerRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j] < refs[j-1]; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}

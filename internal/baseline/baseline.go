@@ -1,0 +1,176 @@
+// Package baseline implements the comparison schedulers from the paper's
+// evaluation (§V): the "simple locality-aware" algorithm — downstream peers
+// request from the cheapest upstream neighbors, upstream peers serve the most
+// urgent deadlines first — and a network-agnostic random scheduler
+// representing the legacy protocols the paper's introduction criticizes.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isp"
+	"repro/internal/randx"
+	"repro/internal/sched"
+)
+
+// DefaultRounds is how many request/serve rounds a slot allows. Each round
+// models one request-RTT: a rejected downstream learns nothing about prices
+// (there are none) and simply tries its next-cheapest untried neighbor.
+const DefaultRounds = 3
+
+// Locality is the paper's "simple locality-aware chunk scheduling algorithm":
+// request from the lowest-cost neighbor as much as possible; upstream serves
+// by deadline urgency. It ignores chunk valuations entirely, which is why its
+// social welfare can go negative (paper §V.B).
+type Locality struct {
+	// Rounds bounds the retry rounds per slot (default DefaultRounds).
+	Rounds int
+}
+
+var _ sched.Scheduler = (*Locality)(nil)
+
+// Name implements sched.Scheduler.
+func (l *Locality) Name() string { return "simple-locality" }
+
+// Schedule implements sched.Scheduler.
+func (l *Locality) Schedule(in *sched.Instance) (*sched.Result, error) {
+	rounds := l.Rounds
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	pick := func(r *sched.Request, tried map[isp.PeerID]bool) (isp.PeerID, bool) {
+		bestCost := 0.0
+		var best isp.PeerID
+		found := false
+		for _, c := range r.Candidates {
+			if tried[c.Peer] {
+				continue
+			}
+			// Lowest cost wins; ties to the lower peer id for determinism.
+			if !found || c.Cost < bestCost || (c.Cost == bestCost && c.Peer < best) {
+				bestCost, best, found = c.Cost, c.Peer, true
+			}
+		}
+		return best, found
+	}
+	return runRounds(in, rounds, pick)
+}
+
+// Random is the network-agnostic baseline: downstream peers pick a uniformly
+// random candidate each round, upstream peers still serve most-urgent first.
+type Random struct {
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Rounds bounds the retry rounds per slot (default DefaultRounds).
+	Rounds int
+
+	rng *randx.Source
+}
+
+var _ sched.Scheduler = (*Random)(nil)
+
+// Name implements sched.Scheduler.
+func (r *Random) Name() string { return "random" }
+
+// Schedule implements sched.Scheduler.
+func (r *Random) Schedule(in *sched.Instance) (*sched.Result, error) {
+	if r.rng == nil {
+		r.rng = randx.New(r.Seed)
+	}
+	rounds := r.Rounds
+	if rounds <= 0 {
+		rounds = DefaultRounds
+	}
+	pick := func(req *sched.Request, tried map[isp.PeerID]bool) (isp.PeerID, bool) {
+		var open []isp.PeerID
+		for _, c := range req.Candidates {
+			if !tried[c.Peer] {
+				open = append(open, c.Peer)
+			}
+		}
+		if len(open) == 0 {
+			return 0, false
+		}
+		return open[r.rng.Intn(len(open))], true
+	}
+	return runRounds(in, rounds, pick)
+}
+
+// pickFunc chooses the next uploader a request should try, given the set it
+// has already been rejected by.
+type pickFunc func(r *sched.Request, tried map[isp.PeerID]bool) (isp.PeerID, bool)
+
+// runRounds is the shared round loop: downstreams propose via pick, each
+// uploader accepts its most urgent proposals while capacity lasts, rejected
+// proposals retry next round with that uploader marked as tried.
+func runRounds(in *sched.Instance, rounds int, pick pickFunc) (*sched.Result, error) {
+	remaining := make([]int, len(in.Uploaders))
+	for i, u := range in.Uploaders {
+		remaining[i] = u.Capacity
+	}
+	granted := make([]bool, len(in.Requests))
+	tried := make([]map[isp.PeerID]bool, len(in.Requests))
+	for i := range tried {
+		tried[i] = make(map[isp.PeerID]bool, len(in.Requests[i].Candidates))
+	}
+	res := &sched.Result{Stats: map[string]float64{}}
+	proposalsTotal := 0
+
+	for round := 0; round < rounds; round++ {
+		// Collect proposals per uploader.
+		proposals := make(map[isp.PeerID][]int)
+		active := 0
+		for ri := range in.Requests {
+			if granted[ri] {
+				continue
+			}
+			target, ok := pick(&in.Requests[ri], tried[ri])
+			if !ok {
+				continue // exhausted all candidates
+			}
+			tried[ri][target] = true
+			proposals[target] = append(proposals[target], ri)
+			active++
+		}
+		if active == 0 {
+			break
+		}
+		proposalsTotal += active
+
+		// Deterministic uploader processing order.
+		uploaders := make([]isp.PeerID, 0, len(proposals))
+		for u := range proposals {
+			uploaders = append(uploaders, u)
+		}
+		sort.Slice(uploaders, func(i, j int) bool { return uploaders[i] < uploaders[j] })
+
+		for _, u := range uploaders {
+			ui, ok := in.UploaderIndex(u)
+			if !ok {
+				return nil, fmt.Errorf("baseline: proposal to unknown uploader %d", u)
+			}
+			reqs := proposals[u]
+			// Most urgent deadline first; ties by request index.
+			sort.Slice(reqs, func(i, j int) bool {
+				di := in.Requests[reqs[i]].Deadline
+				dj := in.Requests[reqs[j]].Deadline
+				if di != dj {
+					return di < dj
+				}
+				return reqs[i] < reqs[j]
+			})
+			for _, ri := range reqs {
+				if remaining[ui] == 0 {
+					break
+				}
+				remaining[ui]--
+				granted[ri] = true
+				res.Grants = append(res.Grants, sched.Grant{Request: ri, Uploader: u})
+			}
+		}
+	}
+	res.Stats["proposals"] = float64(proposalsTotal)
+	res.Stats["rounds"] = float64(rounds)
+	return res, nil
+}

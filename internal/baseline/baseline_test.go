@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// twoUploaderInstance: cheap local uploader (cost 1, capacity 1) and an
+// expensive remote one (cost 5, capacity 5); three requests with staggered
+// deadlines.
+func twoUploaderInstance(t *testing.T) *sched.Instance {
+	t.Helper()
+	cands := []sched.Candidate{{Peer: 100, Cost: 1}, {Peer: 200, Cost: 5}}
+	reqs := []sched.Request{
+		{Peer: 1, Chunk: video.ChunkID{Index: 1}, Value: 8, Deadline: 1, Candidates: cands},
+		{Peer: 2, Chunk: video.ChunkID{Index: 2}, Value: 4, Deadline: 5, Candidates: cands},
+		{Peer: 3, Chunk: video.ChunkID{Index: 3}, Value: 1, Deadline: 9, Candidates: cands},
+	}
+	in, err := sched.NewInstance(reqs, []sched.Uploader{
+		{Peer: 100, Capacity: 1},
+		{Peer: 200, Capacity: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestLocalityPrefersCheapAndUrgent(t *testing.T) {
+	in := twoUploaderInstance(t)
+	res, err := (&Locality{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(res.Grants); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: all three propose to the cheap uploader (cost 1); it takes the
+	// most urgent (deadline 1). Round 2: the two losers overflow to the
+	// remote uploader.
+	if len(res.Grants) != 3 {
+		t.Fatalf("grants = %+v", res.Grants)
+	}
+	byReq := make(map[int]isp.PeerID)
+	for _, g := range res.Grants {
+		byReq[g.Request] = g.Uploader
+	}
+	if byReq[0] != 100 {
+		t.Errorf("most urgent request should win the local uploader, got %d", byReq[0])
+	}
+	if byReq[1] != 200 || byReq[2] != 200 {
+		t.Errorf("losers should overflow to remote: %+v", byReq)
+	}
+}
+
+func TestLocalityIgnoresValue(t *testing.T) {
+	// The low-value request (v=1, cost 5 ⇒ v−w = −4) is still served:
+	// locality generates negative-welfare transfers, as the paper observes.
+	in := twoUploaderInstance(t)
+	res, err := (&Locality{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	welfare, err := in.Welfare(res.Grants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (8−1) + (4−5) + (1−5) = 2.
+	if welfare != 2 {
+		t.Fatalf("welfare = %v, want 2", welfare)
+	}
+}
+
+func TestLocalityRoundLimit(t *testing.T) {
+	// One round: only the cheap uploader is tried; losers get nothing.
+	in := twoUploaderInstance(t)
+	res, err := (&Locality{Rounds: 1}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grants) != 1 {
+		t.Fatalf("one round should yield one grant, got %+v", res.Grants)
+	}
+}
+
+func TestLocalityCapacityExhaustion(t *testing.T) {
+	cands := []sched.Candidate{{Peer: 100, Cost: 1}}
+	var reqs []sched.Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, sched.Request{
+			Peer: isp.PeerID(i), Chunk: video.ChunkID{Index: video.ChunkIndex(i)},
+			Value: 5, Deadline: float64(i), Candidates: cands,
+		})
+	}
+	in, err := sched.NewInstance(reqs, []sched.Uploader{{Peer: 100, Capacity: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Locality{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grants) != 2 {
+		t.Fatalf("capacity 2 should cap grants: %+v", res.Grants)
+	}
+	got := map[int]bool{}
+	for _, g := range res.Grants {
+		got[g.Request] = true
+	}
+	if !got[0] || !got[1] {
+		t.Fatalf("most urgent two should be served, got %+v", got)
+	}
+}
+
+func TestLocalityEmptyInstance(t *testing.T) {
+	in, err := sched.NewInstance(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Locality{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grants) != 0 {
+		t.Fatal("empty instance should produce no grants")
+	}
+}
+
+func TestRandomFeasibleAndDeterministic(t *testing.T) {
+	run := func() []sched.Grant {
+		in := twoUploaderInstance(t)
+		res, err := (&Random{Seed: 7}).Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(res.Grants); err != nil {
+			t.Fatal(err)
+		}
+		return res.Grants
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomServesEventually(t *testing.T) {
+	// With enough rounds and capacity, everyone is served.
+	in := twoUploaderInstance(t)
+	res, err := (&Random{Seed: 3, Rounds: 5}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grants) != 3 {
+		t.Fatalf("grants = %+v", res.Grants)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (&Locality{}).Name() != "simple-locality" {
+		t.Error("locality name")
+	}
+	if (&Random{}).Name() != "random" {
+		t.Error("random name")
+	}
+}

@@ -1,0 +1,139 @@
+// Package buffer implements the per-peer buffer manager from the paper's
+// emulator (§V): which chunks of a video a peer caches, the moving window of
+// interest R_t(d) (the next chunks ahead of the playback position that are
+// still missing), and chunk playback deadlines.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/video"
+)
+
+// Set is a fixed-size chunk bitset for one video.
+type Set struct {
+	bits   []uint64
+	chunks int
+	count  int
+}
+
+// NewSet creates an empty cache for a video with the given chunk count.
+func NewSet(chunks int) (*Set, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("buffer: chunk count must be positive, got %d", chunks)
+	}
+	return &Set{bits: make([]uint64, (chunks+63)/64), chunks: chunks}, nil
+}
+
+// NewFullSet creates a cache holding every chunk (a seed's buffer).
+func NewFullSet(chunks int) (*Set, error) {
+	s, err := NewSet(chunks)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < chunks; i++ {
+		s.Add(video.ChunkIndex(i))
+	}
+	return s, nil
+}
+
+// Chunks returns the video's total chunk count.
+func (s *Set) Chunks() int { return s.chunks }
+
+// Count returns how many chunks are cached.
+func (s *Set) Count() int { return s.count }
+
+// valid reports whether idx is inside the video.
+func (s *Set) valid(idx video.ChunkIndex) bool {
+	return idx >= 0 && int(idx) < s.chunks
+}
+
+// Has reports whether chunk idx is cached. Out-of-range indices are not
+// cached by definition.
+func (s *Set) Has(idx video.ChunkIndex) bool {
+	if !s.valid(idx) {
+		return false
+	}
+	return s.bits[idx/64]&(1<<(uint(idx)%64)) != 0
+}
+
+// Add caches chunk idx, reporting whether it was newly added. Out-of-range
+// indices are ignored (false).
+func (s *Set) Add(idx video.ChunkIndex) bool {
+	if !s.valid(idx) || s.Has(idx) {
+		return false
+	}
+	s.bits[idx/64] |= 1 << (uint(idx) % 64)
+	s.count++
+	return true
+}
+
+// AddRange caches chunks [from, to) (clamped to the video), returning how
+// many were newly added.
+func (s *Set) AddRange(from, to video.ChunkIndex) int {
+	if from < 0 {
+		from = 0
+	}
+	if int(to) > s.chunks {
+		to = video.ChunkIndex(s.chunks)
+	}
+	added := 0
+	for i := from; i < to; i++ {
+		if s.Add(i) {
+			added++
+		}
+	}
+	return added
+}
+
+// MissingIn returns the uncached chunk indices in [from, to) (clamped),
+// in ascending order — the window of interest R_t(d).
+func (s *Set) MissingIn(from, to video.ChunkIndex) []video.ChunkIndex {
+	if from < 0 {
+		from = 0
+	}
+	if int(to) > s.chunks {
+		to = video.ChunkIndex(s.chunks)
+	}
+	var missing []video.ChunkIndex
+	for i := from; i < to; i++ {
+		if !s.Has(i) {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// Bitmap serializes the set as a byte bitmap (bit i ⇔ chunk i), the payload
+// of protocol.BufferMap.
+func (s *Set) Bitmap() []byte {
+	out := make([]byte, (s.chunks+7)/8)
+	for i := 0; i < s.chunks; i++ {
+		if s.Has(video.ChunkIndex(i)) {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// FromBitmap rebuilds a Set from a Bitmap produced for a video with the given
+// chunk count.
+func FromBitmap(bitmap []byte, chunks int) (*Set, error) {
+	s, err := NewSet(chunks)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < chunks; i++ {
+		if i/8 < len(bitmap) && bitmap[i/8]&(1<<(uint(i)%8)) != 0 {
+			s.Add(video.ChunkIndex(i))
+		}
+	}
+	return s, nil
+}
+
+// Window computes the paper's moving window of interest: the first
+// windowSize chunk indices strictly after position pos that are not yet
+// cached, clamped to the end of the video.
+func (s *Set) Window(pos video.ChunkIndex, windowSize int) []video.ChunkIndex {
+	return s.MissingIn(pos+1, pos+1+video.ChunkIndex(windowSize))
+}

@@ -1,0 +1,172 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/video"
+)
+
+func mustSet(t *testing.T, chunks int) *Set {
+	t.Helper()
+	s, err := NewSet(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(0); err == nil {
+		t.Error("zero chunks should error")
+	}
+	if _, err := NewSet(-5); err == nil {
+		t.Error("negative chunks should error")
+	}
+}
+
+func TestAddHasCount(t *testing.T) {
+	s := mustSet(t, 200)
+	if s.Has(5) {
+		t.Fatal("fresh set should be empty")
+	}
+	if !s.Add(5) {
+		t.Fatal("first Add should report true")
+	}
+	if s.Add(5) {
+		t.Fatal("second Add should report false")
+	}
+	if !s.Has(5) || s.Count() != 1 {
+		t.Fatal("Add/Has/Count inconsistent")
+	}
+	// Out of range.
+	if s.Add(-1) || s.Add(200) || s.Has(-1) || s.Has(200) {
+		t.Fatal("out-of-range chunks must be rejected")
+	}
+	// Word boundaries.
+	for _, idx := range []video.ChunkIndex{0, 63, 64, 127, 128, 199} {
+		if !s.Add(idx) {
+			t.Fatalf("Add(%d) failed", idx)
+		}
+		if !s.Has(idx) {
+			t.Fatalf("Has(%d) false after Add", idx)
+		}
+	}
+}
+
+func TestNewFullSet(t *testing.T) {
+	s, err := NewFullSet(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 100 {
+		t.Fatalf("full set count = %d", s.Count())
+	}
+	if len(s.MissingIn(0, 100)) != 0 {
+		t.Fatal("full set has missing chunks")
+	}
+}
+
+func TestAddRange(t *testing.T) {
+	s := mustSet(t, 100)
+	if got := s.AddRange(10, 20); got != 10 {
+		t.Fatalf("AddRange added %d", got)
+	}
+	if got := s.AddRange(15, 25); got != 5 {
+		t.Fatalf("overlapping AddRange added %d", got)
+	}
+	if got := s.AddRange(-5, 3); got != 3 {
+		t.Fatalf("clamped AddRange added %d", got)
+	}
+	if got := s.AddRange(95, 200); got != 5 {
+		t.Fatalf("tail AddRange added %d", got)
+	}
+}
+
+func TestMissingInAndWindow(t *testing.T) {
+	s := mustSet(t, 50)
+	s.Add(11)
+	s.Add(13)
+	missing := s.MissingIn(10, 15)
+	want := []video.ChunkIndex{10, 12, 14}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v", missing)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", missing, want)
+		}
+	}
+	// Window starts strictly after pos.
+	w := s.Window(10, 5) // chunks 11..15 → missing 12,14,15
+	want = []video.ChunkIndex{12, 14, 15}
+	if len(w) != len(want) {
+		t.Fatalf("window = %v", w)
+	}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("window = %v, want %v", w, want)
+		}
+	}
+	// Window clamps at end of video.
+	if w := s.Window(48, 10); len(w) != 1 || w[0] != 49 {
+		t.Fatalf("end-of-video window = %v", w)
+	}
+	if w := s.Window(49, 10); len(w) != 0 {
+		t.Fatalf("past-end window = %v", w)
+	}
+}
+
+func TestBitmapRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16, chunksRaw uint8) bool {
+		chunks := int(chunksRaw)%300 + 1
+		s, err := NewSet(chunks)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			s.Add(video.ChunkIndex(int(v) % chunks))
+		}
+		restored, err := FromBitmap(s.Bitmap(), chunks)
+		if err != nil {
+			return false
+		}
+		if restored.Count() != s.Count() {
+			return false
+		}
+		for i := 0; i < chunks; i++ {
+			if restored.Has(video.ChunkIndex(i)) != s.Has(video.ChunkIndex(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBitmapShortInput(t *testing.T) {
+	// A short bitmap means the tail chunks are absent, not an error.
+	s, err := FromBitmap([]byte{0xFF}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d, want 8", s.Count())
+	}
+}
+
+func BenchmarkWindow(b *testing.B) {
+	s, err := NewSet(2560)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2560; i += 3 {
+		s.Add(video.ChunkIndex(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Window(video.ChunkIndex(i%2400), 100)
+	}
+}

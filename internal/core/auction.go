@@ -1,0 +1,392 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// BidMode selects how bidding rounds are organized.
+type BidMode int
+
+const (
+	// GaussSeidel processes one unassigned request at a time against the
+	// freshest prices (the paper's interleaving auctions behave this way when
+	// message latencies serialize bids).
+	GaussSeidel BidMode = iota + 1
+	// Jacobi lets every unassigned request bid against the same price
+	// snapshot, then lets auctioneers resolve all bids at once (a synchronous
+	// distributed round).
+	Jacobi
+)
+
+// AuctionOptions configures the primal-dual auction solver.
+//
+// ε-scaling (solving with a coarse ε first and refining) is deliberately not
+// offered: carrying prices between phases is unsound for this asymmetric
+// problem — a carried positive price on a sink that ends a later phase
+// unsaturated violates complementary slackness condition 1 and can exclude
+// optimal assignments. Each solve therefore starts from λ = 0, exactly like
+// the paper's per-slot auctions.
+type AuctionOptions struct {
+	// Epsilon is the bid increment. Epsilon = 0 reproduces the paper's
+	// literal bidding rule (bid exactly the second-best difference), which
+	// may stall on ties; any positive value guarantees termination with
+	// welfare within NumRequests*Epsilon of optimal. With integer weights
+	// and Epsilon < 1/(NumRequests+1) the result is exactly optimal.
+	Epsilon float64
+	// Mode selects Gauss–Seidel (default) or Jacobi rounds.
+	Mode BidMode
+	// Workers parallelizes the bid computation of each Jacobi round across
+	// this many goroutines (results are bit-identical to sequential; bids
+	// within a round are pure reads of the price snapshot). 0 or 1 runs
+	// sequentially; Workers > 1 requires Jacobi mode.
+	Workers int
+	// MaxIterations caps processed bids (Gauss–Seidel) or rounds (Jacobi) as
+	// a safety net against pathological parameters
+	// (default 1_000_000 + 100·NumRequests).
+	MaxIterations int
+}
+
+// normalized fills in defaults and validates.
+func (o AuctionOptions) normalized(p *Problem) (AuctionOptions, error) {
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("core: negative epsilon %v", o.Epsilon)
+	}
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return o, fmt.Errorf("core: epsilon %v is not finite", o.Epsilon)
+	}
+	if o.Mode == 0 {
+		o.Mode = GaussSeidel
+	}
+	if o.Mode != GaussSeidel && o.Mode != Jacobi {
+		return o, fmt.Errorf("core: unknown bid mode %d", o.Mode)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("core: negative worker count %d", o.Workers)
+	}
+	if o.Workers > 1 && o.Mode != Jacobi {
+		return o, fmt.Errorf("core: parallel bidding requires Jacobi mode")
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1_000_000 + 100*p.NumRequests()
+	}
+	return o, nil
+}
+
+// AuctionResult carries the solution and solver diagnostics.
+type AuctionResult struct {
+	Assignment *Assignment
+	// Prices are the final unit-bandwidth prices λ_u (dual variables of the
+	// capacity constraints (2)).
+	Prices []float64
+	// Iterations counts processed bids (Gauss–Seidel) or bidding rounds
+	// (Jacobi).
+	Iterations int
+	// Bids counts bids submitted to auctioneers.
+	Bids int
+	// Evictions counts accepted bids later displaced by higher ones.
+	Evictions int
+	// Stalled is true when ε = 0 bidding reached a state where every
+	// remaining unassigned request's best bid ties the current price (the
+	// situation the paper's bidders "wait" in). The assignment is feasible
+	// but may be slightly suboptimal.
+	Stalled bool
+}
+
+// DualObjective evaluates the dual objective (5): Σ λ_u·B(u) + Σ η, with
+// η_r = max(0, max_s (w_rs − λ_s)) — the smallest feasible dual completion.
+func DualObjective(p *Problem, prices []float64) float64 {
+	total := 0.0
+	for s, lambda := range prices {
+		total += lambda * float64(p.Capacity(SinkID(s)))
+	}
+	for r := 0; r < p.NumRequests(); r++ {
+		eta := 0.0
+		for _, e := range p.Edges(RequestID(r)) {
+			if u := e.Weight - prices[e.Sink]; u > eta {
+				eta = u
+			}
+		}
+		total += eta
+	}
+	return total
+}
+
+// VerifyEpsilonCS checks ε-complementary slackness of (assignment, prices):
+//
+//  1. λ_u > 0 ⇒ sink u is saturated;
+//  2. each served request's net utility is within ε of its best option
+//     (including the value-0 option of staying unassigned);
+//  3. each unassigned request has no option better than ε.
+//
+// tol absorbs floating-point noise.
+func VerifyEpsilonCS(p *Problem, a *Assignment, prices []float64, eps, tol float64) error {
+	if len(prices) != p.NumSinks() {
+		return fmt.Errorf("core: %d prices for %d sinks", len(prices), p.NumSinks())
+	}
+	if err := a.Verify(p); err != nil {
+		return err
+	}
+	load := make([]int, p.NumSinks())
+	for _, s := range a.SinkOf {
+		if s != Unassigned {
+			load[s]++
+		}
+	}
+	for s, lambda := range prices {
+		if lambda < -tol {
+			return fmt.Errorf("core: negative price λ[%d]=%v", s, lambda)
+		}
+		if lambda > tol && load[s] < p.Capacity(SinkID(s)) {
+			return fmt.Errorf("core: CS1 violated: λ[%d]=%v but load %d < capacity %d",
+				s, lambda, load[s], p.Capacity(SinkID(s)))
+		}
+	}
+	for r := 0; r < p.NumRequests(); r++ {
+		best := 0.0 // the stay-unassigned option
+		for _, e := range p.Edges(RequestID(r)) {
+			if u := e.Weight - prices[e.Sink]; u > best {
+				best = u
+			}
+		}
+		s := a.SinkOf[r]
+		if s == Unassigned {
+			if best > eps+tol {
+				return fmt.Errorf("core: CS3 violated: request %d unassigned but best utility %v > ε=%v",
+					r, best, eps)
+			}
+			continue
+		}
+		w, _ := p.Weight(RequestID(r), s)
+		if got := w - prices[s]; got < best-eps-tol {
+			return fmt.Errorf("core: CS2 violated: request %d at sink %d nets %v, best is %v (ε=%v)",
+				r, s, got, best, eps)
+		}
+	}
+	return nil
+}
+
+// acceptedBid is one unit of a sink's bandwidth sold to a request.
+type acceptedBid struct {
+	req RequestID
+	bid float64
+}
+
+// bidHeap is a min-heap on bid value (ties: higher RequestID closer to the
+// top, so the most recent equal bid is evicted first — deterministic).
+type bidHeap []acceptedBid
+
+func (h bidHeap) Len() int { return len(h) }
+func (h bidHeap) Less(i, j int) bool {
+	if h[i].bid != h[j].bid {
+		return h[i].bid < h[j].bid
+	}
+	return h[i].req > h[j].req
+}
+func (h bidHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *bidHeap) Push(x any)   { *h = append(*h, x.(acceptedBid)) }
+func (h *bidHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+func (h bidHeap) peekMin() acceptedBid { return h[0] }
+
+// auctioneer is the per-sink state of Alg. 1's "Bandwidth Allocation at
+// Peer u": an assignment set of at most B(u) accepted bids and the price λ_u
+// (0 until the set fills, then the smallest accepted bid).
+type auctioneer struct {
+	capacity int
+	accepted bidHeap
+	price    float64
+}
+
+func (u *auctioneer) full() bool { return len(u.accepted) >= u.capacity }
+
+// offer processes bid b from request r, returning whether it was accepted and
+// which request was evicted to make room (evicted == -1 if none).
+func (u *auctioneer) offer(r RequestID, b float64) (accepted bool, evicted RequestID) {
+	evicted = RequestID(-1)
+	if u.capacity == 0 || b <= u.price {
+		return false, evicted
+	}
+	if u.full() {
+		lowest, ok := heap.Pop(&u.accepted).(acceptedBid)
+		if !ok {
+			panic("core: bid heap corrupted")
+		}
+		evicted = lowest.req
+	}
+	heap.Push(&u.accepted, acceptedBid{req: r, bid: b})
+	if u.full() {
+		u.price = u.accepted.peekMin().bid
+	}
+	return true, evicted
+}
+
+// SolveAuction runs the primal-dual auction on p and returns the assignment,
+// final prices and diagnostics. With opts.Epsilon > 0 it always terminates;
+// with integer weights and Epsilon < 1/(NumRequests+1) the assignment is
+// exactly optimal (Theorem 1 via Bertsekas' ε-CS argument).
+func SolveAuction(p *Problem, opts AuctionOptions) (*AuctionResult, error) {
+	opts, err := opts.normalized(p)
+	if err != nil {
+		return nil, err
+	}
+	nReq, nSink := p.NumRequests(), p.NumSinks()
+	sinks := make([]auctioneer, nSink)
+	for s := range sinks {
+		sinks[s].capacity = p.Capacity(SinkID(s))
+	}
+	assignment := NewAssignment(nReq)
+	res := &AuctionResult{Assignment: assignment}
+
+	// FIFO queue of unassigned requests; inQueue guards against double
+	// enqueueing.
+	queue := make([]RequestID, 0, nReq)
+	inQueue := make([]bool, nReq)
+	enqueue := func(r RequestID) {
+		if !inQueue[r] {
+			queue = append(queue, r)
+			inQueue[r] = true
+		}
+	}
+	for r := 0; r < nReq; r++ {
+		enqueue(RequestID(r))
+	}
+
+	// computeBid implements Alg. 1's bidder: find best and second-best net
+	// utility, where the second-best floor is 0 — the value of staying
+	// unassigned. Returns ok=false when the request should drop out (its
+	// best option is negative, so η = 0 and CS3 holds unassigned).
+	// Zero-capacity sinks can never sell a unit and are skipped entirely
+	// (a peer with no upload bandwidth is not a usable neighbor).
+	computeBid := func(r RequestID) (target SinkID, bid float64, ok bool) {
+		best, second := math.Inf(-1), 0.0
+		target = Unassigned
+		for _, e := range p.Edges(r) {
+			if sinks[e.Sink].capacity == 0 {
+				continue
+			}
+			u := e.Weight - sinks[e.Sink].price
+			switch {
+			case u > best:
+				if best > second {
+					second = best
+				}
+				best, target = u, e.Sink
+			case u > second:
+				second = u
+			}
+		}
+		if target == Unassigned || best < 0 {
+			return Unassigned, 0, false
+		}
+		// b = λ + (best − second) + ε  (the paper's rule when ε = 0).
+		return target, sinks[target].price + (best - second) + opts.Epsilon, true
+	}
+
+	switch opts.Mode {
+	case GaussSeidel:
+		// Rejections spanning the whole queue with no price movement in
+		// between ⇒ ε=0 stall (every bidder "waits" per the paper). Prices
+		// move only on accepted bids, so counting rejects since the last
+		// accept is sound.
+		consecutiveRejects := 0
+		for len(queue) > 0 {
+			if res.Iterations >= opts.MaxIterations {
+				return nil, fmt.Errorf("core: auction exceeded %d iterations (ε=%v)",
+					opts.MaxIterations, opts.Epsilon)
+			}
+			res.Iterations++
+			r := queue[0]
+			queue = queue[1:]
+			inQueue[r] = false
+
+			target, bid, ok := computeBid(r)
+			if !ok {
+				continue // drops out: no non-negative option left
+			}
+			res.Bids++
+			accepted, evicted := sinks[target].offer(r, bid)
+			if !accepted {
+				enqueue(r)
+				consecutiveRejects++
+				if consecutiveRejects >= len(queue) {
+					res.Stalled = true
+					for _, q := range queue {
+						inQueue[q] = false
+					}
+					queue = nil
+				}
+				continue
+			}
+			consecutiveRejects = 0
+			assignment.SinkOf[r] = target
+			if evicted >= 0 {
+				res.Evictions++
+				assignment.SinkOf[evicted] = Unassigned
+				enqueue(evicted)
+			}
+		}
+	case Jacobi:
+		for len(queue) > 0 {
+			if res.Iterations >= opts.MaxIterations {
+				return nil, fmt.Errorf("core: auction exceeded %d rounds (ε=%v)",
+					opts.MaxIterations, opts.Epsilon)
+			}
+			res.Iterations++
+			// All unassigned requests bid against the same price snapshot;
+			// within a round bid computation is pure (prices move only when
+			// offers are processed afterwards), so it parallelizes with
+			// bit-identical results.
+			round := computeRound(queue, computeBid, opts.Workers)
+			for _, r := range queue {
+				inQueue[r] = false
+			}
+			queue = queue[:0]
+			if len(round) == 0 {
+				break
+			}
+			res.Bids += len(round)
+			progress := false
+			for _, pb := range round {
+				accepted, evicted := sinks[pb.target].offer(pb.req, pb.bid)
+				if !accepted {
+					enqueue(pb.req)
+					continue
+				}
+				progress = true
+				assignment.SinkOf[pb.req] = pb.target
+				if evicted >= 0 {
+					res.Evictions++
+					assignment.SinkOf[evicted] = Unassigned
+					enqueue(evicted)
+				}
+			}
+			if !progress {
+				res.Stalled = true
+				break
+			}
+		}
+	}
+
+	res.Prices = make([]float64, nSink)
+	maxW := p.MaxWeight()
+	for s := range sinks {
+		if sinks[s].capacity == 0 {
+			// A zero-capacity sink contributes λ·0 to the dual objective, so
+			// λ can be raised for free to dominate every incident weight.
+			// Emitting that choice makes (assignment, prices) a complete
+			// dual certificate: DualObjective and VerifyEpsilonCS hold
+			// without special-casing unsellable sinks.
+			res.Prices[s] = maxW
+			continue
+		}
+		res.Prices[s] = sinks[s].price
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// bruteForceLimit bounds the instance size SolveBruteForce accepts; the
+// search is exponential in the number of requests.
+const bruteForceLimit = 12
+
+// SolveBruteForce exhaustively enumerates assignments and returns a
+// welfare-maximizing one. It is the trust anchor for property tests and
+// refuses instances with more than bruteForceLimit requests.
+func SolveBruteForce(p *Problem) (*Assignment, error) {
+	if p.NumRequests() > bruteForceLimit {
+		return nil, fmt.Errorf("core: brute force limited to %d requests, got %d",
+			bruteForceLimit, p.NumRequests())
+	}
+	nReq := p.NumRequests()
+	remaining := make([]int, p.NumSinks())
+	for s := range remaining {
+		remaining[s] = p.Capacity(SinkID(s))
+	}
+	current := NewAssignment(nReq)
+	best := NewAssignment(nReq)
+	bestWelfare := 0.0 // the empty assignment is always feasible with welfare 0
+
+	var recurse func(r int, welfare float64)
+	recurse = func(r int, welfare float64) {
+		if r == nReq {
+			if welfare > bestWelfare {
+				bestWelfare = welfare
+				copy(best.SinkOf, current.SinkOf)
+			}
+			return
+		}
+		// Option 1: leave request r unassigned.
+		current.SinkOf[r] = Unassigned
+		recurse(r+1, welfare)
+		// Option 2: each admissible sink with spare capacity.
+		for _, e := range p.Edges(RequestID(r)) {
+			if remaining[e.Sink] == 0 {
+				continue
+			}
+			remaining[e.Sink]--
+			current.SinkOf[r] = e.Sink
+			recurse(r+1, welfare+e.Weight)
+			remaining[e.Sink]++
+		}
+		current.SinkOf[r] = Unassigned
+	}
+	recurse(0, 0)
+	return best, nil
+}
+
+// SolveGreedy assigns edges in descending weight order while capacity lasts,
+// skipping negative-weight edges. It is a comparison baseline, not optimal.
+func SolveGreedy(p *Problem) *Assignment {
+	type flatEdge struct {
+		req    RequestID
+		sink   SinkID
+		weight float64
+	}
+	edges := make([]flatEdge, 0, p.NumEdges())
+	for r := 0; r < p.NumRequests(); r++ {
+		for _, e := range p.Edges(RequestID(r)) {
+			if e.Weight >= 0 {
+				edges = append(edges, flatEdge{req: RequestID(r), sink: e.Sink, weight: e.Weight})
+			}
+		}
+	}
+	// Weight descending; ties by (req, sink) ascending for determinism.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].req != edges[j].req {
+			return edges[i].req < edges[j].req
+		}
+		return edges[i].sink < edges[j].sink
+	})
+	remaining := make([]int, p.NumSinks())
+	for s := range remaining {
+		remaining[s] = p.Capacity(SinkID(s))
+	}
+	a := NewAssignment(p.NumRequests())
+	for _, e := range edges {
+		if a.SinkOf[e.req] != Unassigned || remaining[e.sink] == 0 {
+			continue
+		}
+		a.SinkOf[e.req] = e.sink
+		remaining[e.sink]--
+	}
+	return a
+}

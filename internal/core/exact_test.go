@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := randx.New(11)
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, 7, 4, false)
+		exact, err := SolveExact(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bf, err := SolveBruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := exact.Welfare(p), bf.Welfare(p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: exact welfare %v != brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactOnLargerInstancesAgainstAuction(t *testing.T) {
+	// On larger instances, brute force is out; cross-check the two
+	// polynomial solvers against each other with tight ε.
+	rng := randx.New(12)
+	for trial := 0; trial < 30; trial++ {
+		p := randomProblem(rng, 60, 12, true)
+		exact, err := SolveExact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 1.0 / float64(p.NumRequests()+2)
+		res, err := SolveAuction(p, AuctionOptions{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Assignment.Welfare(p), exact.Welfare(p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: auction %v != exact %v", trial, got, want)
+		}
+	}
+}
+
+func TestExactNeverPicksNegativeEdges(t *testing.T) {
+	p := NewProblem()
+	s, _ := p.AddSink(3)
+	for i := 0; i < 3; i++ {
+		r := p.AddRequest()
+		if err := p.AddEdge(r, s, float64(-1-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assigned() != 0 {
+		t.Fatalf("exact solver assigned %d negative-utility requests", a.Assigned())
+	}
+}
+
+func TestExactEmptyAndDegenerate(t *testing.T) {
+	// Empty problem.
+	a, err := SolveExact(NewProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assigned() != 0 {
+		t.Fatal("empty problem should have empty assignment")
+	}
+	// Requests with no edges.
+	p := NewProblem()
+	p.AddRequest()
+	p.AddRequest()
+	a, err = SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assigned() != 0 {
+		t.Fatal("edgeless requests must stay unassigned")
+	}
+	// Sinks with zero capacity only.
+	p2 := NewProblem()
+	s, _ := p2.AddSink(0)
+	r := p2.AddRequest()
+	if err := p2.AddEdge(r, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	a, err = SolveExact(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assigned() != 0 {
+		t.Fatal("zero-capacity sink cannot serve")
+	}
+}
+
+func TestBruteForceRefusesLargeInstances(t *testing.T) {
+	p := NewProblem()
+	for i := 0; i < bruteForceLimit+1; i++ {
+		p.AddRequest()
+	}
+	if _, err := SolveBruteForce(p); err == nil {
+		t.Fatal("brute force should refuse oversized instances")
+	}
+}
+
+func TestGreedyRespectsFeasibility(t *testing.T) {
+	rng := randx.New(13)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 20, 6, false)
+		a := SolveGreedy(p)
+		if err := a.Verify(p); err != nil {
+			t.Fatalf("trial %d: greedy infeasible: %v", trial, err)
+		}
+		if a.Welfare(p) < 0 {
+			t.Fatalf("trial %d: greedy welfare negative", trial)
+		}
+	}
+}
+
+func TestGreedyIsSuboptimalSometimes(t *testing.T) {
+	// Classic greedy trap: taking the single heaviest edge blocks two
+	// medium edges whose sum is larger.
+	p := NewProblem()
+	s, _ := p.AddSink(1)
+	s2, _ := p.AddSink(1)
+	rA := p.AddRequest()
+	rB := p.AddRequest()
+	if err := p.AddEdge(rA, s, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(rA, s2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(rB, s, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: A→s2 (9), B→s (8) = 17. Greedy: A→s (10), B blocked... greedy
+	// actually still places B? B only connects to s which is taken → 10.
+	greedy := SolveGreedy(p)
+	exact, err := SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(greedy.Welfare(p) < exact.Welfare(p)) {
+		t.Fatalf("expected greedy (%v) < exact (%v) on trap instance",
+			greedy.Welfare(p), exact.Welfare(p))
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import "sync"
+
+// plannedBid is one request's intended bid within a Jacobi round.
+type plannedBid struct {
+	req    RequestID
+	target SinkID
+	bid    float64
+}
+
+// bidFunc computes a request's bid against the current price snapshot.
+type bidFunc func(r RequestID) (target SinkID, bid float64, ok bool)
+
+// computeRound evaluates every queued request's bid. With workers > 1 the
+// computation fans out over goroutines — bid evaluation is a pure read of the
+// price snapshot (offers are processed only after the round is collected), so
+// the parallel result is bit-identical to the sequential one: results land at
+// their request's queue position and are compacted in order.
+//
+// This realizes the original motivation of the auction algorithm as a
+// *parallel* relaxation method (Bertsekas 1988): within a Jacobi round all
+// bidders act independently.
+func computeRound(queue []RequestID, compute bidFunc, workers int) []plannedBid {
+	if workers <= 1 || len(queue) < 2*workers {
+		round := make([]plannedBid, 0, len(queue))
+		for _, r := range queue {
+			if target, bid, ok := compute(r); ok {
+				round = append(round, plannedBid{req: r, target: target, bid: bid})
+			}
+		}
+		return round
+	}
+
+	type slot struct {
+		pb plannedBid
+		ok bool
+	}
+	slots := make([]slot, len(queue))
+	var wg sync.WaitGroup
+	chunk := (len(queue) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(queue) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(queue) {
+			hi = len(queue)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				r := queue[i]
+				if target, bid, ok := compute(r); ok {
+					slots[i] = slot{pb: plannedBid{req: r, target: target, bid: bid}, ok: true}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	round := make([]plannedBid, 0, len(queue))
+	for _, s := range slots {
+		if s.ok {
+			round = append(round, s.pb)
+		}
+	}
+	return round
+}

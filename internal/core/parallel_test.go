@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestParallelJacobiBitIdentical(t *testing.T) {
+	rng := randx.New(2024)
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 40, 10, false)
+		seq, err := SolveAuction(p, AuctionOptions{Epsilon: 0.05, Mode: Jacobi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := SolveAuction(p, AuctionOptions{
+				Epsilon: 0.05, Mode: Jacobi, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			// Bit-identical assignment, prices and stats.
+			for r := range seq.Assignment.SinkOf {
+				if seq.Assignment.SinkOf[r] != par.Assignment.SinkOf[r] {
+					t.Fatalf("trial %d workers %d: assignment differs at request %d",
+						trial, workers, r)
+				}
+			}
+			for s := range seq.Prices {
+				if seq.Prices[s] != par.Prices[s] {
+					t.Fatalf("trial %d workers %d: price differs at sink %d",
+						trial, workers, s)
+				}
+			}
+			if seq.Iterations != par.Iterations || seq.Bids != par.Bids {
+				t.Fatalf("trial %d workers %d: stats differ: %d/%d vs %d/%d",
+					trial, workers, seq.Iterations, seq.Bids, par.Iterations, par.Bids)
+			}
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	p := NewProblem()
+	if _, err := SolveAuction(p, AuctionOptions{Workers: -1}); err == nil {
+		t.Error("negative workers should error")
+	}
+	if _, err := SolveAuction(p, AuctionOptions{Workers: 4, Mode: GaussSeidel}); err == nil {
+		t.Error("parallel Gauss-Seidel should error")
+	}
+	// Workers=1 is allowed in any mode.
+	if _, err := SolveAuction(p, AuctionOptions{Workers: 1}); err != nil {
+		t.Errorf("workers=1 should be fine: %v", err)
+	}
+}
+
+func TestComputeRoundSmallQueueFallsBack(t *testing.T) {
+	// Tiny queues skip the goroutine fan-out but must produce the same result.
+	calls := 0
+	compute := func(r RequestID) (SinkID, float64, bool) {
+		calls++
+		if r%2 == 0 {
+			return SinkID(r), float64(r), true
+		}
+		return Unassigned, 0, false
+	}
+	queue := []RequestID{0, 1, 2, 3}
+	round := computeRound(queue, compute, 8)
+	if calls != 4 {
+		t.Fatalf("compute called %d times", calls)
+	}
+	if len(round) != 2 || round[0].req != 0 || round[1].req != 2 {
+		t.Fatalf("round = %+v", round)
+	}
+}
+
+func BenchmarkJacobiSequential(b *testing.B) {
+	rng := randx.New(7)
+	p := randomProblemLarge(rng, 20000, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveAuction(p, AuctionOptions{Epsilon: 0.05, Mode: Jacobi}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiParallel4(b *testing.B) {
+	rng := randx.New(7)
+	p := randomProblemLarge(rng, 20000, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveAuction(p, AuctionOptions{
+			Epsilon: 0.05, Mode: Jacobi, Workers: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// randomProblemLarge builds a big instance without the small-instance caps of
+// randomProblem.
+func randomProblemLarge(rng *randx.Source, requests, sinks int) *Problem {
+	p := NewProblem()
+	for s := 0; s < sinks; s++ {
+		if _, err := p.AddSink(1 + rng.Intn(8)); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < requests; r++ {
+		req := p.AddRequest()
+		degree := 2 + rng.Intn(12)
+		for k := 0; k < degree; k++ {
+			s := SinkID(rng.Intn(sinks))
+			// Ignore duplicate-edge errors from repeated sink draws.
+			_ = p.AddEdge(req, s, rng.Range(-1, 8))
+		}
+	}
+	return p
+}

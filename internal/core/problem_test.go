@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProblemBuilding(t *testing.T) {
+	p := NewProblem()
+	s0, err := p.AddSink(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.AddSink(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := p.AddRequest()
+	r1 := p.AddRequest()
+	if err := p.AddEdge(r0, s0, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r0, s1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r1, s0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRequests() != 2 || p.NumSinks() != 2 || p.NumEdges() != 3 {
+		t.Fatalf("counts wrong: %d req %d sinks %d edges",
+			p.NumRequests(), p.NumSinks(), p.NumEdges())
+	}
+	if p.Capacity(s0) != 2 || p.Capacity(s1) != 0 {
+		t.Fatal("capacities wrong")
+	}
+	if p.TotalCapacity() != 2 {
+		t.Fatalf("TotalCapacity = %d", p.TotalCapacity())
+	}
+	if w, ok := p.Weight(r0, s0); !ok || w != 3.5 {
+		t.Fatalf("Weight(r0,s0) = %v,%v", w, ok)
+	}
+	if _, ok := p.Weight(r1, s1); ok {
+		t.Fatal("nonexistent edge reported present")
+	}
+	if got := p.MaxWeight(); got != 3.5 {
+		t.Fatalf("MaxWeight = %v", got)
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p := NewProblem()
+	if _, err := p.AddSink(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	s, _ := p.AddSink(1)
+	r := p.AddRequest()
+	if err := p.AddEdge(r, SinkID(9), 1); err == nil {
+		t.Error("unknown sink should error")
+	}
+	if err := p.AddEdge(RequestID(9), s, 1); err == nil {
+		t.Error("unknown request should error")
+	}
+	if err := p.AddEdge(r, s, math.NaN()); err == nil {
+		t.Error("NaN weight should error")
+	}
+	if err := p.AddEdge(r, s, math.Inf(1)); err == nil {
+		t.Error("Inf weight should error")
+	}
+	if err := p.AddEdge(r, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r, s, 2); err == nil {
+		t.Error("duplicate edge should error")
+	}
+}
+
+func TestAssignmentWelfareAndVerify(t *testing.T) {
+	p := NewProblem()
+	s0, _ := p.AddSink(1)
+	s1, _ := p.AddSink(1)
+	r0 := p.AddRequest()
+	r1 := p.AddRequest()
+	if err := p.AddEdge(r0, s0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r1, s0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r1, s1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAssignment(2)
+	if a.Assigned() != 0 {
+		t.Fatal("fresh assignment should be empty")
+	}
+	a.SinkOf[r0] = s0
+	a.SinkOf[r1] = s1
+	if err := a.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Welfare(p); got != 5 {
+		t.Fatalf("welfare = %v, want 5", got)
+	}
+	if a.Assigned() != 2 {
+		t.Fatalf("Assigned = %d", a.Assigned())
+	}
+
+	// Two requests on a capacity-1 sink must fail verification.
+	a.SinkOf[r1] = s0
+	if err := a.Verify(p); err == nil {
+		t.Fatal("capacity violation not caught")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	p := NewProblem()
+	s0, _ := p.AddSink(1)
+	r0 := p.AddRequest()
+	r1 := p.AddRequest()
+	if err := p.AddEdge(r0, s0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(r1, s0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	overCap := NewAssignment(2)
+	overCap.SinkOf[r0] = s0
+	overCap.SinkOf[r1] = s0
+	if err := overCap.Verify(p); err == nil {
+		t.Error("capacity violation not caught")
+	}
+
+	noEdge := NewAssignment(2)
+	noEdge.SinkOf[r0] = SinkID(0)
+	noEdge.SinkOf[r1] = Unassigned
+	if err := noEdge.Verify(p); err != nil {
+		t.Errorf("legal assignment rejected: %v", err)
+	}
+
+	badSink := NewAssignment(2)
+	badSink.SinkOf[r0] = SinkID(5)
+	if err := badSink.Verify(p); err == nil {
+		t.Error("unknown sink not caught")
+	}
+
+	wrongLen := NewAssignment(1)
+	if err := wrongLen.Verify(p); err == nil {
+		t.Error("length mismatch not caught")
+	}
+}

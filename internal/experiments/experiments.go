@@ -1,0 +1,488 @@
+// Package experiments defines one runnable reproduction per figure of the
+// paper's evaluation (Figs. 2–6) plus the ablations called out in DESIGN.md.
+// Each experiment returns a Report: the time series behind the figure, a
+// summary table, and notes on how to read it against the paper.
+//
+// The calibrated configuration (ReproConfig) documents every deviation from
+// the paper's literal parameters; see EXPERIMENTS.md for the rationale and
+// the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Scale selects the experiment size. Figures were produced at ScaleFull (the
+// paper's 500 peers / 25 slots); benches default to ScaleSmall.
+type Scale int
+
+// Experiment sizes.
+const (
+	ScaleSmall Scale = iota + 1
+	ScaleMedium
+	ScaleFull
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// ReproConfig returns the calibrated reproduction configuration: the paper's
+// published parameters with three documented calibrations —
+//
+//  1. CostScale 0.3: the paper never fixes the latency-to-valuation exchange
+//     rate; 0.3 puts typical inter-ISP costs (~1.5 valuation units) inside
+//     the valuation range so urgent chunks can out-value them, the regime
+//     the paper's Fig. 4 (non-zero auction inter-ISP share) exhibits.
+//  2. SeedsGlobal: 2 seeds per video in total (rather than per ISP); the
+//     literal per-ISP reading makes local seed supply ≈16× local demand,
+//     which drives inter-ISP traffic to zero for every strategy and
+//     contradicts Fig. 4.
+//  3. LocalityRounds 1: the paper's Simple Locality description has no
+//     retry protocol; one request round per bidding cycle.
+func ReproConfig() sim.Config {
+	cfg := sim.PaperConfig()
+	cfg.CostScale = 0.3
+	cfg.Placement = sim.SeedsGlobal
+	cfg.LocalityRounds = 1
+	return cfg
+}
+
+// At returns ReproConfig scaled to the requested size.
+func At(scale Scale) (sim.Config, error) {
+	cfg := ReproConfig()
+	switch scale {
+	case ScaleFull:
+		// The paper's dimensions.
+	case ScaleMedium:
+		cfg.StaticPeers = 200
+		cfg.Slots = 15
+		cfg.Catalog.Count = 50
+	case ScaleSmall:
+		cfg.StaticPeers = 60
+		cfg.Slots = 8
+		// 12 videos keeps ≈5 watchers per video — enough contention for the
+		// baselines' coordination failures to show, as at full scale.
+		cfg.Catalog.Count = 12
+		cfg.Catalog.SizeMB = 8 // 1024 chunks ≈ 102 s videos
+		cfg.NeighborCount = 15
+	default:
+		return cfg, fmt.Errorf("experiments: unknown scale %d", scale)
+	}
+	return cfg, nil
+}
+
+// Table is a printable summary.
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Series []*metrics.Series
+	Table  *Table
+	Notes  string
+}
+
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// comparisonRow summarizes one strategy's run.
+func comparisonRow(r *sim.Results) []string {
+	return []string{
+		r.Strategy,
+		f2(r.Welfare.Summarize().Mean),
+		f2(r.Welfare.Last()),
+		f4(r.MeanInterISPFraction()),
+		f4(r.MeanMissRate()),
+		strconv.FormatInt(r.TotalGrants, 10),
+	}
+}
+
+var comparisonColumns = []string{
+	"strategy", "welfare/slot", "welfare(final)", "inter-isp", "miss-rate", "grants",
+}
+
+// runPair runs the auction and Simple Locality on the same configuration.
+func runPair(cfg sim.Config) (auction, locality *sim.Results, err error) {
+	auction, err = sim.Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		return nil, nil, err
+	}
+	locality, err = sim.Run(cfg, &baseline.Locality{Rounds: cfg.LocalityRounds})
+	if err != nil {
+		return nil, nil, err
+	}
+	return auction, locality, nil
+}
+
+// Fig2PriceConvergence reproduces Fig. 2: a representative peer's unit
+// bandwidth price λ_u over time, under the message-level DES engine. The
+// price resets to 0 at each slot boundary, climbs during the interleaved
+// auctions and flattens once converged.
+func Fig2PriceConvergence(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	// Fig. 2 runs the per-slot auction exactly as the paper describes: one
+	// bidding cycle per slot, prices evolving within it.
+	cfg.BidRoundsPerSlot = 1
+	if scale == ScaleFull {
+		// The message-level engine is heavier; the paper's plot spans 10
+		// slots (150–250 s), so a 10-slot window suffices at full scale.
+		cfg.Slots = 10
+		cfg.StaticPeers = 300
+	}
+	res, err := sim.RunDES(cfg, sim.DESOptions{TracePeer: -1})
+	if err != nil {
+		return nil, err
+	}
+	if res.PriceTrace == nil || res.PriceTrace.Len() == 0 {
+		return nil, fmt.Errorf("experiments: fig2 produced no price trace")
+	}
+	sum := res.PriceTrace.Summarize()
+	return &Report{
+		ID:     "fig2",
+		Title:  "Fig. 2 — evolution of a representative peer's price λ_u",
+		Series: []*metrics.Series{res.PriceTrace},
+		Table: &Table{
+			Columns: []string{"metric", "value"},
+			Rows: [][]string{
+				{"price samples", strconv.Itoa(sum.Count)},
+				{"max λ", f2(sum.Max)},
+				{"mean λ", f2(sum.Mean)},
+				{"slots", strconv.Itoa(cfg.Slots)},
+			},
+		},
+		Notes: "Expect a sawtooth: λ resets to 0 at every slot boundary, rises under " +
+			"competition within a few simulated seconds, then stays flat (converged) " +
+			"until the slot ends — the paper reports convergence ≈5 s into each 10 s slot.",
+	}, nil
+}
+
+// Fig3SocialWelfare reproduces Fig. 3: social welfare per slot in a dynamic
+// network (Poisson arrivals, peers stay until their video ends), auction vs
+// Simple Locality.
+func Fig3SocialWelfare(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scenario = sim.ScenarioDynamic
+	auction, locality, err := runPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:     "fig3",
+		Title:  "Fig. 3 — social welfare per slot, dynamic arrivals",
+		Series: []*metrics.Series{&auction.Welfare, &locality.Welfare},
+		Table: &Table{
+			Columns: comparisonColumns,
+			Rows:    [][]string{comparisonRow(auction), comparisonRow(locality)},
+		},
+		Notes: "Expect the auction's welfare to grow as peers accumulate and to stay above " +
+			"Simple Locality's: locality schedules without valuations, so its transfers can " +
+			"have v−w<0 (in the paper its welfare goes negative).",
+	}, nil
+}
+
+// Fig4InterISPTraffic reproduces Fig. 4: the inter-ISP share of chunk
+// transfers per slot in a static network.
+func Fig4InterISPTraffic(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	auction, locality, err := runPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:     "fig4",
+		Title:  "Fig. 4 — % of inter-ISP traffic, static network",
+		Series: []*metrics.Series{&auction.InterISP, &locality.InterISP},
+		Table: &Table{
+			Columns: comparisonColumns,
+			Rows:    [][]string{comparisonRow(auction), comparisonRow(locality)},
+		},
+		Notes: "Expect the auction's inter-ISP share below Simple Locality's: a peer only " +
+			"crosses an ISP boundary when the chunk's valuation justifies the cost.",
+	}, nil
+}
+
+// Fig5ChunkMissRate reproduces Fig. 5: the average chunk miss rate per slot
+// in a static network.
+func Fig5ChunkMissRate(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	auction, locality, err := runPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:     "fig5",
+		Title:  "Fig. 5 — chunk miss rate, static network",
+		Series: []*metrics.Series{&auction.MissRate, &locality.MissRate},
+		Table: &Table{
+			Columns: comparisonColumns,
+			Rows:    [][]string{comparisonRow(auction), comparisonRow(locality)},
+		},
+		Notes: "Expect the auction's miss rate below Simple Locality's: price-mediated " +
+			"coordination spreads load across uploaders, while locality herds onto the " +
+			"cheapest neighbor and overflow requests are lost.",
+	}, nil
+}
+
+// Fig6PeerDynamics reproduces Fig. 6(a,b,c): welfare, inter-ISP share and
+// miss rate under churn (each arrival leaves early with probability 0.6).
+func Fig6PeerDynamics(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scenario = sim.ScenarioDynamic
+	cfg.EarlyLeaveProb = 0.6
+	auction, locality, err := runPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "fig6",
+		Title: "Fig. 6 — welfare / inter-ISP / miss rate under peer dynamics (p=0.6)",
+		Series: []*metrics.Series{
+			&auction.Welfare, &locality.Welfare,
+			&auction.InterISP, &locality.InterISP,
+			&auction.MissRate, &locality.MissRate,
+		},
+		Table: &Table{
+			Columns: comparisonColumns,
+			Rows:    [][]string{comparisonRow(auction), comparisonRow(locality)},
+		},
+		Notes: "Expect the same orderings as Figs. 3–5 to persist under churn: the auction " +
+			"re-converges each slot, so departures only remove supply/demand locally.",
+	}, nil
+}
+
+// AblationEpsilon sweeps the auction's ε on random transportation instances,
+// reporting the optimality gap (vs the exact min-cost-flow solver) and the
+// iteration count — the termination/optimality trade-off behind design
+// choice 1 in DESIGN.md.
+func AblationEpsilon(scale Scale) (*Report, error) {
+	size := map[Scale]int{ScaleSmall: 40, ScaleMedium: 80, ScaleFull: 150}[scale]
+	if size == 0 {
+		return nil, fmt.Errorf("experiments: unknown scale %d", scale)
+	}
+	epsilons := []float64{0, 0.001, 0.01, 0.1, 0.5, 1}
+	const trials = 10
+	rng := randx.New(777)
+	table := &Table{Columns: []string{"epsilon", "mean gap %", "mean iterations", "stalls"}}
+	for _, eps := range epsilons {
+		gapSum, iterSum, stalls := 0.0, 0.0, 0
+		for trial := 0; trial < trials; trial++ {
+			p := randomTransportation(rng, size, size/4)
+			exact, err := core.SolveExact(p)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.SolveAuction(p, core.AuctionOptions{Epsilon: eps})
+			if err != nil {
+				return nil, err
+			}
+			opt := exact.Welfare(p)
+			got := res.Assignment.Welfare(p)
+			if opt > 0 {
+				gapSum += 100 * (opt - got) / opt
+			}
+			iterSum += float64(res.Iterations)
+			if res.Stalled {
+				stalls++
+			}
+		}
+		table.Rows = append(table.Rows, []string{
+			f4(eps), f4(gapSum / trials), f2(iterSum / trials), strconv.Itoa(stalls),
+		})
+	}
+	return &Report{
+		ID:    "abl-eps",
+		Title: "Ablation — ε vs optimality gap and iterations",
+		Table: table,
+		Notes: "ε=0 is the paper's literal bidding rule (can stall on ties); larger ε " +
+			"terminates faster at a bounded welfare loss (≤ n·ε).",
+	}, nil
+}
+
+// randomTransportation builds an instance shaped like a slot problem.
+func randomTransportation(rng *randx.Source, requests, sinks int) *core.Problem {
+	p := core.NewProblem()
+	for s := 0; s < sinks; s++ {
+		if _, err := p.AddSink(1 + rng.Intn(4)); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < requests; r++ {
+		req := p.AddRequest()
+		degree := 1 + rng.Intn(5)
+		perm := rng.Perm(sinks)
+		for k := 0; k < degree && k < len(perm); k++ {
+			w := rng.Range(-1, 8)
+			if err := p.AddEdge(req, core.SinkID(perm[k]), w); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// AblationNeighbors sweeps the tracker's neighbor-list size, the knob behind
+// supply visibility.
+func AblationNeighbors(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{5, 10, 20, 30, 45}
+	table := &Table{Columns: []string{"neighbors", "welfare/slot", "inter-isp", "miss-rate"}}
+	welfare := &metrics.Series{Name: "welfare-vs-neighbors"}
+	for _, n := range counts {
+		c := cfg
+		c.NeighborCount = n
+		res, err := sim.Run(c, &sched.Auction{Epsilon: c.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, []string{
+			strconv.Itoa(n),
+			f2(res.Welfare.Summarize().Mean),
+			f4(res.MeanInterISPFraction()),
+			f4(res.MeanMissRate()),
+		})
+		if err := welfare.Add(float64(n), res.Welfare.Summarize().Mean); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		ID:     "abl-neighbors",
+		Title:  "Ablation — neighbor count vs auction performance",
+		Series: []*metrics.Series{welfare},
+		Table:  table,
+		Notes:  "More neighbors expose more supply: welfare rises and misses fall, with diminishing returns.",
+	}, nil
+}
+
+// AblationSeeds sweeps seed provisioning (seeds per video), the content
+// anchoring knob.
+func AblationSeeds(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{Columns: []string{"seeds/video", "welfare/slot", "inter-isp", "miss-rate"}}
+	for _, seeds := range []int{1, 2, 3, 5} {
+		c := cfg
+		c.SeedsPerVideo = seeds
+		res, err := sim.Run(c, &sched.Auction{Epsilon: c.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		table.Rows = append(table.Rows, []string{
+			strconv.Itoa(seeds),
+			f2(res.Welfare.Summarize().Mean),
+			f4(res.MeanInterISPFraction()),
+			f4(res.MeanMissRate()),
+		})
+	}
+	return &Report{
+		ID:    "abl-seeds",
+		Title: "Ablation — seeds per video vs auction performance",
+		Table: table,
+		Notes: "More seeds spread supply across ISPs: inter-ISP traffic and misses both fall.",
+	}, nil
+}
+
+// AblationEngines validates Theorem 1 in practice: the fast (centralized
+// primal-dual) engine and the DES (message-level distributed auctions)
+// engine schedule the same world with near-equal welfare.
+func AblationEngines(scale Scale) (*Report, error) {
+	cfg, err := At(scale)
+	if err != nil {
+		return nil, err
+	}
+	if scale == ScaleFull {
+		// Message-level at full scale is expensive; medium population makes
+		// the same point.
+		cfg.StaticPeers = 200
+		cfg.Slots = 10
+	}
+	fast, err := sim.Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	des, err := sim.RunDES(cfg, sim.DESOptions{TracePeer: -1})
+	if err != nil {
+		return nil, err
+	}
+	fw, dw := fast.Welfare.Summarize().Mean, des.Welfare.Summarize().Mean
+	gap := 0.0
+	if fw != 0 {
+		gap = 100 * math.Abs(fw-dw) / math.Abs(fw)
+	}
+	return &Report{
+		ID:     "engines",
+		Title:  "Validation — centralized solver vs distributed auctions (Theorem 1)",
+		Series: []*metrics.Series{&fast.Welfare, &des.Welfare},
+		Table: &Table{
+			Columns: []string{"engine", "welfare/slot", "inter-isp", "miss-rate"},
+			Rows: [][]string{
+				{"fast (centralized)", f2(fw), f4(fast.MeanInterISPFraction()), f4(fast.MeanMissRate())},
+				{"des (distributed)", f2(dw), f4(des.MeanInterISPFraction()), f4(des.MeanMissRate())},
+				{"welfare gap %", f4(gap), "", ""},
+			},
+		},
+		Notes: "Theorem 1: the distributed interleaving auctions converge to the centralized " +
+			"optimum; small gaps reflect ε rounding and stale-price bidding.",
+	}, nil
+}
+
+// All lists every experiment id and its runner.
+func All() map[string]func(Scale) (*Report, error) {
+	return map[string]func(Scale) (*Report, error){
+		"fig2":          Fig2PriceConvergence,
+		"fig3":          Fig3SocialWelfare,
+		"fig4":          Fig4InterISPTraffic,
+		"fig5":          Fig5ChunkMissRate,
+		"fig6":          Fig6PeerDynamics,
+		"abl-eps":       AblationEpsilon,
+		"abl-neighbors": AblationNeighbors,
+		"abl-seeds":     AblationSeeds,
+		"engines":       AblationEngines,
+		"robust-loss":   RobustnessLoss,
+		"strategic":     StrategicBidding,
+		"isp-matrix":    ISPAnalysis,
+	}
+}

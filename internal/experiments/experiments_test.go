@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAtScales(t *testing.T) {
+	for _, s := range []Scale{ScaleSmall, ScaleMedium, ScaleFull} {
+		cfg, err := At(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%v config invalid: %v", s, err)
+		}
+	}
+	if _, err := At(Scale(99)); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+	if Scale(99).String() == "" {
+		t.Fatal("unknown scale string empty")
+	}
+}
+
+func TestReproConfigCalibrations(t *testing.T) {
+	cfg := ReproConfig()
+	if cfg.CostScale != 0.3 {
+		t.Errorf("CostScale = %v", cfg.CostScale)
+	}
+	if cfg.LocalityRounds != 1 {
+		t.Errorf("LocalityRounds = %d", cfg.LocalityRounds)
+	}
+}
+
+// TestFig3Shape verifies the reproduction's headline ordering at small scale:
+// auction welfare above locality.
+func TestFig3Shape(t *testing.T) {
+	rep, err := Fig3SocialWelfare(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 || rep.Table == nil {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	aw := mustParse(t, rep.Table.Rows[0][1])
+	lw := mustParse(t, rep.Table.Rows[1][1])
+	if aw <= lw {
+		t.Fatalf("fig3 ordering broken: auction %v <= locality %v", aw, lw)
+	}
+}
+
+// TestFig4And5Shapes verifies inter-ISP and miss-rate orderings at small
+// scale (one static run pair feeds both figures; run them separately as the
+// harness does).
+func TestFig4And5Shapes(t *testing.T) {
+	fig4, err := Fig4InterISPTraffic(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInter := mustParse(t, fig4.Table.Rows[0][3])
+	lInter := mustParse(t, fig4.Table.Rows[1][3])
+	if aInter >= lInter {
+		t.Fatalf("fig4 ordering broken: auction inter %v >= locality %v", aInter, lInter)
+	}
+	fig5, err := Fig5ChunkMissRate(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aMiss := mustParse(t, fig5.Table.Rows[0][4])
+	lMiss := mustParse(t, fig5.Table.Rows[1][4])
+	if aMiss >= lMiss {
+		t.Fatalf("fig5 ordering broken: auction miss %v >= locality %v", aMiss, lMiss)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rep, err := Fig6PeerDynamics(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("fig6 should carry all three metric pairs, got %d series", len(rep.Series))
+	}
+	aw := mustParse(t, rep.Table.Rows[0][1])
+	lw := mustParse(t, rep.Table.Rows[1][1])
+	if aw <= lw {
+		t.Fatalf("fig6 welfare ordering broken under churn: %v <= %v", aw, lw)
+	}
+}
+
+func TestFig2Trace(t *testing.T) {
+	rep, err := Fig2PriceConvergence(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 1 || rep.Series[0].Len() == 0 {
+		t.Fatal("fig2 trace missing")
+	}
+	// λ is non-negative throughout and resets (0 samples) appear.
+	resets := 0
+	for _, p := range rep.Series[0].Points {
+		if p.V < 0 {
+			t.Fatalf("negative price %v in trace", p.V)
+		}
+		if p.V == 0 {
+			resets++
+		}
+	}
+	if resets == 0 {
+		t.Fatal("no slot resets in λ trace")
+	}
+}
+
+func TestAblationEpsilon(t *testing.T) {
+	rep, err := AblationEpsilon(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Gap should not explode with small ε; with the largest ε the gap may
+	// grow but must stay bounded (n·ε).
+	for _, row := range rep.Table.Rows {
+		gap := mustParse(t, row[1])
+		if gap < -1e-6 {
+			t.Fatalf("negative optimality gap %v (auction beat exact?)", gap)
+		}
+		if gap > 50 {
+			t.Fatalf("optimality gap %v%% way out of bounds", gap)
+		}
+	}
+}
+
+func TestAblationEnginesAgree(t *testing.T) {
+	rep, err := AblationEngines(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapRow := rep.Table.Rows[2]
+	gap := mustParse(t, gapRow[1])
+	if gap > 5 {
+		t.Fatalf("engine welfare gap %v%% exceeds 5%%", gap)
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	all := All()
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "abl-eps", "abl-neighbors", "abl-seeds", "engines"} {
+		if _, ok := all[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

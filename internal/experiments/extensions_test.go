@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+func TestRobustnessLossDegradesGracefully(t *testing.T) {
+	rep, err := RobustnessLoss(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Table.Rows))
+	}
+	lossless := mustParse(t, rep.Table.Rows[0][1])
+	heaviest := mustParse(t, rep.Table.Rows[len(rep.Table.Rows)-1][1])
+	if lossless <= 0 {
+		t.Fatalf("lossless welfare %v", lossless)
+	}
+	// The slot pipeline retransmits naturally (lost bids re-enter the next
+	// bidding round), so welfare must stay within a band of the lossless run
+	// rather than collapse — and certainly must not explode.
+	if heaviest < 0.7*lossless || heaviest > 1.1*lossless {
+		t.Fatalf("40%% loss welfare %v outside tolerance band of lossless %v",
+			heaviest, lossless)
+	}
+	// Grants must stay positive even at heavy loss (the auction still runs).
+	if g := mustParse(t, rep.Table.Rows[len(rep.Table.Rows)-1][2]); g <= 0 {
+		t.Fatalf("no grants under loss: %v", g)
+	}
+}
+
+func TestStrategicBiddingRewardsExaggeration(t *testing.T) {
+	rep, err := StrategicBidding(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Table.Rows))
+	}
+	// Row order: θ = 0.5, 1, 2, 4.
+	under := mustParse(t, rep.Table.Rows[0][1])
+	truthful := mustParse(t, rep.Table.Rows[1][1])
+	exaggerated := mustParse(t, rep.Table.Rows[3][1])
+	if exaggerated < truthful {
+		t.Fatalf("θ=4 should not win fewer chunks than truthful: %v < %v",
+			exaggerated, truthful)
+	}
+	if under > truthful {
+		t.Fatalf("θ=0.5 under-reporting should not win more than truthful: %v > %v",
+			under, truthful)
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	all := All()
+	if _, ok := all["robust-loss"]; !ok {
+		t.Error("robust-loss missing")
+	}
+	if _, ok := all["strategic"]; !ok {
+		t.Error("strategic missing")
+	}
+}
+
+func TestISPAnalysis(t *testing.T) {
+	rep, err := ISPAnalysis(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := At(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per ISP per strategy, plus a fairness row each.
+	want := 2 * (cfg.NumISPs + 1)
+	if len(rep.Table.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Table.Rows), want)
+	}
+	// Fairness entries parse and are in (0,1].
+	for _, row := range rep.Table.Rows {
+		if row[1] == "Jain fairness" {
+			fair := mustParse(t, row[4])
+			if fair <= 0 || fair > 1.000001 {
+				t.Fatalf("fairness %v out of range", fair)
+			}
+		}
+	}
+}

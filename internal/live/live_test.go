@@ -1,0 +1,200 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/protocol"
+	"repro/internal/video"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := protocol.Bid{Chunk: video.ChunkID{Video: 1, Index: 2}, Amount: 3.5}
+	if err := writeEnvelope(&buf, 7, 9, want); err != nil {
+		t.Fatal(err)
+	}
+	from, to, msg, err := readEnvelope(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 7 || to != 9 {
+		t.Fatalf("routing header %d→%d", from, to)
+	}
+	got, ok := msg.(protocol.Bid)
+	if !ok || got != want {
+		t.Fatalf("message mangled: %+v", msg)
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	// Undersized length prefix.
+	if _, _, _, err := readEnvelope(bytes.NewReader([]byte{0, 0, 0, 2, 1, 2})); err == nil {
+		t.Fatal("bad envelope accepted")
+	}
+}
+
+func TestLiveAuctionOverTCP(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := hub.Close(); err != nil {
+			t.Errorf("hub close: %v", err)
+		}
+	}()
+
+	// One seller with a single bandwidth unit, two competing buyers.
+	seller, err := Dial(hub.Addr(), 1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seller.Close()
+	seller.SetNeighbors([]int32{2, 3})
+
+	buyers := make([]*Peer, 2)
+	for i := range buyers {
+		p, err := Dial(hub.Addr(), int32(2+i), 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		p.SetNeighbors([]int32{1})
+		buyers[i] = p
+	}
+
+	chunk := video.ChunkID{Video: 0, Index: 42}
+	for i, b := range buyers {
+		err := b.Bid([]auction.Request{{
+			Chunk: chunk, Value: float64(4 + 2*i), // buyer 3 values it higher
+			Candidates: []auction.Candidate{{Peer: 1, Cost: 1}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range append([]*Peer{seller}, buyers...) {
+		if err := p.WaitQuiescent(100*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	winners := seller.Winners()
+	if len(winners) != 1 {
+		t.Fatalf("seller sold %d units, want 1", len(winners))
+	}
+	if winners[0].Bidder != 3 {
+		t.Fatalf("high-value buyer should win, got %d", winners[0].Bidder)
+	}
+	if wins := buyers[1].Wins(); wins[chunk] != 1 {
+		t.Fatalf("winner's book wrong: %v", wins)
+	}
+	if wins := buyers[0].Wins(); len(wins) != 0 {
+		t.Fatalf("loser should hold nothing: %v", wins)
+	}
+	if seller.Price() <= 0 {
+		t.Fatalf("contested price = %v, want > 0", seller.Price())
+	}
+}
+
+func TestLiveMultiChunkLoadBalance(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	sellers := make([]*Peer, 2)
+	for i := range sellers {
+		p, err := Dial(hub.Addr(), int32(1+i), 0.01, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		p.SetNeighbors([]int32{10})
+		sellers[i] = p
+	}
+	buyer, err := Dial(hub.Addr(), 10, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buyer.Close()
+	buyer.SetNeighbors([]int32{1, 2})
+
+	// Four chunks, two sellers with two units each: all four must land.
+	var reqs []auction.Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, auction.Request{
+			Chunk: video.ChunkID{Video: 0, Index: video.ChunkIndex(i)},
+			Value: 5,
+			Candidates: []auction.Candidate{
+				{Peer: 1, Cost: 1}, {Peer: 2, Cost: 1.5},
+			},
+		})
+	}
+	if err := buyer.Bid(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := buyer.WaitQuiescent(100*time.Millisecond, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buyer.Wins()); got != 4 {
+		t.Fatalf("buyer won %d/4 chunks", got)
+	}
+	if len(sellers[0].Winners()) != 2 || len(sellers[1].Winners()) != 2 {
+		t.Fatalf("load not balanced: %d + %d",
+			len(sellers[0].Winners()), len(sellers[1].Winners()))
+	}
+}
+
+func TestPeerDepartureIsHandled(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	seller, err := Dial(hub.Addr(), 1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seller.SetNeighbors(nil)
+	if err := seller.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buyer, err := Dial(hub.Addr(), 2, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buyer.Close()
+	buyer.SetNeighbors([]int32{1})
+	err = buyer.Bid([]auction.Request{{
+		Chunk: video.ChunkID{}, Value: 5,
+		Candidates: []auction.Candidate{{Peer: 1, Cost: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bid goes nowhere; the buyer must not win and must not hang.
+	time.Sleep(200 * time.Millisecond)
+	if len(buyer.Wins()) != 0 {
+		t.Fatal("win against a departed peer")
+	}
+}
+
+func TestHubDoubleCloseSafe(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}

@@ -1,0 +1,226 @@
+// Package metrics collects and renders the simulation's evaluation outputs:
+// per-slot time series (social welfare, inter-ISP traffic share, chunk miss
+// rate, prices), summary statistics, CSV export and ASCII line charts for the
+// terminal harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64 // seconds of simulated time
+	V float64
+}
+
+// Series is a named, time-ordered sequence of samples.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample; timestamps must be non-decreasing.
+func (s *Series) Add(t, v float64) error {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		return fmt.Errorf("metrics: %s: timestamp %v before %v", s.Name, t, s.Points[n-1].T)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+	return nil
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns the sample values in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Last returns the final value (0 for an empty series).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// Summary holds descriptive statistics of a value set.
+type Summary struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P90       float64
+}
+
+// Summarize computes summary statistics over the series values.
+func (s *Series) Summarize() Summary {
+	return SummarizeValues(s.Values())
+}
+
+// SummarizeValues computes summary statistics of vals.
+func SummarizeValues(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   quantile(sorted, 0.5),
+		P90:   quantile(sorted, 0.9),
+	}
+}
+
+// quantile interpolates the q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WriteCSV renders one or more series sharing a time axis as CSV:
+// time,<name1>,<name2>,... Rows are the union of timestamps; missing samples
+// are empty cells.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series to write")
+	}
+	// Union of timestamps.
+	timeSet := make(map[float64]bool)
+	for _, s := range series {
+		for _, p := range s.Points {
+			timeSet[p.T] = true
+		}
+	}
+	times := make([]float64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time")
+	lookup := make([]map[float64]float64, len(series))
+	for i, s := range series {
+		header = append(header, s.Name)
+		lookup[i] = make(map[float64]float64, len(s.Points))
+		for _, p := range s.Points {
+			lookup[i][p.T] = p.V
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, t := range times {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, trimFloat(t))
+		for i := range series {
+			if v, ok := lookup[i][t]; ok {
+				row = append(row, trimFloat(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimFloat formats compactly without trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Chart renders series as a fixed-size ASCII line chart, one glyph per
+// series, with a shared y-scale — enough to eyeball the paper's figures in a
+// terminal.
+func Chart(w io.Writer, width, height int, series ...*Series) error {
+	if width < 10 || height < 3 {
+		return fmt.Errorf("metrics: chart too small (%dx%d)", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("metrics: no series to chart")
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minT, maxT = math.Min(minT, p.T), math.Max(maxT, p.T)
+			minV, maxV = math.Min(minV, p.V), math.Max(maxV, p.V)
+		}
+	}
+	if math.IsInf(minT, 1) {
+		return fmt.Errorf("metrics: all series empty")
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int((p.T - minT) / (maxT - minT) * float64(width-1))
+			y := int((p.V - minV) / (maxV - minV) * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%12s ┌%s┐\n", trimFloat(maxV), strings.Repeat("─", width)); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "%12s │%s│\n", "", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%12s └%s┘\n", trimFloat(minV), strings.Repeat("─", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s  t: [%s .. %s]s\n", "", trimFloat(minT), trimFloat(maxT)); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%14c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

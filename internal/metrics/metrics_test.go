@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddOrdering(t *testing.T) {
+	var s Series
+	s.Name = "welfare"
+	if err := s.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(10, 3); err != nil {
+		t.Fatal(err) // equal timestamps allowed
+	}
+	if err := s.Add(5, 4); err == nil {
+		t.Fatal("time regression should error")
+	}
+	if s.Len() != 3 || s.Last() != 3 {
+		t.Fatalf("len=%d last=%v", s.Len(), s.Last())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Series
+	for i, v := range []float64{5, 1, 3, 2, 4} {
+		if err := s.Add(float64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := s.Summarize()
+	if sum.Count != 5 || sum.Min != 1 || sum.Max != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if math.Abs(sum.Mean-3) > 1e-12 || math.Abs(sum.P50-3) > 1e-12 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.P90 < 4 || sum.P90 > 5 {
+		t.Fatalf("p90 = %v", sum.P90)
+	}
+	empty := SummarizeValues(nil)
+	if empty.Count != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	single := SummarizeValues([]float64{7})
+	if single.P50 != 7 || single.P90 != 7 || single.Mean != 7 {
+		t.Fatalf("single summary = %+v", single)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Name: "auction"}
+	b := &Series{Name: "locality"}
+	for i := 0; i < 3; i++ {
+		if err := a.Add(float64(i*10), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Add(10, 99); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != "time,auction,locality" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(lines), got)
+	}
+	if lines[2] != "10,1,99" {
+		t.Fatalf("row = %q", lines[2])
+	}
+	if lines[1] != "0,0," {
+		t.Fatalf("missing cell not empty: %q", lines[1])
+	}
+	if err := WriteCSV(&sb); err == nil {
+		t.Fatal("no series should error")
+	}
+}
+
+func TestChart(t *testing.T) {
+	a := &Series{Name: "auction"}
+	for i := 0; i <= 20; i++ {
+		if err := a.Add(float64(i), float64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := Chart(&sb, 40, 10, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("chart has no data glyphs")
+	}
+	if !strings.Contains(out, "auction") {
+		t.Fatal("chart legend missing")
+	}
+	// Errors.
+	if err := Chart(&sb, 5, 2, a); err == nil {
+		t.Fatal("tiny chart should error")
+	}
+	if err := Chart(&sb, 40, 10); err == nil {
+		t.Fatal("no series should error")
+	}
+	empty := &Series{Name: "empty"}
+	if err := Chart(&sb, 40, 10, empty); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := &Series{Name: "flat"}
+	for i := 0; i < 5; i++ {
+		if err := s.Add(float64(i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := Chart(&sb, 30, 5, s); err != nil {
+		t.Fatal(err) // degenerate ranges must not divide by zero
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		1.5:     "1.5",
+		0.25:    "0.25",
+		10.0001: "10.0001",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

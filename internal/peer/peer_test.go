@@ -1,0 +1,170 @@
+package peer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/isp"
+	"repro/internal/netsim"
+	"repro/internal/randx"
+	"repro/internal/video"
+)
+
+// testNet builds a scheduler+network with constant latency.
+func testNet(t *testing.T) (*netsim.Scheduler, *netsim.Network) {
+	t.Helper()
+	sched := netsim.NewScheduler()
+	net, err := netsim.NewNetwork(sched, func(from, to netsim.NodeID) time.Duration {
+		return time.Millisecond
+	}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, net
+}
+
+func mustNode(t *testing.T, id isp.PeerID, sched *netsim.Scheduler, net *netsim.Network) *Node {
+	t.Helper()
+	n, err := New(id, sched, net, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	sched, net := testNet(t)
+	if _, err := New(1, nil, net, 0.01); err == nil {
+		t.Error("nil scheduler should error")
+	}
+	if _, err := New(1, sched, nil, 0.01); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := New(1, sched, net, -1); err == nil {
+		t.Error("negative epsilon should error")
+	}
+}
+
+func TestTwoNodeAuction(t *testing.T) {
+	sched, net := testNet(t)
+	seller := mustNode(t, 1, sched, net)
+	buyer := mustNode(t, 2, sched, net)
+	seller.SetNeighbors([]isp.PeerID{2})
+	buyer.SetNeighbors([]isp.PeerID{1})
+
+	chunk := video.ChunkID{Video: 0, Index: 7}
+	if err := seller.StartSlot(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := buyer.StartSlot([]auction.Request{{
+		Chunk: chunk, Value: 5,
+		Candidates: []auction.Candidate{{Peer: 1, Cost: 1}},
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	wins := buyer.Wins()
+	if wins[chunk] != 1 {
+		t.Fatalf("buyer should win chunk from node 1: %v", wins)
+	}
+	winners := seller.Winners()
+	if len(winners) != 1 || winners[0].Bidder != 2 || winners[0].Chunk != chunk {
+		t.Fatalf("seller book wrong: %+v", winners)
+	}
+	if buyer.Unresolved() != 0 {
+		t.Fatal("buyer still has bids in flight after quiescence")
+	}
+}
+
+func TestCompetitionRaisesPriceAndHookFires(t *testing.T) {
+	sched, net := testNet(t)
+	seller := mustNode(t, 1, sched, net)
+	var tracedPrices []float64
+	seller.SetPriceHook(func(at time.Duration, price float64) {
+		tracedPrices = append(tracedPrices, price)
+	})
+	buyers := []*Node{mustNode(t, 2, sched, net), mustNode(t, 3, sched, net)}
+	seller.SetNeighbors([]isp.PeerID{2, 3})
+
+	chunk := video.ChunkID{Video: 0, Index: 1}
+	if err := seller.StartSlot(nil, 1); err != nil { // one unit, two bidders
+		t.Fatal(err)
+	}
+	for i, b := range buyers {
+		b.SetNeighbors([]isp.PeerID{1})
+		err := b.StartSlot([]auction.Request{{
+			Chunk: chunk, Value: float64(5 + i),
+			Candidates: []auction.Candidate{{Peer: 1, Cost: 1}},
+		}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	// The higher-value buyer (node 3, value 6) must hold the unit.
+	if len(buyers[1].Wins()) != 1 {
+		t.Fatalf("high bidder should win; wins=%v", buyers[1].Wins())
+	}
+	if len(buyers[0].Wins()) != 0 {
+		t.Fatal("low bidder should have been outbid")
+	}
+	if seller.Price() <= 0 {
+		t.Fatalf("contested unit should have positive price, got %v", seller.Price())
+	}
+	// Hook saw the slot reset (0) and at least one positive price.
+	sawReset, sawPositive := false, false
+	for _, p := range tracedPrices {
+		if p == 0 {
+			sawReset = true
+		}
+		if p > 0 {
+			sawPositive = true
+		}
+	}
+	if !sawReset || !sawPositive {
+		t.Fatalf("price hook trace incomplete: %v", tracedPrices)
+	}
+}
+
+func TestShutdownStopsDelivery(t *testing.T) {
+	sched, net := testNet(t)
+	seller := mustNode(t, 1, sched, net)
+	buyer := mustNode(t, 2, sched, net)
+	seller.SetNeighbors([]isp.PeerID{2})
+	buyer.SetNeighbors([]isp.PeerID{1})
+	if err := seller.StartSlot(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	seller.Shutdown()
+	err := buyer.StartSlot([]auction.Request{{
+		Chunk: video.ChunkID{}, Value: 5,
+		Candidates: []auction.Candidate{{Peer: 1, Cost: 1}},
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(buyer.Wins()) != 0 {
+		t.Fatal("bid to a departed peer cannot win")
+	}
+	if seller.ID() != 1 {
+		t.Fatal("ID accessor broken")
+	}
+}
+
+func TestUnknownMessageIgnored(t *testing.T) {
+	sched, net := testNet(t)
+	node := mustNode(t, 1, sched, net)
+	node.HandleMessage(9, "garbage") // must not panic
+	if err := sched.Drain(100); err != nil {
+		t.Fatal(err)
+	}
+}

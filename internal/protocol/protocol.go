@@ -1,0 +1,490 @@
+// Package protocol defines the wire messages exchanged by peers and the
+// tracker — buffer maps, bids, bid results, evictions, price updates, chunk
+// transfers and membership management — together with a compact binary codec
+// and length-prefixed framing for carrying them over real connections (the
+// live engine) or the discrete-event network.
+//
+// The message set mirrors the paper's protocol description (§IV.B–C): bidders
+// send bids, auctioneers answer with acceptance/rejection/eviction plus the
+// updated unit-bandwidth price λ_u, and buffer maps advertise cached chunks.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/video"
+)
+
+// Type discriminates messages on the wire.
+type Type uint8
+
+// Message types. Values are part of the wire format; do not reorder.
+const (
+	TypeHello Type = iota + 1
+	TypeBufferMap
+	TypeHaveChunk
+	TypeBid
+	TypeBidResult
+	TypeEvict
+	TypePriceUpdate
+	TypeChunkData
+	TypeJoin
+	TypeNeighborList
+	TypeLeave
+)
+
+// String returns the mnemonic name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeBufferMap:
+		return "BufferMap"
+	case TypeHaveChunk:
+		return "HaveChunk"
+	case TypeBid:
+		return "Bid"
+	case TypeBidResult:
+		return "BidResult"
+	case TypeEvict:
+		return "Evict"
+	case TypePriceUpdate:
+		return "PriceUpdate"
+	case TypeChunkData:
+		return "ChunkData"
+	case TypeJoin:
+		return "Join"
+	case TypeNeighborList:
+		return "NeighborList"
+	case TypeLeave:
+		return "Leave"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Message is any protocol message.
+type Message interface {
+	// MsgType returns the wire discriminator.
+	MsgType() Type
+}
+
+// Hello introduces a peer to a new neighbor: who it is, which ISP it sits in,
+// what it watches and where playback currently is.
+type Hello struct {
+	Peer     int32
+	ISP      int32
+	Video    int32
+	Position int32
+}
+
+// BufferMap advertises the sender's cached chunks for one video as a bitmap
+// anchored at chunk 0 (bit i set ⇔ chunk i cached).
+type BufferMap struct {
+	Video    int32
+	Position int32
+	Bitmap   []byte
+}
+
+// HaveChunk incrementally announces one newly cached chunk.
+type HaveChunk struct {
+	Chunk video.ChunkID
+}
+
+// Bid asks the receiving auctioneer for one unit of upload bandwidth to
+// download Chunk, at price Amount (paper: b = w_û − w_u* + λ_û).
+type Bid struct {
+	Chunk  video.ChunkID
+	Amount float64
+}
+
+// BidResult tells a bidder whether its bid currently holds a bandwidth unit,
+// along with the auctioneer's current price λ_u.
+type BidResult struct {
+	Chunk    video.ChunkID
+	Accepted bool
+	Price    float64
+}
+
+// Evict tells a bidder that its previously accepted bid was displaced by a
+// higher one; Price carries the new λ_u.
+type Evict struct {
+	Chunk video.ChunkID
+	Price float64
+}
+
+// PriceUpdate broadcasts the auctioneer's new unit-bandwidth price λ_u to its
+// neighbors.
+type PriceUpdate struct {
+	Price float64
+}
+
+// ChunkData delivers a chunk (payload elided in simulation: PayloadLen
+// records the bytes that would cross the wire).
+type ChunkData struct {
+	Chunk      video.ChunkID
+	PayloadLen uint32
+}
+
+// Join registers a peer with the tracker.
+type Join struct {
+	Peer     int32
+	ISP      int32
+	Video    int32
+	Position int32
+}
+
+// NeighborList is the tracker's bootstrap answer: candidate neighbor ids.
+type NeighborList struct {
+	Peers []int32
+}
+
+// Leave announces departure (peer → tracker and neighbors).
+type Leave struct {
+	Peer int32
+}
+
+// MsgType implementations.
+func (Hello) MsgType() Type        { return TypeHello }
+func (BufferMap) MsgType() Type    { return TypeBufferMap }
+func (HaveChunk) MsgType() Type    { return TypeHaveChunk }
+func (Bid) MsgType() Type          { return TypeBid }
+func (BidResult) MsgType() Type    { return TypeBidResult }
+func (Evict) MsgType() Type        { return TypeEvict }
+func (PriceUpdate) MsgType() Type  { return TypePriceUpdate }
+func (ChunkData) MsgType() Type    { return TypeChunkData }
+func (Join) MsgType() Type         { return TypeJoin }
+func (NeighborList) MsgType() Type { return TypeNeighborList }
+func (Leave) MsgType() Type        { return TypeLeave }
+
+// Compile-time interface checks.
+var (
+	_ Message = Hello{}
+	_ Message = BufferMap{}
+	_ Message = HaveChunk{}
+	_ Message = Bid{}
+	_ Message = BidResult{}
+	_ Message = Evict{}
+	_ Message = PriceUpdate{}
+	_ Message = ChunkData{}
+	_ Message = Join{}
+	_ Message = NeighborList{}
+	_ Message = Leave{}
+)
+
+// Codec errors.
+var (
+	ErrUnknownType = errors.New("protocol: unknown message type")
+	ErrTruncated   = errors.New("protocol: truncated message")
+	ErrOversized   = errors.New("protocol: frame exceeds size limit")
+)
+
+// MaxFrameSize bounds a frame (1 MiB) to stop a corrupted length prefix from
+// allocating unbounded memory.
+const MaxFrameSize = 1 << 20
+
+// writer accumulates big-endian fields.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) i32(v int32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(v)) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) f64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) chunk(c video.ChunkID) {
+	w.i32(int32(c.Video))
+	w.i32(int32(c.Index))
+}
+
+// reader consumes big-endian fields.
+type reader struct{ buf []byte }
+
+func (r *reader) u8() (uint8, error) {
+	if len(r.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, nil
+}
+
+func (r *reader) i32() (int32, error) {
+	if len(r.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := int32(binary.BigEndian.Uint32(r.buf))
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	if len(r.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.buf)) < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) chunk() (video.ChunkID, error) {
+	v, err := r.i32()
+	if err != nil {
+		return video.ChunkID{}, err
+	}
+	i, err := r.i32()
+	if err != nil {
+		return video.ChunkID{}, err
+	}
+	return video.ChunkID{Video: video.ID(v), Index: video.ChunkIndex(i)}, nil
+}
+
+// Encode serializes msg with a one-byte type prefix.
+func Encode(msg Message) ([]byte, error) {
+	w := writer{buf: make([]byte, 0, 32)}
+	w.u8(uint8(msg.MsgType()))
+	switch m := msg.(type) {
+	case Hello:
+		w.i32(m.Peer)
+		w.i32(m.ISP)
+		w.i32(m.Video)
+		w.i32(m.Position)
+	case BufferMap:
+		w.i32(m.Video)
+		w.i32(m.Position)
+		w.bytes(m.Bitmap)
+	case HaveChunk:
+		w.chunk(m.Chunk)
+	case Bid:
+		w.chunk(m.Chunk)
+		w.f64(m.Amount)
+	case BidResult:
+		w.chunk(m.Chunk)
+		if m.Accepted {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.f64(m.Price)
+	case Evict:
+		w.chunk(m.Chunk)
+		w.f64(m.Price)
+	case PriceUpdate:
+		w.f64(m.Price)
+	case ChunkData:
+		w.chunk(m.Chunk)
+		w.u32(m.PayloadLen)
+	case Join:
+		w.i32(m.Peer)
+		w.i32(m.ISP)
+		w.i32(m.Video)
+		w.i32(m.Position)
+	case NeighborList:
+		w.u32(uint32(len(m.Peers)))
+		for _, p := range m.Peers {
+			w.i32(p)
+		}
+	case Leave:
+		w.i32(m.Peer)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, msg)
+	}
+	return w.buf, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(data []byte) (Message, error) {
+	r := reader{buf: data}
+	t, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch Type(t) {
+	case TypeHello:
+		var m Hello
+		if m.Peer, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.ISP, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Video, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Position, err = r.i32(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeBufferMap:
+		var m BufferMap
+		if m.Video, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Position, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Bitmap, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeHaveChunk:
+		var m HaveChunk
+		if m.Chunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeBid:
+		var m Bid
+		if m.Chunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+		if m.Amount, err = r.f64(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeBidResult:
+		var m BidResult
+		if m.Chunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+		flag, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		m.Accepted = flag != 0
+		if m.Price, err = r.f64(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeEvict:
+		var m Evict
+		if m.Chunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+		if m.Price, err = r.f64(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypePriceUpdate:
+		var m PriceUpdate
+		if m.Price, err = r.f64(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeChunkData:
+		var m ChunkData
+		if m.Chunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+		if m.PayloadLen, err = r.u32(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeJoin:
+		var m Join
+		if m.Peer, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.ISP, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Video, err = r.i32(); err != nil {
+			return nil, err
+		}
+		if m.Position, err = r.i32(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case TypeNeighborList:
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(r.buf)) < n*4 {
+			return nil, ErrTruncated
+		}
+		m := NeighborList{Peers: make([]int32, n)}
+		for i := range m.Peers {
+			if m.Peers[i], err = r.i32(); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	case TypeLeave:
+		var m Leave
+		if m.Peer, err = r.i32(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+// WriteFrame writes msg with a 4-byte big-endian length prefix.
+func WriteFrame(w io.Writer, msg Message) error {
+	payload, err := Encode(msg)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrOversized
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("protocol: write frame prefix: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("protocol: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err // io.EOF passes through for clean stream end
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrameSize {
+		return nil, ErrOversized
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("protocol: read frame payload: %w", err)
+	}
+	return Decode(payload)
+}

@@ -1,0 +1,265 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/video"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	chunk := video.ChunkID{Video: 7, Index: 1234}
+	msgs := []Message{
+		Hello{Peer: 1, ISP: 2, Video: 3, Position: 4},
+		BufferMap{Video: 9, Position: 100, Bitmap: []byte{0xAA, 0x55, 0x01}},
+		HaveChunk{Chunk: chunk},
+		Bid{Chunk: chunk, Amount: 3.25},
+		BidResult{Chunk: chunk, Accepted: true, Price: 1.5},
+		BidResult{Chunk: chunk, Accepted: false, Price: 0},
+		Evict{Chunk: chunk, Price: 2.125},
+		PriceUpdate{Price: 0.875},
+		ChunkData{Chunk: chunk, PayloadLen: 8192},
+		Join{Peer: 10, ISP: 1, Video: 55, Position: 0},
+		NeighborList{Peers: []int32{3, 1, 4, 1, 5}},
+		Leave{Peer: 42},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", msg.MsgType(), got, msg)
+		}
+	}
+}
+
+func TestRoundTripEmptyCollections(t *testing.T) {
+	got := roundTrip(t, NeighborList{Peers: []int32{}})
+	nl, ok := got.(NeighborList)
+	if !ok || len(nl.Peers) != 0 {
+		t.Fatalf("empty neighbor list mangled: %+v", got)
+	}
+	got = roundTrip(t, BufferMap{Video: 1, Position: 2, Bitmap: []byte{}})
+	bm, ok := got.(BufferMap)
+	if !ok || len(bm.Bitmap) != 0 {
+		t.Fatalf("empty bitmap mangled: %+v", got)
+	}
+}
+
+func TestBidRoundTripProperty(t *testing.T) {
+	f := func(vid int32, idx int32, amountBits uint64) bool {
+		amount := math.Float64frombits(amountBits)
+		if math.IsNaN(amount) {
+			return true // NaN != NaN; equality check meaningless
+		}
+		msg := Bid{
+			Chunk:  video.ChunkID{Video: video.ID(vid), Index: video.ChunkIndex(idx)},
+			Amount: amount,
+		}
+		data, err := Encode(msg)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferMapRoundTripProperty(t *testing.T) {
+	f := func(vid int32, pos int32, bitmap []byte) bool {
+		msg := BufferMap{Video: vid, Position: pos, Bitmap: bitmap}
+		data, err := Encode(msg)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		gotBM, ok := got.(BufferMap)
+		if !ok || gotBM.Video != vid || gotBM.Position != pos {
+			return false
+		}
+		return bytes.Equal(gotBM.Bitmap, bitmap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty input: %v", err)
+	}
+	if _, err := Decode([]byte{0xFF}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	// Truncate every valid message at every byte offset: must error, not panic.
+	msgs := []Message{
+		Hello{Peer: 1, ISP: 2, Video: 3, Position: 4},
+		BufferMap{Video: 9, Position: 100, Bitmap: []byte{1, 2, 3}},
+		Bid{Chunk: video.ChunkID{Video: 1, Index: 2}, Amount: 3},
+		BidResult{Chunk: video.ChunkID{}, Accepted: true, Price: 9},
+		NeighborList{Peers: []int32{1, 2, 3}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Errorf("%s truncated at %d decoded without error", msg.MsgType(), cut)
+			}
+		}
+	}
+}
+
+func TestNeighborListLengthBomb(t *testing.T) {
+	// A frame claiming 2^30 neighbors but carrying none must be rejected
+	// without attempting a giant allocation.
+	data := []byte{byte(TypeNeighborList), 0x40, 0x00, 0x00, 0x00}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("length bomb decoded")
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Message{
+		Bid{Chunk: video.ChunkID{Video: 1, Index: 2}, Amount: 7.5},
+		PriceUpdate{Price: 1.25},
+		Leave{Peer: 3},
+	}
+	for _, m := range want {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, wantMsg := range want {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, wantMsg) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, wantMsg)
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("stream end should be io.EOF, got %v", err)
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length prefix
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrOversized) {
+		t.Fatalf("oversized frame should be rejected, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, PriceUpdate{Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2] // chop payload tail
+	if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty := TypeHello; ty <= TypeLeave; ty++ {
+		if s := ty.String(); s == "" || s[0] == 'T' && s[1] == 'y' {
+			t.Errorf("type %d has no mnemonic name: %q", ty, s)
+		}
+	}
+	if s := Type(200).String(); s != "Type(200)" {
+		t.Errorf("unknown type string: %q", s)
+	}
+}
+
+func BenchmarkEncodeBid(b *testing.B) {
+	msg := Bid{Chunk: video.ChunkID{Video: 3, Index: 999}, Amount: 4.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBid(b *testing.B) {
+	data, err := Encode(Bid{Chunk: video.ChunkID{Video: 3, Index: 999}, Amount: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	// Adversarial robustness: arbitrary byte strings must produce errors,
+	// never panics or giant allocations.
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		msg, err := Decode(data)
+		return err == nil || msg == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptedValidFrames(t *testing.T) {
+	// Flip every byte of a valid frame one at a time.
+	base, err := Encode(BufferMap{Video: 3, Position: 77, Bitmap: []byte{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		for _, flip := range []byte{0x01, 0x80, 0xFF} {
+			corrupted := make([]byte, len(base))
+			copy(corrupted, base)
+			corrupted[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on corruption at byte %d: %v", i, r)
+					}
+				}()
+				_, _ = Decode(corrupted)
+			}()
+		}
+	}
+}

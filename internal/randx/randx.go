@@ -1,0 +1,293 @@
+// Package randx provides a small, deterministic random-number toolkit for the
+// simulator: a splittable 64-bit PRNG plus the distributions the paper's
+// evaluation uses (uniform, truncated normal, Poisson, exponential and
+// Zipf–Mandelbrot).
+//
+// The generator is self-contained (SplitMix64 core) so results are bit-stable
+// across Go releases and platforms, which keeps every experiment reproducible
+// from a seed.
+package randx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Source is a deterministic pseudo-random source based on SplitMix64.
+// It is NOT safe for concurrent use; derive independent streams with Split
+// when multiple goroutines or subsystems need randomness.
+//
+// The zero value is a valid source seeded with 0; prefer New for clarity.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	mixMul1       = 0xbf58476d1ce4e5b9
+	mixMul2       = 0x94d049bb133111eb
+)
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += splitmixGamma
+	return mix64(s.state)
+}
+
+// Split derives a statistically independent child stream. The parent advances
+// by one step, so repeated Splits yield distinct children.
+func (s *Source) Split() *Source {
+	return &Source{state: mix64(s.Uint64())}
+}
+
+// Derive returns a child stream deterministically keyed by label. Unlike
+// Split it does not advance the parent, so the same (source-state, label)
+// always yields the same child. It is used to give every peer/subsystem a
+// stable stream regardless of creation order.
+func (s *Source) Derive(label uint64) *Source {
+	return &Source{state: mix64(s.state ^ mix64(label^splitmixGamma))}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits → [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0 (programming
+// error, matching math/rand semantics).
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("randx: Intn with non-positive n=%d", n))
+	}
+	// Lemire-style bounded generation without modulo bias for practical n.
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (s *Source) Normal(mean, std float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return mean + std*u*math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// TruncNormal samples a normal(mean, std) truncated to [lo, hi] by rejection.
+// It returns an error if lo > hi or std < 0. When std == 0 the mean clamped to
+// [lo, hi] is returned.
+func (s *Source) TruncNormal(mean, std, lo, hi float64) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("randx: truncated normal with lo=%v > hi=%v", lo, hi)
+	}
+	if std < 0 {
+		return 0, fmt.Errorf("randx: truncated normal with negative std=%v", std)
+	}
+	if std == 0 {
+		return math.Min(math.Max(mean, lo), hi), nil
+	}
+	// Rejection is fine for the paper's parameters (acceptance well above 1%).
+	// Guard with a cap, then fall back to clamping, so pathological parameters
+	// cannot hang a simulation.
+	const maxRejections = 4096
+	for i := 0; i < maxRejections; i++ {
+		x := s.Normal(mean, std)
+		if x >= lo && x <= hi {
+			return x, nil
+		}
+	}
+	return math.Min(math.Max(mean, lo), hi), nil
+}
+
+// MustTruncNormal is TruncNormal for statically valid parameters; it panics on
+// error and is intended for use with compile-time constant configurations.
+func (s *Source) MustTruncNormal(mean, std, lo, hi float64) float64 {
+	x, err := s.TruncNormal(mean, std, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// Poisson returns a Poisson(lambda) sample. For small lambda it uses Knuth's
+// product method; for large lambda it splits the interval to avoid underflow.
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	const step = 500.0
+	k := 0
+	remaining := lambda
+	p := 1.0
+	for {
+		k++
+		p *= s.Float64()
+		for p < 1 && remaining > 0 {
+			if remaining > step {
+				p *= math.Exp(step)
+				remaining -= step
+			} else {
+				p *= math.Exp(remaining)
+				remaining = 0
+			}
+		}
+		if p <= 1 && remaining <= 0 {
+			return k - 1
+		}
+	}
+}
+
+// Exp returns an exponentially distributed sample with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("randx: Exp with non-positive rate=%v", rate))
+	}
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, with the
+// Fisher–Yates algorithm.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// ErrEmptyDistribution is returned when a discrete distribution has no mass.
+var ErrEmptyDistribution = errors.New("randx: distribution has no probability mass")
+
+// ZipfMandelbrot samples ranks 1..N with probability proportional to
+// 1/(rank+q)^alpha — the video-popularity law the paper uses
+// (alpha = 0.78, q = 4 over 100 videos).
+type ZipfMandelbrot struct {
+	cdf []float64 // cumulative, normalized; cdf[len-1] == 1
+}
+
+// NewZipfMandelbrot builds the distribution over ranks 1..n.
+func NewZipfMandelbrot(n int, alpha, q float64) (*ZipfMandelbrot, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("randx: Zipf-Mandelbrot needs n > 0, got %d", n)
+	}
+	if q <= -1 {
+		return nil, fmt.Errorf("randx: Zipf-Mandelbrot needs q > -1, got %v", q)
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1)+q, -alpha)
+		cdf[i] = total
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, ErrEmptyDistribution
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against FP drift
+	return &ZipfMandelbrot{cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (z *ZipfMandelbrot) N() int { return len(z.cdf) }
+
+// Prob returns the probability of rank (1-based).
+func (z *ZipfMandelbrot) Prob(rank int) float64 {
+	if rank < 1 || rank > len(z.cdf) {
+		return 0
+	}
+	if rank == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank-1] - z.cdf[rank-2]
+}
+
+// Sample draws a rank in [1, N] using binary search on the CDF.
+func (z *ZipfMandelbrot) Sample(s *Source) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// WeightedChoice draws index i with probability weights[i]/sum(weights).
+// Negative weights are rejected; an all-zero weight vector returns
+// ErrEmptyDistribution.
+func WeightedChoice(s *Source, weights []float64) (int, error) {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("randx: negative or NaN weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, ErrEmptyDistribution
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}

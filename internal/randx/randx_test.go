@@ -1,0 +1,363 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first outputs")
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	parent := New(7)
+	a := parent.Derive(11).Uint64()
+	b := parent.Derive(11).Uint64()
+	if a != b {
+		t.Fatal("Derive must be deterministic for the same label")
+	}
+	if parent.Derive(11).Uint64() == parent.Derive(12).Uint64() {
+		t.Fatal("Derive with different labels should differ")
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal(5, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestTruncNormalBoundsProperty(t *testing.T) {
+	s := New(8)
+	f := func(meanRaw, stdRaw, loRaw, spanRaw uint16) bool {
+		mean := float64(meanRaw)/1000 - 30
+		std := float64(stdRaw) / 8192
+		lo := float64(loRaw)/1000 - 30
+		hi := lo + float64(spanRaw)/1000
+		x, err := s.TruncNormal(mean, std, lo, hi)
+		if err != nil {
+			return false
+		}
+		return x >= lo && x <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncNormalErrors(t *testing.T) {
+	s := New(9)
+	if _, err := s.TruncNormal(0, 1, 5, 1); err == nil {
+		t.Error("lo > hi should error")
+	}
+	if _, err := s.TruncNormal(0, -1, 0, 1); err == nil {
+		t.Error("negative std should error")
+	}
+}
+
+func TestTruncNormalZeroStd(t *testing.T) {
+	s := New(10)
+	x, err := s.TruncNormal(5, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 2 {
+		t.Fatalf("mean clamped to hi: got %v want 2", x)
+	}
+}
+
+func TestTruncNormalPaperParams(t *testing.T) {
+	// Inter-ISP: TN(5, 1, [1,10]); intra-ISP: TN(1, 1, [0,2]).
+	s := New(11)
+	const n = 50000
+	var interSum, intraSum float64
+	for i := 0; i < n; i++ {
+		inter := s.MustTruncNormal(5, 1, 1, 10)
+		intra := s.MustTruncNormal(1, 1, 0, 2)
+		if inter < 1 || inter > 10 {
+			t.Fatalf("inter cost %v out of [1,10]", inter)
+		}
+		if intra < 0 || intra > 2 {
+			t.Fatalf("intra cost %v out of [0,2]", intra)
+		}
+		interSum += inter
+		intraSum += intra
+	}
+	if m := interSum / n; math.Abs(m-5) > 0.1 {
+		t.Errorf("inter-ISP cost mean = %v, want ~5", m)
+	}
+	// Intra is truncated asymmetrically around its mean of 1;
+	// the truncated mean stays 1 by symmetry of [0,2] around 1.
+	if m := intraSum / n; math.Abs(m-1) > 0.05 {
+		t.Errorf("intra-ISP cost mean = %v, want ~1", m)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := New(12)
+	for _, lambda := range []float64{0.5, 1, 4, 20, 100} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	s := New(13)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Error("Poisson with non-positive lambda should be 0")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(14)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2)
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", m)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(15)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfMandelbrotValidation(t *testing.T) {
+	if _, err := NewZipfMandelbrot(0, 0.78, 4); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewZipfMandelbrot(10, 0.78, -2); err == nil {
+		t.Error("q<=-1 should error")
+	}
+}
+
+func TestZipfMandelbrotProbSumsToOne(t *testing.T) {
+	z, err := NewZipfMandelbrot(100, 0.78, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for r := 1; r <= z.N(); r++ {
+		p := z.Prob(r)
+		if p <= 0 {
+			t.Fatalf("rank %d has non-positive probability %v", r, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfMandelbrotMonotone(t *testing.T) {
+	z, err := NewZipfMandelbrot(100, 0.78, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 2; r <= z.N(); r++ {
+		if z.Prob(r) > z.Prob(r-1) {
+			t.Fatalf("popularity should be non-increasing in rank: p(%d)=%v > p(%d)=%v",
+				r, z.Prob(r), r-1, z.Prob(r-1))
+		}
+	}
+}
+
+func TestZipfMandelbrotEmpirical(t *testing.T) {
+	z, err := NewZipfMandelbrot(100, 0.78, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(16)
+	const n = 200000
+	counts := make([]int, z.N()+1)
+	for i := 0; i < n; i++ {
+		r := z.Sample(s)
+		if r < 1 || r > z.N() {
+			t.Fatalf("sample out of range: %d", r)
+		}
+		counts[r]++
+	}
+	for _, r := range []int{1, 5, 50} {
+		emp := float64(counts[r]) / n
+		want := z.Prob(r)
+		if math.Abs(emp-want) > 0.15*want+0.002 {
+			t.Errorf("rank %d: empirical %v vs analytic %v", r, emp, want)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(17)
+	if _, err := WeightedChoice(s, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := WeightedChoice(s, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	counts := [3]int{}
+	for i := 0; i < 60000; i++ {
+		idx, err := WeightedChoice(s, []float64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("weighted counts not ordered: %v", counts)
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(18)
+	if s.Bool(0) || !s.Bool(1) {
+		t.Fatal("Bool(0)=false and Bool(1)=true must hold")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) empirical %v", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkTruncNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.MustTruncNormal(5, 1, 1, 10)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z, err := NewZipfMandelbrot(100, 0.78, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(s)
+	}
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isp"
+)
+
+// Auction schedules slots with the paper's primal-dual auction, via the
+// centralized solver in internal/core (Theorem 1 guarantees the distributed
+// auctions converge to the same optimum; the DES engine checks that).
+type Auction struct {
+	// Epsilon is the bid increment (0 = the paper's literal rule).
+	Epsilon float64
+	// Mode selects Gauss–Seidel (default) or Jacobi bidding rounds.
+	Mode core.BidMode
+}
+
+var _ Scheduler = (*Auction)(nil)
+
+// Name implements Scheduler.
+func (a *Auction) Name() string { return "auction" }
+
+// Schedule implements Scheduler by translating the instance to a
+// transportation problem and running the auction solver.
+func (a *Auction) Schedule(in *Instance) (*Result, error) {
+	p := core.NewProblem()
+	sinkOf := make([]core.SinkID, len(in.Uploaders))
+	for i, u := range in.Uploaders {
+		s, err := p.AddSink(u.Capacity)
+		if err != nil {
+			return nil, fmt.Errorf("auction schedule: %w", err)
+		}
+		sinkOf[i] = s
+	}
+	for _, req := range in.Requests {
+		r := p.AddRequest()
+		for _, cand := range req.Candidates {
+			ui, ok := in.UploaderIndex(cand.Peer)
+			if !ok {
+				return nil, fmt.Errorf("auction schedule: unknown uploader %d", cand.Peer)
+			}
+			if err := p.AddEdge(r, sinkOf[ui], req.Value-cand.Cost); err != nil {
+				return nil, fmt.Errorf("auction schedule: %w", err)
+			}
+		}
+	}
+	res, err := core.SolveAuction(p, core.AuctionOptions{Epsilon: a.Epsilon, Mode: a.Mode})
+	if err != nil {
+		return nil, fmt.Errorf("auction schedule: %w", err)
+	}
+	out := &Result{
+		Prices: make(map[isp.PeerID]float64, len(in.Uploaders)),
+		Stats: map[string]float64{
+			"bids":       float64(res.Bids),
+			"iterations": float64(res.Iterations),
+			"evictions":  float64(res.Evictions),
+		},
+	}
+	for i, u := range in.Uploaders {
+		out.Prices[u.Peer] = res.Prices[sinkOf[i]]
+	}
+	for r, s := range res.Assignment.SinkOf {
+		if s == core.Unassigned {
+			continue
+		}
+		out.Grants = append(out.Grants, Grant{Request: r, Uploader: in.Uploaders[s].Peer})
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+// Package sched defines the slot-level chunk-scheduling interface shared by
+// every strategy in the evaluation: the auction (the paper's algorithm), the
+// Simple Locality baseline, and the network-agnostic random baseline. A
+// strategy receives one slot's Instance — requests with valuations and
+// deadlines, candidate uploaders with network costs, uploader capacities —
+// and returns the set of grants. The simulator computes welfare, inter-ISP
+// traffic and miss metrics uniformly from the grants, so strategies compete
+// on identical terms.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/isp"
+	"repro/internal/video"
+)
+
+// Candidate is an uploader able to serve a request, with the network cost
+// w_{u→d} of the transfer.
+type Candidate struct {
+	Peer isp.PeerID
+	Cost float64
+}
+
+// Request is one (peer, chunk) download wish for the slot.
+type Request struct {
+	Peer       isp.PeerID
+	Chunk      video.ChunkID
+	Value      float64 // v_c(d), deadline-based valuation
+	Deadline   float64 // seconds from slot start until playback needs it
+	Candidates []Candidate
+}
+
+// Uploader is a peer selling upload bandwidth this slot.
+type Uploader struct {
+	Peer     isp.PeerID
+	Capacity int // B(u): chunks it can upload this slot
+}
+
+// Instance is one slot's complete scheduling problem.
+type Instance struct {
+	Requests  []Request
+	Uploaders []Uploader
+
+	uploaderIdx map[isp.PeerID]int
+}
+
+// NewInstance builds an instance and indexes the uploaders. Duplicate
+// uploaders are rejected.
+func NewInstance(requests []Request, uploaders []Uploader) (*Instance, error) {
+	idx := make(map[isp.PeerID]int, len(uploaders))
+	for i, u := range uploaders {
+		if _, dup := idx[u.Peer]; dup {
+			return nil, fmt.Errorf("sched: duplicate uploader %d", u.Peer)
+		}
+		if u.Capacity < 0 {
+			return nil, fmt.Errorf("sched: uploader %d has negative capacity", u.Peer)
+		}
+		idx[u.Peer] = i
+	}
+	for ri, r := range requests {
+		for _, c := range r.Candidates {
+			if _, ok := idx[c.Peer]; !ok {
+				return nil, fmt.Errorf("sched: request %d references unknown uploader %d", ri, c.Peer)
+			}
+		}
+	}
+	return &Instance{Requests: requests, Uploaders: uploaders, uploaderIdx: idx}, nil
+}
+
+// UploaderIndex returns the dense index of uploader p.
+func (in *Instance) UploaderIndex(p isp.PeerID) (int, bool) {
+	i, ok := in.uploaderIdx[p]
+	return i, ok
+}
+
+// Cost returns the network cost of serving request ri from uploader p.
+func (in *Instance) Cost(ri int, p isp.PeerID) (float64, bool) {
+	for _, c := range in.Requests[ri].Candidates {
+		if c.Peer == p {
+			return c.Cost, true
+		}
+	}
+	return 0, false
+}
+
+// Grant assigns request index Request to uploader Uploader.
+type Grant struct {
+	Request  int
+	Uploader isp.PeerID
+}
+
+// Result is a strategy's answer for the slot.
+type Result struct {
+	Grants []Grant
+	// Prices holds the final λ_u per uploader for price-aware strategies
+	// (nil otherwise).
+	Prices map[isp.PeerID]float64
+	// Stats carries strategy-specific diagnostics (bids, rounds, ...).
+	Stats map[string]float64
+}
+
+// Welfare computes Σ (v − w) over the grants.
+func (in *Instance) Welfare(grants []Grant) (float64, error) {
+	total := 0.0
+	for _, g := range grants {
+		if g.Request < 0 || g.Request >= len(in.Requests) {
+			return 0, fmt.Errorf("sched: grant for unknown request %d", g.Request)
+		}
+		w, ok := in.Cost(g.Request, g.Uploader)
+		if !ok {
+			return 0, fmt.Errorf("sched: grant %d→%d is not a candidate edge", g.Request, g.Uploader)
+		}
+		total += in.Requests[g.Request].Value - w
+	}
+	return total, nil
+}
+
+// Validate checks grant feasibility: known requests, candidate edges, at most
+// one grant per request, and uploader capacities respected.
+func (in *Instance) Validate(grants []Grant) error {
+	load := make([]int, len(in.Uploaders))
+	seen := make([]bool, len(in.Requests))
+	for _, g := range grants {
+		if g.Request < 0 || g.Request >= len(in.Requests) {
+			return fmt.Errorf("sched: grant for unknown request %d", g.Request)
+		}
+		if seen[g.Request] {
+			return fmt.Errorf("sched: request %d granted twice", g.Request)
+		}
+		seen[g.Request] = true
+		if _, ok := in.Cost(g.Request, g.Uploader); !ok {
+			return fmt.Errorf("sched: grant %d→%d is not a candidate edge", g.Request, g.Uploader)
+		}
+		i, ok := in.UploaderIndex(g.Uploader)
+		if !ok {
+			return fmt.Errorf("sched: grant to unknown uploader %d", g.Uploader)
+		}
+		load[i]++
+	}
+	for i, l := range load {
+		if l > in.Uploaders[i].Capacity {
+			return fmt.Errorf("sched: uploader %d over capacity: %d > %d",
+				in.Uploaders[i].Peer, l, in.Uploaders[i].Capacity)
+		}
+	}
+	return nil
+}
+
+// Scheduler is a slot-scheduling strategy.
+type Scheduler interface {
+	// Name identifies the strategy in metrics and logs.
+	Name() string
+	// Schedule solves one slot.
+	Schedule(in *Instance) (*Result, error)
+}

@@ -1,0 +1,220 @@
+// Package sim is the evaluation testbed: a slot-based P2P VoD streaming
+// simulator reproducing the paper's emulation environment (§V) — M ISPs,
+// Zipf–Mandelbrot video popularity, Poisson peer arrivals, seed peers,
+// prefetch windows with deadline-based valuations, per-uplink serialized
+// chunk transfers, and deadline-miss accounting.
+//
+// Two engines run the same world:
+//
+//   - the fast engine (Run) solves each slot with a pluggable sched.Scheduler
+//     (auction, Simple Locality, random), exploiting Theorem 1's equivalence
+//     of the distributed auctions and the centralized primal-dual solve;
+//   - the DES engine (RunDES) actually plays the distributed auction protocol
+//     message-by-message over the netsim network, with latencies derived from
+//     the ISP cost model — used for the price-convergence figure and to
+//     validate the equivalence the fast engine assumes.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/isp"
+	"repro/internal/valuation"
+	"repro/internal/video"
+)
+
+// ScenarioKind selects the network composition over time.
+type ScenarioKind int
+
+const (
+	// ScenarioStatic keeps a fixed population: peers that finish a video are
+	// immediately replaced by a fresh peer, holding the online count
+	// constant (the paper's "static network with 500 peers").
+	ScenarioStatic ScenarioKind = iota + 1
+	// ScenarioDynamic starts empty and lets peers arrive as a Poisson
+	// process, staying until they finish watching (paper Fig. 3) or leaving
+	// early (Fig. 6).
+	ScenarioDynamic
+)
+
+// SeedPlacement selects how seed peers are distributed.
+type SeedPlacement int
+
+const (
+	// SeedsPerISP puts SeedsPerVideo seeds of every video in every ISP — the
+	// literal reading of the paper ("In each ISP, for each video, there are
+	// 2 seed peers").
+	SeedsPerISP SeedPlacement = iota + 1
+	// SeedsGlobal places SeedsPerVideo seeds per video in total, assigned to
+	// ISPs round-robin — a scarcity calibration that reproduces the paper's
+	// traffic shapes when local seed supply would otherwise trivialize the
+	// workload (see EXPERIMENTS.md).
+	SeedsGlobal
+)
+
+// Config holds every knob of the evaluation environment. Zero values are
+// invalid; start from PaperConfig.
+type Config struct {
+	// Seed drives all randomness; same seed ⇒ identical run.
+	Seed uint64
+	// NumISPs is M (paper: 5).
+	NumISPs int
+	// SlotSeconds is the bidding-cycle length (paper: 10).
+	SlotSeconds float64
+	// Slots is the horizon in slots (paper figures: 25 ⇒ 250 s).
+	Slots int
+	// Catalog describes the videos (paper: 100 × 20 MB / 640 Kbps / 8 KB).
+	Catalog video.Params
+	// Valuation is the deadline-based chunk valuation (paper: 2/ln(1.2+d)).
+	Valuation valuation.Deadline
+	// Cost is the inter/intra ISP network-cost model.
+	Cost isp.CostModel
+	// CostScale converts network-cost (latency) units into valuation units
+	// when computing welfare weights v − CostScale·w. The paper subtracts w
+	// from v directly without justifying the exchange rate; 1 is the literal
+	// reading, while the reproduction config calibrates it so that urgent
+	// chunks can out-value inter-ISP costs, the regime the paper's figures
+	// exhibit (see EXPERIMENTS.md).
+	CostScale float64
+	// NeighborCount caps the tracker's neighbor list (paper: 30).
+	NeighborCount int
+	// WindowChunks is the prefetch window (paper: 100 chunks = 10 s).
+	WindowChunks int
+	// UploadMinX/UploadMaxX bound peer upload capacity as a multiple of the
+	// streaming rate (paper: uniform [1, 4]).
+	UploadMinX, UploadMaxX float64
+	// SeedUploadX is seed upload capacity as a multiple of the streaming
+	// rate (paper: 8).
+	SeedUploadX float64
+	// SeedsPerVideo is the number of seeds per video (per ISP or in total,
+	// according to Placement; paper: 2 per ISP).
+	SeedsPerVideo int
+	// Placement selects seed distribution (paper reading: SeedsPerISP).
+	Placement SeedPlacement
+	// Scenario selects static population vs dynamic arrivals.
+	Scenario ScenarioKind
+	// StaticPeers is the population for ScenarioStatic (paper: 500).
+	StaticPeers int
+	// ArrivalPerSec is the Poisson arrival rate for ScenarioDynamic
+	// (paper: 1 peer/s).
+	ArrivalPerSec float64
+	// EarlyLeaveProb is the probability a joining peer departs before
+	// finishing (paper Fig. 6: 0.6; others: 0).
+	EarlyLeaveProb float64
+	// BidRoundsPerSlot discretizes the paper's continuous in-slot bidding:
+	// each slot runs this many scheduling rounds, re-valuing still-missing
+	// chunks at their current (tighter) deadlines. 1 reduces to a single
+	// slot-start snapshot, which systematically overstates misses for any
+	// deferral-capable strategy (see DESIGN.md §3). Paper-faithful default: 4.
+	BidRoundsPerSlot int
+	// Epsilon is the auction bid increment used by auction strategies.
+	Epsilon float64
+	// LocalityRounds caps the Simple Locality retry rounds per scheduling
+	// round.
+	LocalityRounds int
+	// CostLatencyUnit maps one network-cost unit to simulated latency in the
+	// DES engine (default 100 ms), calibrating Fig. 2's within-slot
+	// convergence timeline.
+	CostLatencyUnit time.Duration
+}
+
+// PaperConfig returns the paper's published parameters (§V).
+func PaperConfig() Config {
+	return Config{
+		Seed:             1,
+		NumISPs:          5,
+		SlotSeconds:      10,
+		Slots:            25,
+		Catalog:          video.PaperParams(),
+		Valuation:        valuation.Default(),
+		Cost:             isp.DefaultCostModel(),
+		CostScale:        1,
+		NeighborCount:    30,
+		WindowChunks:     100,
+		UploadMinX:       1,
+		UploadMaxX:       4,
+		SeedUploadX:      8,
+		SeedsPerVideo:    2,
+		Placement:        SeedsPerISP,
+		Scenario:         ScenarioStatic,
+		StaticPeers:      500,
+		ArrivalPerSec:    1,
+		EarlyLeaveProb:   0,
+		BidRoundsPerSlot: 4,
+		Epsilon:          0.01,
+		LocalityRounds:   3,
+		CostLatencyUnit:  100 * time.Millisecond,
+	}
+}
+
+// Validate checks coherence of the configuration.
+func (c Config) Validate() error {
+	if c.NumISPs <= 0 {
+		return fmt.Errorf("sim: NumISPs must be positive, got %d", c.NumISPs)
+	}
+	if c.SlotSeconds <= 0 || math.IsNaN(c.SlotSeconds) {
+		return fmt.Errorf("sim: SlotSeconds must be positive, got %v", c.SlotSeconds)
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("sim: Slots must be positive, got %d", c.Slots)
+	}
+	if err := c.Valuation.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.CostScale <= 0 || math.IsNaN(c.CostScale) {
+		return fmt.Errorf("sim: CostScale must be positive, got %v", c.CostScale)
+	}
+	if c.NeighborCount <= 0 {
+		return fmt.Errorf("sim: NeighborCount must be positive, got %d", c.NeighborCount)
+	}
+	if c.WindowChunks <= 0 {
+		return fmt.Errorf("sim: WindowChunks must be positive, got %d", c.WindowChunks)
+	}
+	if c.UploadMinX <= 0 || c.UploadMaxX < c.UploadMinX {
+		return fmt.Errorf("sim: upload range [%v,%v] invalid", c.UploadMinX, c.UploadMaxX)
+	}
+	if c.SeedUploadX < 0 {
+		return fmt.Errorf("sim: SeedUploadX must be >= 0, got %v", c.SeedUploadX)
+	}
+	if c.SeedsPerVideo < 0 {
+		return fmt.Errorf("sim: SeedsPerVideo must be >= 0, got %d", c.SeedsPerVideo)
+	}
+	if c.Placement != SeedsPerISP && c.Placement != SeedsGlobal {
+		return fmt.Errorf("sim: unknown seed placement %d", c.Placement)
+	}
+	switch c.Scenario {
+	case ScenarioStatic:
+		if c.StaticPeers <= 0 {
+			return fmt.Errorf("sim: StaticPeers must be positive, got %d", c.StaticPeers)
+		}
+	case ScenarioDynamic:
+		if c.ArrivalPerSec < 0 {
+			return fmt.Errorf("sim: ArrivalPerSec must be >= 0, got %v", c.ArrivalPerSec)
+		}
+	default:
+		return fmt.Errorf("sim: unknown scenario %d", c.Scenario)
+	}
+	if c.EarlyLeaveProb < 0 || c.EarlyLeaveProb > 1 {
+		return fmt.Errorf("sim: EarlyLeaveProb %v outside [0,1]", c.EarlyLeaveProb)
+	}
+	if c.BidRoundsPerSlot <= 0 {
+		return fmt.Errorf("sim: BidRoundsPerSlot must be positive, got %d", c.BidRoundsPerSlot)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("sim: Epsilon must be >= 0, got %v", c.Epsilon)
+	}
+	if c.CostLatencyUnit < 0 {
+		return fmt.Errorf("sim: CostLatencyUnit must be >= 0, got %v", c.CostLatencyUnit)
+	}
+	return nil
+}
+
+// chunksPerSlot returns how many chunks playback consumes per slot.
+func (c Config) chunksPerSlot(cat *video.Catalog) int {
+	return int(math.Round(cat.ChunksPerSecond() * c.SlotSeconds))
+}

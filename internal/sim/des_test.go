@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func desConfig() Config {
+	cfg := testConfig()
+	cfg.StaticPeers = 15
+	cfg.Slots = 3
+	cfg.BidRoundsPerSlot = 2
+	return cfg
+}
+
+func TestRunDESBasics(t *testing.T) {
+	cfg := desConfig()
+	res, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare.Len() != cfg.Slots {
+		t.Fatalf("welfare points = %d", res.Welfare.Len())
+	}
+	if res.TotalGrants == 0 {
+		t.Fatal("distributed auction granted nothing")
+	}
+	if res.PriceTrace == nil || res.PriceTrace.Len() == 0 {
+		t.Fatal("price trace missing")
+	}
+	// The trace must reset to 0 at every slot start.
+	resets := 0
+	for _, p := range res.PriceTrace.Points {
+		if p.V == 0 {
+			resets++
+		}
+	}
+	if resets < cfg.Slots {
+		t.Fatalf("expected ≥ %d λ resets, saw %d", cfg.Slots, resets)
+	}
+	for _, p := range res.Welfare.Points {
+		if p.V < -1e-9 {
+			t.Fatalf("negative welfare %v from the distributed auction", p.V)
+		}
+	}
+}
+
+func TestRunDESDeterminism(t *testing.T) {
+	cfg := desConfig()
+	a, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalGrants != b.TotalGrants || a.TotalMissed != b.TotalMissed {
+		t.Fatalf("DES non-deterministic: %d/%d vs %d/%d",
+			a.TotalGrants, a.TotalMissed, b.TotalGrants, b.TotalMissed)
+	}
+}
+
+// TestEnginesAgree is Theorem 1 exercised end to end: the message-level
+// distributed auctions and the centralized primal-dual solver schedule the
+// same world with (near-)equal social welfare. Small gaps are allowed — the
+// distributed run bids with stale prices and ε rounding — but the engines
+// must track each other closely.
+func TestEnginesAgree(t *testing.T) {
+	cfg := desConfig()
+	fast, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := fast.Welfare.Summarize().Mean
+	dw := des.Welfare.Summarize().Mean
+	if fw <= 0 {
+		t.Fatalf("degenerate fast welfare %v", fw)
+	}
+	gap := math.Abs(fw-dw) / fw
+	if gap > 0.05 {
+		t.Fatalf("engines diverge: fast %v vs des %v (gap %.1f%%)", fw, dw, 100*gap)
+	}
+	// Identical worlds: population metrics must agree exactly.
+	for i := range fast.Online.Points {
+		if fast.Online.Points[i].V != des.Online.Points[i].V {
+			t.Fatalf("population diverged at slot %d", i)
+		}
+	}
+}
+
+func TestRunDESInvalidConfig(t *testing.T) {
+	cfg := desConfig()
+	cfg.Slots = 0
+	if _, err := RunDES(cfg, DESOptions{}); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isp"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// Results carries a run's evaluation output: the per-slot series behind the
+// paper's figures plus aggregate counters.
+type Results struct {
+	Strategy string
+	// Welfare is social welfare per slot (Fig. 3 / 6a).
+	Welfare metrics.Series
+	// InterISP is the inter-ISP share of chunk transfers per slot
+	// (Fig. 4 / 6b).
+	InterISP metrics.Series
+	// MissRate is the deadline-miss fraction per slot (Fig. 5 / 6c).
+	MissRate metrics.Series
+	// Online is the watcher population per slot.
+	Online metrics.Series
+	// Payments is the λ-weighted sum winners would pay per slot (0 for
+	// price-free strategies); with it, buyer surplus = welfare − payments.
+	Payments metrics.Series
+	// PriceTrace samples a representative peer's λ_u over fine-grained
+	// simulated time (Fig. 2; DES engine only, nil otherwise).
+	PriceTrace *metrics.Series
+
+	TotalGrants   int64
+	TotalInterISP int64
+	TotalMissed   int64
+	TotalPlayed   int64
+	TotalPayments float64
+	Joined        int64
+	Departed      int64
+
+	// TrafficMatrix[src][dst] counts chunk transfers from ISP src to ISP dst
+	// over the run (diagonal = intra-ISP): the ledger an ISP operator would
+	// audit.
+	TrafficMatrix [][]int64
+	// PerISPMissRate is each ISP's watchers' aggregate miss rate — the
+	// fairness view across ISPs (content-poor ISPs suffer first).
+	PerISPMissRate []float64
+}
+
+// MeanInterISPFraction returns total inter-ISP transfers over total
+// transfers.
+func (r *Results) MeanInterISPFraction() float64 {
+	if r.TotalGrants == 0 {
+		return 0
+	}
+	return float64(r.TotalInterISP) / float64(r.TotalGrants)
+}
+
+// MeanMissRate returns total misses over total played chunks.
+func (r *Results) MeanMissRate() float64 {
+	if r.TotalPlayed == 0 {
+		return 0
+	}
+	return float64(r.TotalMissed) / float64(r.TotalPlayed)
+}
+
+// MissRateFairness returns Jain's fairness index over the per-ISP goodput
+// ratios (1 = perfectly even service quality across ISPs; 1/M = one ISP gets
+// everything). Returns 1 when nothing was played.
+func (r *Results) MissRateFairness() float64 {
+	var ratios []float64
+	for _, m := range r.PerISPMissRate {
+		ratios = append(ratios, 1-m) // goodput share per ISP
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range ratios {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(ratios)) * sumSq)
+}
+
+// finalizeFrom copies the world's run-level ledgers into the results.
+func (r *Results) finalizeFrom(w *world) {
+	r.Joined = w.joined
+	r.Departed = w.departed
+	r.TrafficMatrix = make([][]int64, len(w.trafficMatrix))
+	for i, row := range w.trafficMatrix {
+		r.TrafficMatrix[i] = append([]int64(nil), row...)
+	}
+	r.PerISPMissRate = make([]float64, len(w.perISPPlayed))
+	for i := range w.perISPPlayed {
+		if w.perISPPlayed[i] > 0 {
+			r.PerISPMissRate[i] = float64(w.perISPMissed[i]) / float64(w.perISPPlayed[i])
+		}
+	}
+}
+
+// Run executes the fast engine: cfg's world stepped Slots times, each slot
+// solved by scheduler.
+func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
+	if scheduler == nil {
+		return nil, fmt.Errorf("sim: nil scheduler")
+	}
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{Strategy: scheduler.Name()}
+	res.Welfare.Name = scheduler.Name() + "/welfare"
+	res.InterISP.Name = scheduler.Name() + "/inter-isp"
+	res.MissRate.Name = scheduler.Name() + "/miss-rate"
+	res.Online.Name = scheduler.Name() + "/online"
+	res.Payments.Name = scheduler.Name() + "/payments"
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		w.slot = slot
+		if err := stepSlot(w, scheduler, res); err != nil {
+			return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+		}
+	}
+	res.finalizeFrom(w)
+	return res, nil
+}
+
+// stepSlot runs one slot of the shared pipeline: neighbor refresh, the
+// slot's bidding rounds (schedule + transfers each), playback/misses, churn.
+func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
+	w.refreshNeighbors()
+	var out slotOutcome
+	delivered := make(map[isp.PeerID]map[video.ChunkIndex]float64)
+	for j := 0; j < w.cfg.BidRoundsPerSlot; j++ {
+		in, err := w.buildInstance(j)
+		if err != nil {
+			return err
+		}
+		sr, err := scheduler.Schedule(in)
+		if err != nil {
+			return err
+		}
+		if err := w.applyGrants(j, in, sr.Grants, &out, delivered); err != nil {
+			return err
+		}
+		out.addPayments(sr.Grants, sr.Prices)
+	}
+	w.playback(delivered, &out)
+	if err := recordSlot(w, res, &out); err != nil {
+		return err
+	}
+	return finishSlot(w, &out)
+}
+
+// recordSlot appends the slot's metrics.
+func recordSlot(w *world, res *Results, out *slotOutcome) error {
+	t := float64(w.slot) * w.cfg.SlotSeconds
+	if err := res.Welfare.Add(t, out.welfare); err != nil {
+		return err
+	}
+	interFrac := 0.0
+	if out.grants > 0 {
+		interFrac = float64(out.interISP) / float64(out.grants)
+	}
+	if err := res.InterISP.Add(t, interFrac); err != nil {
+		return err
+	}
+	missRate := 0.0
+	if out.played > 0 {
+		missRate = float64(out.missed) / float64(out.played)
+	}
+	if err := res.MissRate.Add(t, missRate); err != nil {
+		return err
+	}
+	if err := res.Online.Add(t, float64(w.online())); err != nil {
+		return err
+	}
+	if err := res.Payments.Add(t, out.payments); err != nil {
+		return err
+	}
+	res.TotalGrants += int64(out.grants)
+	res.TotalPayments += out.payments
+	res.TotalInterISP += int64(out.interISP)
+	res.TotalMissed += out.missed
+	res.TotalPlayed += out.played
+	return nil
+}
+
+// finishSlot applies departures and arrivals for the next slot.
+func finishSlot(w *world, out *slotOutcome) error {
+	for _, id := range out.departures {
+		w.removePeer(id)
+		if w.cfg.Scenario == ScenarioStatic {
+			// Keep the static population constant: replace the finished
+			// watcher with a fresh one.
+			if err := w.spawnStaticPeer(); err != nil {
+				return err
+			}
+		}
+	}
+	if w.cfg.Scenario == ScenarioDynamic {
+		arrivals := w.rngChurn.Poisson(w.cfg.ArrivalPerSec * w.cfg.SlotSeconds)
+		for i := 0; i < arrivals; i++ {
+			if err := w.spawnDynamicPeer(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

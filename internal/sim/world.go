@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/isp"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/tracker"
+	"repro/internal/video"
+)
+
+// peerRuntime is the simulator's view of one node (watcher or seed).
+type peerRuntime struct {
+	id    isp.PeerID
+	ispID isp.ID
+	vid   video.ID
+	seed  bool
+	// capacity is B(u): chunks uploadable per slot.
+	capacity int
+	cache    *buffer.Set
+	// neighbors is the current neighbor list (refreshed every slot).
+	neighbors []isp.PeerID
+	// pos is the playback front: chunks [0, pos) have been played.
+	pos int
+	// startSlot is the slot at which playback begins (join slot + 1 for
+	// dynamic arrivals: the first slot is startup buffering).
+	startSlot int
+	// earlyLeaveSlot is the churn departure slot (-1 = stays to the end).
+	earlyLeaveSlot int
+	// misses/played accumulate lifetime playback accounting.
+	misses, played int64
+}
+
+// started reports whether playback is running at the given slot.
+func (p *peerRuntime) started(slot int) bool {
+	return !p.seed && slot >= p.startSlot
+}
+
+// world owns all mutable simulation state shared by both engines.
+type world struct {
+	cfg     Config
+	topo    *isp.Topology
+	catalog *video.Catalog
+	track   *tracker.Tracker
+
+	peers map[isp.PeerID]*peerRuntime
+	order []isp.PeerID // deterministic iteration order (sorted ids)
+
+	rngChurn *randx.Source
+	rngPeer  *randx.Source
+
+	slot          int
+	chunksPerSlot int
+	nextISP       int // round-robin ISP assignment
+
+	joined, departed int64
+
+	// trafficMatrix[src][dst] counts chunk transfers from ISP src to ISP dst
+	// over the whole run (diagonal = intra-ISP).
+	trafficMatrix [][]int64
+	// perISPMissed/perISPPlayed accumulate playback accounting by the
+	// watcher's ISP, for fairness analysis.
+	perISPMissed, perISPPlayed []int64
+}
+
+// newWorld builds the initial population (seeds + static peers if any).
+func newWorld(cfg Config) (*world, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	catalog, err := video.NewCatalog(cfg.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	root := randx.New(cfg.Seed)
+	topo, err := isp.NewTopology(cfg.NumISPs, cfg.Cost, root.Derive(1).Uint64())
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	w := &world{
+		cfg:           cfg,
+		topo:          topo,
+		catalog:       catalog,
+		track:         tracker.New(),
+		peers:         make(map[isp.PeerID]*peerRuntime),
+		rngChurn:      root.Derive(2),
+		rngPeer:       root.Derive(3),
+		chunksPerSlot: cfg.chunksPerSlot(catalog),
+	}
+	if w.chunksPerSlot <= 0 {
+		return nil, fmt.Errorf("sim: slot shorter than one chunk playback")
+	}
+	w.trafficMatrix = make([][]int64, cfg.NumISPs)
+	for i := range w.trafficMatrix {
+		w.trafficMatrix[i] = make([]int64, cfg.NumISPs)
+	}
+	w.perISPMissed = make([]int64, cfg.NumISPs)
+	w.perISPPlayed = make([]int64, cfg.NumISPs)
+	if err := w.placeSeeds(); err != nil {
+		return nil, err
+	}
+	if cfg.Scenario == ScenarioStatic {
+		for i := 0; i < cfg.StaticPeers; i++ {
+			if err := w.spawnStaticPeer(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.refreshNeighbors()
+	return w, nil
+}
+
+// placeSeeds creates the seed population per the configured placement.
+func (w *world) placeSeeds() error {
+	seedCap := int(w.cfg.SeedUploadX * w.catalog.ChunksPerSecond() * w.cfg.SlotSeconds)
+	for v := 0; v < w.catalog.Count(); v++ {
+		switch w.cfg.Placement {
+		case SeedsPerISP:
+			for m := 0; m < w.cfg.NumISPs; m++ {
+				for k := 0; k < w.cfg.SeedsPerVideo; k++ {
+					if err := w.addSeed(video.ID(v), isp.ID(m), seedCap); err != nil {
+						return err
+					}
+				}
+			}
+		case SeedsGlobal:
+			for k := 0; k < w.cfg.SeedsPerVideo; k++ {
+				m := isp.ID((v*w.cfg.SeedsPerVideo + k) % w.cfg.NumISPs)
+				if err := w.addSeed(video.ID(v), m, seedCap); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (w *world) addSeed(v video.ID, m isp.ID, capacity int) error {
+	id, err := w.topo.AddPeer(m)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	cache, err := buffer.NewFullSet(w.catalog.Chunks())
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	p := &peerRuntime{
+		id: id, ispID: m, vid: v, seed: true,
+		capacity: capacity, cache: cache, earlyLeaveSlot: -1,
+	}
+	w.peers[id] = p
+	w.order = append(w.order, id)
+	w.joined++
+	if err := w.track.Join(tracker.Entry{Peer: id, Video: v, Seed: true}); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// drawCapacity samples a watcher's upload capacity: uniform
+// [UploadMinX, UploadMaxX] × streaming rate, in chunks per slot.
+func (w *world) drawCapacity() int {
+	x := w.rngPeer.Range(w.cfg.UploadMinX, w.cfg.UploadMaxX)
+	c := int(x * w.catalog.ChunksPerSecond() * w.cfg.SlotSeconds)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// nextISPRoundRobin spreads joiners evenly over ISPs (paper: "distributed in
+// the 5 ISPs evenly").
+func (w *world) nextISPRoundRobin() isp.ID {
+	m := isp.ID(w.nextISP % w.cfg.NumISPs)
+	w.nextISP++
+	return m
+}
+
+// spawnStaticPeer creates a watcher at a uniformly random playback position
+// with history [0, pos) already cached — a steady-state snapshot member.
+func (w *world) spawnStaticPeer() error {
+	vid := w.catalog.Pick(w.rngPeer)
+	pos := w.rngPeer.Intn(w.catalog.Chunks())
+	return w.addWatcher(vid, w.nextISPRoundRobin(), pos, w.slot, -1)
+}
+
+// spawnDynamicPeer creates a fresh arrival that starts playback next slot and
+// may be destined to leave early.
+func (w *world) spawnDynamicPeer() error {
+	vid := w.catalog.Pick(w.rngChurn)
+	startSlot := w.slot + 1
+	earlyLeave := -1
+	if w.cfg.EarlyLeaveProb > 0 && w.rngChurn.Bool(w.cfg.EarlyLeaveProb) {
+		watchSlots := (w.catalog.Chunks() + w.chunksPerSlot - 1) / w.chunksPerSlot
+		if watchSlots > 1 {
+			earlyLeave = startSlot + w.rngChurn.Intn(watchSlots-1)
+		}
+	}
+	return w.addWatcher(vid, w.nextISPRoundRobin(), 0, startSlot, earlyLeave)
+}
+
+func (w *world) addWatcher(vid video.ID, m isp.ID, pos, startSlot, earlyLeaveSlot int) error {
+	id, err := w.topo.AddPeer(m)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	cache, err := buffer.NewSet(w.catalog.Chunks())
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if pos > 0 {
+		cache.AddRange(0, video.ChunkIndex(pos))
+	}
+	p := &peerRuntime{
+		id: id, ispID: m, vid: vid,
+		capacity: w.drawCapacity(), cache: cache,
+		pos: pos, startSlot: startSlot, earlyLeaveSlot: earlyLeaveSlot,
+	}
+	w.peers[id] = p
+	w.order = append(w.order, id)
+	w.joined++
+	if err := w.track.Join(tracker.Entry{Peer: id, Video: vid, Position: video.ChunkIndex(pos)}); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// removePeer deletes a departed watcher.
+func (w *world) removePeer(id isp.PeerID) {
+	if _, ok := w.peers[id]; !ok {
+		return
+	}
+	delete(w.peers, id)
+	w.track.Leave(id)
+	for i, p := range w.order {
+		if p == id {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	w.departed++
+}
+
+// online returns the number of online watchers (seeds excluded).
+func (w *world) online() int {
+	n := 0
+	for _, p := range w.peers {
+		if !p.seed {
+			n++
+		}
+	}
+	return n
+}
+
+// refreshNeighbors re-bootstraps every watcher's neighbor list from the
+// tracker (the paper's neighbor manager, run each bidding cycle).
+func (w *world) refreshNeighbors() {
+	for _, id := range w.order {
+		p := w.peers[id]
+		if p.seed {
+			continue
+		}
+		neighbors, err := w.track.Neighbors(id, w.cfg.NeighborCount)
+		if err != nil {
+			continue // freshly departed; next slot heals
+		}
+		p.neighbors = neighbors
+	}
+}
+
+// tauOf returns the in-slot time offset (seconds) of bidding round j.
+func (w *world) tauOf(j int) float64 {
+	return w.cfg.SlotSeconds * float64(j) / float64(w.cfg.BidRoundsPerSlot)
+}
+
+// roundCapacity splits B(u) over the slot's bidding rounds pro rata — an
+// uplink of rate B/slot can physically push only ≈B/R chunks per sub-round,
+// whichever round allocated them.
+func roundCapacity(capacity, round, rounds int) int {
+	return capacity*(round+1)/rounds - capacity*round/rounds
+}
+
+// deadline returns the playback deadline of chunk idx for peer p, in seconds
+// from bidding round j of the current slot (the moment bids are valued).
+func (w *world) deadline(p *peerRuntime, idx video.ChunkIndex, j int) float64 {
+	rate := w.catalog.ChunksPerSecond()
+	tau := w.tauOf(j)
+	if p.started(w.slot) {
+		return float64(int(idx)-p.pos)/rate - tau
+	}
+	// Playback starts at startSlot; chunk i plays i/rate after that.
+	lead := float64(p.startSlot-w.slot) * w.cfg.SlotSeconds
+	return lead + float64(idx)/rate - tau
+}
+
+// windowOf returns the window of interest R_t(d) for watcher p at bidding
+// round j: the next WindowChunks missing chunks ahead of the playback front,
+// which slides within the slot as rounds progress — the paper's peers bid
+// continuously, re-valuing chunks as deadlines tighten.
+func (w *world) windowOf(p *peerRuntime, j int) []video.ChunkIndex {
+	if p.seed {
+		return nil
+	}
+	if p.started(w.slot) {
+		front := p.pos + int(w.tauOf(j)*w.catalog.ChunksPerSecond())
+		return p.cache.Window(video.ChunkIndex(front), w.cfg.WindowChunks)
+	}
+	// Pre-playback: fill the initial window.
+	return p.cache.MissingIn(0, video.ChunkIndex(w.cfg.WindowChunks))
+}
+
+// buildInstance assembles the scheduling problem of bidding round j: every
+// watcher's window requests with round-j valuations/deadlines, and every
+// online node as an uploader with its round-j capacity share.
+func (w *world) buildInstance(j int) (*sched.Instance, error) {
+	rounds := w.cfg.BidRoundsPerSlot
+	uploaders := make([]sched.Uploader, 0, len(w.order))
+	for _, id := range w.order {
+		uploaders = append(uploaders, sched.Uploader{
+			Peer:     id,
+			Capacity: roundCapacity(w.peers[id].capacity, j, rounds),
+		})
+	}
+	var requests []sched.Request
+	for _, id := range w.order {
+		p := w.peers[id]
+		for _, idx := range w.windowOf(p, j) {
+			d := w.deadline(p, idx, j)
+			if d < 0 {
+				continue // unplayable; do not waste bandwidth
+			}
+			chunk := video.ChunkID{Video: p.vid, Index: idx}
+			var cands []sched.Candidate
+			for _, nb := range p.neighbors {
+				up, ok := w.peers[nb]
+				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
+					continue
+				}
+				cands = append(cands, sched.Candidate{
+					Peer: nb,
+					Cost: w.cfg.CostScale * w.topo.MustCost(nb, id),
+				})
+			}
+			if len(cands) == 0 {
+				continue // nobody can serve it; miss accounting handles it
+			}
+			requests = append(requests, sched.Request{
+				Peer:       id,
+				Chunk:      chunk,
+				Value:      w.cfg.Valuation.Value(d),
+				Deadline:   d,
+				Candidates: cands,
+			})
+		}
+	}
+	return sched.NewInstance(requests, uploaders)
+}
+
+// slotOutcome aggregates one slot's effects for the metrics.
+type slotOutcome struct {
+	welfare float64
+	// payments is Σ λ_u over granted units: what winners would pay at the
+	// auction's market-clearing prices (the paper models no money transfer,
+	// but the dual prices are exactly the marginal value of bandwidth).
+	payments   float64
+	grants     int
+	interISP   int
+	missed     int64
+	played     int64
+	departures []isp.PeerID
+}
+
+// addPayments accumulates the λ-weighted payments of a round's grants.
+func (out *slotOutcome) addPayments(grants []sched.Grant, prices map[isp.PeerID]float64) {
+	if prices == nil {
+		return
+	}
+	for _, g := range grants {
+		out.payments += prices[g.Uploader]
+	}
+}
+
+// applyGrants turns bidding round j's grants into serialized chunk
+// deliveries: caches update, the traffic ledger advances and per-peer
+// absolute delivery times (seconds from slot start) accumulate into delivered
+// for miss accounting.
+func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant,
+	out *slotOutcome, delivered map[isp.PeerID]map[video.ChunkIndex]float64) error {
+	if err := in.Validate(grants); err != nil {
+		return fmt.Errorf("sim: scheduler produced invalid grants: %w", err)
+	}
+	// Group grants per uploader to serialize each uplink.
+	byUploader := make(map[isp.PeerID][]sched.Grant)
+	for _, g := range grants {
+		byUploader[g.Uploader] = append(byUploader[g.Uploader], g)
+	}
+	uploaderIDs := make([]isp.PeerID, 0, len(byUploader))
+	for u := range byUploader {
+		uploaderIDs = append(uploaderIDs, u)
+	}
+	sort.Slice(uploaderIDs, func(a, b int) bool { return uploaderIDs[a] < uploaderIDs[b] })
+
+	tau := w.tauOf(j)
+	for _, u := range uploaderIDs {
+		gs := byUploader[u]
+		// Most urgent first on the uplink.
+		sort.Slice(gs, func(a, b int) bool {
+			da := in.Requests[gs[a].Request].Deadline
+			db := in.Requests[gs[b].Request].Deadline
+			if da != db {
+				return da < db
+			}
+			return gs[a].Request < gs[b].Request
+		})
+		up := w.peers[u]
+		if up == nil {
+			return fmt.Errorf("sim: grant from unknown uploader %d", u)
+		}
+		// The uplink serves at B(u)/slot chunks per second throughout.
+		perChunk := w.cfg.SlotSeconds / float64(up.capacity)
+		for k, g := range gs {
+			req := in.Requests[g.Request]
+			at := tau + float64(k+1)*perChunk
+			down := w.peers[req.Peer]
+			if down == nil {
+				continue // receiver departed mid-slot (possible under churn)
+			}
+			down.cache.Add(req.Chunk.Index)
+			if delivered[req.Peer] == nil {
+				delivered[req.Peer] = make(map[video.ChunkIndex]float64)
+			}
+			delivered[req.Peer][req.Chunk.Index] = at
+			out.welfare += req.Value - mustCost(in, g)
+			out.grants++
+			inter, err := w.topo.IsInter(u, req.Peer)
+			if err != nil {
+				return fmt.Errorf("sim: %w", err)
+			}
+			if inter {
+				out.interISP++
+			}
+			w.trafficMatrix[up.ispID][down.ispID]++
+		}
+	}
+	return nil
+}
+
+func mustCost(in *sched.Instance, g sched.Grant) float64 {
+	c, ok := in.Cost(g.Request, g.Uploader)
+	if !ok {
+		// Validate already guaranteed the edge exists.
+		panic(fmt.Sprintf("sim: missing cost for grant %+v", g))
+	}
+	return c
+}
+
+// playback advances every watcher by one slot of playback, counting deadline
+// misses, and collects departures (finished or early-leaving watchers).
+func (w *world) playback(delivered map[isp.PeerID]map[video.ChunkIndex]float64,
+	out *slotOutcome) {
+	rate := w.catalog.ChunksPerSecond()
+	for _, id := range w.order {
+		p := w.peers[id]
+		if p.seed {
+			continue
+		}
+		if p.started(w.slot) {
+			toPlay := w.chunksPerSlot
+			if remaining := w.catalog.Chunks() - p.pos; toPlay > remaining {
+				toPlay = remaining
+			}
+			for i := 0; i < toPlay; i++ {
+				idx := video.ChunkIndex(p.pos + i)
+				deadlineAt := float64(i) / rate
+				miss := !p.cache.Has(idx)
+				if !miss {
+					if at, ok := delivered[id][idx]; ok && at > deadlineAt {
+						miss = true // arrived, but after its playback moment
+					}
+				}
+				if miss {
+					p.misses++
+					out.missed++
+					w.perISPMissed[p.ispID]++
+				}
+				p.played++
+				out.played++
+				w.perISPPlayed[p.ispID]++
+			}
+			p.pos += toPlay
+			w.track.UpdatePosition(id, video.ChunkIndex(p.pos))
+		}
+		finished := p.pos >= w.catalog.Chunks()
+		earlyOut := p.earlyLeaveSlot >= 0 && w.slot >= p.earlyLeaveSlot
+		if finished || earlyOut {
+			out.departures = append(out.departures, id)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+func TestRoundCapacityPartitionsExactly(t *testing.T) {
+	// Σ_j roundCapacity(B, j, R) == B for every (B, R): no bandwidth lost or
+	// invented by the sub-round metering.
+	f := func(bRaw uint16, rRaw uint8) bool {
+		capacity := int(bRaw)
+		rounds := int(rRaw)%8 + 1
+		total := 0
+		for j := 0; j < rounds; j++ {
+			part := roundCapacity(capacity, j, rounds)
+			if part < 0 {
+				return false
+			}
+			total += part
+		}
+		return total == capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundCapacityMonotoneInRound(t *testing.T) {
+	// Parts differ by at most 1 (pro-rata fairness).
+	for _, capacity := range []int{1, 3, 7, 100, 401} {
+		for rounds := 1; rounds <= 6; rounds++ {
+			min, max := capacity, 0
+			for j := 0; j < rounds; j++ {
+				p := roundCapacity(capacity, j, rounds)
+				if p < min {
+					min = p
+				}
+				if p > max {
+					max = p
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("capacity %d over %d rounds: parts spread %d..%d",
+					capacity, rounds, min, max)
+			}
+		}
+	}
+}
+
+func TestWorldDeadlinesAndWindows(t *testing.T) {
+	cfg := testConfig()
+	w, err := newWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a started watcher mid-video.
+	var p *peerRuntime
+	for _, id := range w.order {
+		cand := w.peers[id]
+		if !cand.seed && cand.pos > 0 && cand.pos < w.catalog.Chunks()-cfg.WindowChunks {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no mid-video watcher in this seed")
+	}
+	// Round 0: the first window chunk is pos+1 with deadline 1/rate.
+	win := w.windowOf(p, 0)
+	if len(win) == 0 {
+		t.Fatal("empty window for a mid-video watcher")
+	}
+	if win[0] != video.ChunkIndex(p.pos+1) {
+		t.Fatalf("window starts at %d, want %d", win[0], p.pos+1)
+	}
+	rate := w.catalog.ChunksPerSecond()
+	if d := w.deadline(p, win[0], 0); d <= 0 || d > 1/rate+1e-9 {
+		t.Fatalf("first chunk deadline %v", d)
+	}
+	// Later rounds slide the window forward and tighten deadlines.
+	lastRound := cfg.BidRoundsPerSlot - 1
+	winLate := w.windowOf(p, lastRound)
+	if len(winLate) > 0 && winLate[0] <= win[0] {
+		t.Fatalf("window front did not slide: %d -> %d", win[0], winLate[0])
+	}
+	d0 := w.deadline(p, win[len(win)-1], 0)
+	dLate := w.deadline(p, win[len(win)-1], lastRound)
+	if dLate >= d0 {
+		t.Fatalf("deadline should tighten across rounds: %v -> %v", d0, dLate)
+	}
+}
+
+func TestWorldPlaybackConservation(t *testing.T) {
+	// played == missed + hit for every slot; total played grows by exactly
+	// chunksPerSlot per started watcher (absent video ends).
+	cfg := testConfig()
+	cfg.Slots = 4
+	res, err := Run(cfg, &simpleCounter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMissed > res.TotalPlayed {
+		t.Fatalf("missed %d > played %d", res.TotalMissed, res.TotalPlayed)
+	}
+	if res.TotalPlayed == 0 {
+		t.Fatal("nothing played")
+	}
+}
+
+// simpleCounter is a do-nothing scheduler: grants nothing, so every due chunk
+// beyond the prefilled cache is a miss. Exercises the accounting path.
+type simpleCounter struct{}
+
+func (s *simpleCounter) Name() string { return "null" }
+func (s *simpleCounter) Schedule(in *sched.Instance) (*sched.Result, error) {
+	return &sched.Result{}, nil
+}
+
+func TestNullSchedulerMissesEverything(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scenario = ScenarioDynamic // start empty: all windows unfilled
+	cfg.Slots = 6
+	res, err := Run(cfg, &simpleCounter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGrants != 0 {
+		t.Fatal("null scheduler granted something")
+	}
+	if res.TotalPlayed > 0 && res.TotalMissed != res.TotalPlayed {
+		t.Fatalf("with no transfers every played chunk is a miss: %d/%d",
+			res.TotalMissed, res.TotalPlayed)
+	}
+}
+
+func TestTrafficMatrixConsistency(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrafficMatrix) != cfg.NumISPs {
+		t.Fatalf("matrix has %d rows", len(res.TrafficMatrix))
+	}
+	var total, diag int64
+	for i, row := range res.TrafficMatrix {
+		for j, v := range row {
+			if v < 0 {
+				t.Fatalf("negative traffic [%d][%d]", i, j)
+			}
+			total += v
+			if i == j {
+				diag += v
+			}
+		}
+	}
+	if total != res.TotalGrants {
+		t.Fatalf("matrix total %d != grants %d", total, res.TotalGrants)
+	}
+	if total-diag != res.TotalInterISP {
+		t.Fatalf("off-diagonal %d != inter-ISP count %d", total-diag, res.TotalInterISP)
+	}
+}
+
+func TestPerISPMissRateAndFairness(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerISPMissRate) != cfg.NumISPs {
+		t.Fatalf("per-ISP miss rates: %d entries", len(res.PerISPMissRate))
+	}
+	for i, m := range res.PerISPMissRate {
+		if m < 0 || m > 1 {
+			t.Fatalf("ISP %d miss rate %v out of range", i, m)
+		}
+	}
+	fair := res.MissRateFairness()
+	if fair <= 0 || fair > 1+1e-9 {
+		t.Fatalf("Jain index %v out of (0,1]", fair)
+	}
+	// Empty results degenerate to perfect fairness.
+	empty := &Results{}
+	if empty.MissRateFairness() != 1 {
+		t.Fatal("empty results should report fairness 1")
+	}
+}

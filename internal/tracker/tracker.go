@@ -1,0 +1,144 @@
+// Package tracker implements the paper's tracker server: it keeps track of
+// online peers and bootstraps (new) peers with a list of neighbors watching
+// the same video with close playback positions (§V). Seed peers for the video
+// are always included first — they are the content anchors every swarm needs.
+package tracker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isp"
+	"repro/internal/video"
+)
+
+// Entry is one online peer as the tracker sees it.
+type Entry struct {
+	Peer     isp.PeerID
+	Video    video.ID
+	Position video.ChunkIndex
+	Seed     bool
+}
+
+// Tracker is the registry. It is not safe for concurrent use; the simulation
+// control loop owns it (the live engine wraps it with a lock).
+type Tracker struct {
+	entries map[isp.PeerID]*Entry
+	byVideo map[video.ID]map[isp.PeerID]*Entry
+}
+
+// New creates an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		entries: make(map[isp.PeerID]*Entry),
+		byVideo: make(map[video.ID]map[isp.PeerID]*Entry),
+	}
+}
+
+// Join registers a peer. Double joins are an error (the peer must Leave
+// first).
+func (t *Tracker) Join(e Entry) error {
+	if _, ok := t.entries[e.Peer]; ok {
+		return fmt.Errorf("tracker: peer %d already online", e.Peer)
+	}
+	entry := e
+	t.entries[e.Peer] = &entry
+	vm, ok := t.byVideo[e.Video]
+	if !ok {
+		vm = make(map[isp.PeerID]*Entry)
+		t.byVideo[e.Video] = vm
+	}
+	vm[e.Peer] = &entry
+	return nil
+}
+
+// Leave removes a peer; unknown peers are a no-op (departure messages can
+// race).
+func (t *Tracker) Leave(p isp.PeerID) {
+	e, ok := t.entries[p]
+	if !ok {
+		return
+	}
+	delete(t.entries, p)
+	delete(t.byVideo[e.Video], p)
+	if len(t.byVideo[e.Video]) == 0 {
+		delete(t.byVideo, e.Video)
+	}
+}
+
+// UpdatePosition records a peer's playback progress so future neighbor lists
+// stay position-aware.
+func (t *Tracker) UpdatePosition(p isp.PeerID, pos video.ChunkIndex) {
+	if e, ok := t.entries[p]; ok {
+		e.Position = pos
+	}
+}
+
+// Online returns the number of registered peers (seeds included).
+func (t *Tracker) Online() int { return len(t.entries) }
+
+// Lookup returns a peer's entry.
+func (t *Tracker) Lookup(p isp.PeerID) (Entry, bool) {
+	e, ok := t.entries[p]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Watching returns how many peers (including seeds) are on video v.
+func (t *Tracker) Watching(v video.ID) int { return len(t.byVideo[v]) }
+
+// Neighbors builds the bootstrap neighbor list for peer p: all seeds of p's
+// video first, then other watchers ordered by playback-position distance
+// (ties by peer id), truncated to max. Unknown peers are an error.
+func (t *Tracker) Neighbors(p isp.PeerID, max int) ([]isp.PeerID, error) {
+	self, ok := t.entries[p]
+	if !ok {
+		return nil, fmt.Errorf("tracker: unknown peer %d", p)
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	var seeds, watchers []*Entry
+	for _, e := range t.byVideo[self.Video] {
+		if e.Peer == p {
+			continue
+		}
+		if e.Seed {
+			seeds = append(seeds, e)
+		} else {
+			watchers = append(watchers, e)
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Peer < seeds[j].Peer })
+	sort.Slice(watchers, func(i, j int) bool {
+		di := positionDistance(watchers[i].Position, self.Position)
+		dj := positionDistance(watchers[j].Position, self.Position)
+		if di != dj {
+			return di < dj
+		}
+		return watchers[i].Peer < watchers[j].Peer
+	})
+	out := make([]isp.PeerID, 0, max)
+	for _, e := range seeds {
+		if len(out) == max {
+			return out, nil
+		}
+		out = append(out, e.Peer)
+	}
+	for _, e := range watchers {
+		if len(out) == max {
+			return out, nil
+		}
+		out = append(out, e.Peer)
+	}
+	return out, nil
+}
+
+func positionDistance(a, b video.ChunkIndex) video.ChunkIndex {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,67 @@
+// Package valuation implements the paper's deadline-based chunk valuation
+// v(d) = α / log(β + d), where d is the time (in seconds) until the chunk's
+// playback deadline (paper §V, following Wu et al., TOMCCAP 2012).
+//
+// With the default α = 2, β = 1.2 the value is clamped to the paper's stated
+// range [0.8, 8]: a chunk needed almost immediately is worth 8, one needed
+// ~11 s away is worth 0.8, and anything farther out stays at the floor.
+package valuation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Deadline is the deadline-urgency valuation function.
+type Deadline struct {
+	Alpha float64 // numerator constant (paper: 2)
+	Beta  float64 // log offset (paper: 1.2)
+	Min   float64 // value floor (paper: 0.8)
+	Max   float64 // value ceiling (paper: 8)
+}
+
+// Default returns the paper's parameters: α=2, β=1.2, clamp [0.8, 8].
+func Default() Deadline {
+	return Deadline{Alpha: 2, Beta: 1.2, Min: 0.8, Max: 8}
+}
+
+// Validate reports whether the parameters are usable.
+func (f Deadline) Validate() error {
+	if f.Alpha <= 0 {
+		return fmt.Errorf("valuation: Alpha must be positive, got %v", f.Alpha)
+	}
+	if f.Beta <= 1 {
+		// log(Beta + d) must be positive for all d >= 0.
+		return fmt.Errorf("valuation: Beta must exceed 1, got %v", f.Beta)
+	}
+	if f.Min > f.Max {
+		return fmt.Errorf("valuation: Min %v > Max %v", f.Min, f.Max)
+	}
+	return nil
+}
+
+// Value returns the valuation of a chunk whose playback deadline is
+// timeToDeadline seconds away. Negative inputs (already past deadline) are
+// treated as 0 (maximum urgency); the result is clamped to [Min, Max].
+func (f Deadline) Value(timeToDeadline float64) float64 {
+	d := timeToDeadline
+	if d < 0 {
+		d = 0
+	}
+	v := f.Alpha / math.Log(f.Beta+d)
+	if v > f.Max || math.IsInf(v, 1) {
+		return f.Max
+	}
+	if v < f.Min {
+		return f.Min
+	}
+	return v
+}
+
+// HorizonFor returns the largest time-to-deadline at which the valuation is
+// still above the floor; beyond it Value returns Min. Useful for tests and
+// for sizing request windows.
+func (f Deadline) HorizonFor() float64 {
+	// Solve Alpha / log(Beta + d) = Min  =>  d = exp(Alpha/Min) - Beta.
+	return math.Exp(f.Alpha/f.Min) - f.Beta
+}

@@ -1,0 +1,92 @@
+package valuation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperRange(t *testing.T) {
+	f := Default()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Urgent chunk (deadline now) -> ceiling 8.
+	if v := f.Value(0); v != 8 {
+		t.Errorf("Value(0) = %v, want 8 (ceiling)", v)
+	}
+	// Far-future chunk -> floor 0.8.
+	if v := f.Value(100); v != 0.8 {
+		t.Errorf("Value(100) = %v, want 0.8 (floor)", v)
+	}
+	// The paper says values lie in [0.8, 8] over its 10 s prefetch window.
+	for d := 0.0; d <= 10; d += 0.1 {
+		v := f.Value(d)
+		if v < 0.8 || v > 8 {
+			t.Fatalf("Value(%v) = %v escapes [0.8, 8]", d, v)
+		}
+	}
+}
+
+func TestValueMonotoneNonIncreasing(t *testing.T) {
+	f := Default()
+	check := func(d1Raw, d2Raw uint16) bool {
+		d1 := float64(d1Raw) / 100
+		d2 := float64(d2Raw) / 100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return f.Value(d1) >= f.Value(d2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueAtKnownPoint(t *testing.T) {
+	f := Default()
+	// v(1) = 2/ln(2.2)
+	want := 2 / math.Log(2.2)
+	if got := f.Value(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value(1) = %v, want %v", got, want)
+	}
+}
+
+func TestNegativeDeadlineIsMaxUrgency(t *testing.T) {
+	f := Default()
+	if f.Value(-5) != f.Value(0) {
+		t.Error("past-deadline chunks should be valued like deadline-now chunks")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Deadline
+	}{
+		{"zero alpha", Deadline{Alpha: 0, Beta: 1.2, Min: 0, Max: 1}},
+		{"beta <= 1", Deadline{Alpha: 2, Beta: 1, Min: 0, Max: 1}},
+		{"min > max", Deadline{Alpha: 2, Beta: 1.2, Min: 5, Max: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.f.Validate(); err == nil {
+			t.Errorf("%s should fail validation", tc.name)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	f := Default()
+	h := f.HorizonFor()
+	// exp(2/0.8) - 1.2 ≈ 10.98: values are above the floor within the 10 s
+	// prefetch window, exactly as the paper's [0.8, 8] range implies.
+	if h < 10 || h > 12 {
+		t.Errorf("horizon = %v, want ≈ 11", h)
+	}
+	if v := f.Value(h + 1); v != f.Min {
+		t.Errorf("beyond horizon value = %v, want floor %v", v, f.Min)
+	}
+	if v := f.Value(h - 1); v <= f.Min {
+		t.Errorf("inside horizon value = %v, should exceed floor", v)
+	}
+}

@@ -1,0 +1,123 @@
+// Package video models the content substrate of the paper's VoD system:
+// a catalog of equal-bitrate videos split into fixed-size chunks, plus the
+// Zipf–Mandelbrot popularity law used to pick which video a joining peer
+// watches (paper §V: 100 videos, ~20 MB each, 640 Kbps, 8 KB chunks,
+// p(i) ∝ 1/(i+q)^α with α = 0.78, q = 4).
+package video
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// ID identifies a video in the catalog, in [0, Count).
+type ID int
+
+// ChunkIndex is the position of a chunk within its video, in [0, Chunks).
+type ChunkIndex int
+
+// ChunkID globally identifies one chunk.
+type ChunkID struct {
+	Video ID
+	Index ChunkIndex
+}
+
+// String renders "v<video>#<index>" for logs and error messages.
+func (c ChunkID) String() string {
+	return fmt.Sprintf("v%d#%d", c.Video, c.Index)
+}
+
+// Params describes the (uniform) shape of every video in the catalog.
+type Params struct {
+	Count       int     // number of videos
+	SizeMB      float64 // file size in megabytes
+	BitrateKbps float64 // playback bitrate
+	ChunkSizeKB float64 // chunk size
+	PopAlpha    float64 // Zipf–Mandelbrot alpha
+	PopQ        float64 // Zipf–Mandelbrot q
+}
+
+// PaperParams returns the paper's catalog: 100 videos, 20 MB, 640 Kbps,
+// 8 KB chunks, Zipf–Mandelbrot(0.78, 4).
+func PaperParams() Params {
+	return Params{
+		Count:       100,
+		SizeMB:      20,
+		BitrateKbps: 640,
+		ChunkSizeKB: 8,
+		PopAlpha:    0.78,
+		PopQ:        4,
+	}
+}
+
+// Catalog is an immutable set of videos with a shared shape and a popularity
+// distribution over them.
+type Catalog struct {
+	params     Params
+	chunks     int     // chunks per video
+	chunksPerS float64 // playback consumption rate in chunks/second
+	durationS  float64 // video duration in seconds
+	pop        *randx.ZipfMandelbrot
+}
+
+// NewCatalog validates params and builds the catalog.
+func NewCatalog(p Params) (*Catalog, error) {
+	if p.Count <= 0 {
+		return nil, fmt.Errorf("video: catalog needs Count > 0, got %d", p.Count)
+	}
+	if p.SizeMB <= 0 || p.BitrateKbps <= 0 || p.ChunkSizeKB <= 0 {
+		return nil, fmt.Errorf("video: size/bitrate/chunk must be positive (%+v)", p)
+	}
+	chunks := int(p.SizeMB * 1024 / p.ChunkSizeKB)
+	if chunks <= 0 {
+		return nil, fmt.Errorf("video: derived zero chunks from params %+v", p)
+	}
+	// bitrate Kbps -> KB/s -> chunks/s
+	chunksPerS := p.BitrateKbps / 8 / p.ChunkSizeKB
+	pop, err := randx.NewZipfMandelbrot(p.Count, p.PopAlpha, p.PopQ)
+	if err != nil {
+		return nil, fmt.Errorf("video: popularity: %w", err)
+	}
+	return &Catalog{
+		params:     p,
+		chunks:     chunks,
+		chunksPerS: chunksPerS,
+		durationS:  float64(chunks) / chunksPerS,
+		pop:        pop,
+	}, nil
+}
+
+// Params returns the catalog parameters.
+func (c *Catalog) Params() Params { return c.params }
+
+// Count returns the number of videos.
+func (c *Catalog) Count() int { return c.params.Count }
+
+// Chunks returns the number of chunks per video (2560 for the paper params).
+func (c *Catalog) Chunks() int { return c.chunks }
+
+// ChunksPerSecond returns the playback consumption rate in chunks/second
+// (10 for the paper params).
+func (c *Catalog) ChunksPerSecond() float64 { return c.chunksPerS }
+
+// DurationSeconds returns a video's playback duration (256 s for the paper
+// params).
+func (c *Catalog) DurationSeconds() float64 { return c.durationS }
+
+// Valid reports whether chunk belongs to the catalog.
+func (c *Catalog) Valid(chunk ChunkID) bool {
+	return chunk.Video >= 0 && int(chunk.Video) < c.params.Count &&
+		chunk.Index >= 0 && int(chunk.Index) < c.chunks
+}
+
+// Pick samples a video according to the Zipf–Mandelbrot popularity law.
+// Rank 1 (most popular) maps to ID 0.
+func (c *Catalog) Pick(rng *randx.Source) ID {
+	return ID(c.pop.Sample(rng) - 1)
+}
+
+// Popularity returns the probability that a joining peer picks video v.
+func (c *Catalog) Popularity(v ID) float64 {
+	return c.pop.Prob(int(v) + 1)
+}

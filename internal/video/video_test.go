@@ -1,0 +1,116 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func paperCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := NewCatalog(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperDerivedQuantities(t *testing.T) {
+	c := paperCatalog(t)
+	if c.Chunks() != 2560 {
+		t.Errorf("chunks per video = %d, want 2560 (20MB / 8KB)", c.Chunks())
+	}
+	if got := c.ChunksPerSecond(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("playback rate = %v chunks/s, want 10 (640Kbps / 8KB)", got)
+	}
+	if got := c.DurationSeconds(); math.Abs(got-256) > 1e-9 {
+		t.Errorf("duration = %v s, want 256", got)
+	}
+	if c.Count() != 100 {
+		t.Errorf("count = %d, want 100", c.Count())
+	}
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero count", func(p *Params) { p.Count = 0 }},
+		{"zero size", func(p *Params) { p.SizeMB = 0 }},
+		{"zero bitrate", func(p *Params) { p.BitrateKbps = 0 }},
+		{"zero chunk", func(p *Params) { p.ChunkSizeKB = 0 }},
+		{"bad q", func(p *Params) { p.PopQ = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := PaperParams()
+			tc.mut(&p)
+			if _, err := NewCatalog(p); err == nil {
+				t.Errorf("%s should fail validation", tc.name)
+			}
+		})
+	}
+}
+
+func TestValid(t *testing.T) {
+	c := paperCatalog(t)
+	cases := []struct {
+		chunk ChunkID
+		want  bool
+	}{
+		{ChunkID{0, 0}, true},
+		{ChunkID{99, 2559}, true},
+		{ChunkID{-1, 0}, false},
+		{ChunkID{100, 0}, false},
+		{ChunkID{0, -1}, false},
+		{ChunkID{0, 2560}, false},
+	}
+	for _, tc := range cases {
+		if got := c.Valid(tc.chunk); got != tc.want {
+			t.Errorf("Valid(%v) = %v, want %v", tc.chunk, got, tc.want)
+		}
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	c := paperCatalog(t)
+	rng := randx.New(1)
+	counts := make([]int, c.Count())
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := c.Pick(rng)
+		if v < 0 || int(v) >= c.Count() {
+			t.Fatalf("picked out-of-range video %d", v)
+		}
+		counts[v]++
+	}
+	// Most popular video should be sampled more than the least popular.
+	if counts[0] <= counts[c.Count()-1] {
+		t.Errorf("popularity not decreasing: video0=%d video99=%d", counts[0], counts[99])
+	}
+	emp := float64(counts[0]) / n
+	want := c.Popularity(0)
+	if math.Abs(emp-want) > 0.2*want {
+		t.Errorf("video 0: empirical %v vs analytic %v", emp, want)
+	}
+}
+
+func TestPopularitySums(t *testing.T) {
+	c := paperCatalog(t)
+	sum := 0.0
+	for v := 0; v < c.Count(); v++ {
+		sum += c.Popularity(ID(v))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("popularity sums to %v", sum)
+	}
+}
+
+func TestChunkIDString(t *testing.T) {
+	got := ChunkID{Video: 3, Index: 17}.String()
+	if got != "v3#17" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package repro is a from-scratch Go reproduction of "Socially-optimal
+// ISP-aware P2P Content Distribution via a Primal-Dual Approach" (Zhao & Wu,
+// IEEE ICDCS Workshops / HotPOST 2014).
+//
+// It provides, as a library:
+//
+//   - the primal-dual auction algorithm for the paper's social-welfare
+//     maximization problem, both as a centralized solver (SolveAuction) and
+//     as distributed bidder/auctioneer protocol state machines;
+//   - an exact min-cost-flow reference solver (SolveExact) and verification
+//     of feasibility, LP duality and ε-complementary slackness;
+//   - the full P2P VoD evaluation testbed: ISP topologies with inter/intra
+//     cost models, Zipf–Mandelbrot video catalogs, deadline valuations,
+//     tracker, churn, and two simulation engines (slot-level fast engine and
+//     a message-level discrete-event engine);
+//   - the paper's Simple Locality baseline and a network-agnostic random
+//     baseline;
+//   - one runnable experiment per figure of the paper (Figs. 2–6) plus
+//     ablations.
+//
+// This facade re-exports the stable entry points; the implementation lives
+// under internal/. Start with RunAuction for simulations or Experiment for
+// paper figures — see examples/ for complete programs.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Simulation configuration and results (see internal/sim for field docs).
+type (
+	// Config holds every knob of the evaluation environment.
+	Config = sim.Config
+	// Results carries a run's per-slot series and aggregate counters.
+	Results = sim.Results
+	// Series is a named time series of metric samples.
+	Series = metrics.Series
+)
+
+// Scenario and placement selectors.
+const (
+	// ScenarioStatic keeps a constant population (paper's static network).
+	ScenarioStatic = sim.ScenarioStatic
+	// ScenarioDynamic uses Poisson arrivals (paper Figs. 3 and 6).
+	ScenarioDynamic = sim.ScenarioDynamic
+	// SeedsPerISP places seeds in every ISP (the paper's literal reading).
+	SeedsPerISP = sim.SeedsPerISP
+	// SeedsGlobal places seeds per video in total (scarcity calibration).
+	SeedsGlobal = sim.SeedsGlobal
+)
+
+// PaperConfig returns the paper's published parameters (§V).
+func PaperConfig() Config { return sim.PaperConfig() }
+
+// ReproConfig returns the calibrated reproduction configuration used for the
+// figures (see EXPERIMENTS.md for the calibration rationale).
+func ReproConfig() Config { return experiments.ReproConfig() }
+
+// RunAuction simulates cfg under the paper's primal-dual auction scheduler.
+func RunAuction(cfg Config) (*Results, error) {
+	return sim.Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+}
+
+// RunLocality simulates cfg under the Simple Locality baseline.
+func RunLocality(cfg Config) (*Results, error) {
+	return sim.Run(cfg, &baseline.Locality{Rounds: cfg.LocalityRounds})
+}
+
+// RunRandom simulates cfg under the network-agnostic random baseline.
+func RunRandom(cfg Config) (*Results, error) {
+	return sim.Run(cfg, &baseline.Random{Seed: cfg.Seed, Rounds: cfg.LocalityRounds})
+}
+
+// RunDistributed simulates cfg with the message-level engine: the
+// distributed interleaving auctions actually exchange bids, rejections,
+// evictions and price updates over a latency-accurate network. Results
+// include the representative peer's λ_u price trace (paper Fig. 2).
+func RunDistributed(cfg Config) (*Results, error) {
+	return sim.RunDES(cfg, sim.DESOptions{TracePeer: -1})
+}
+
+// Experiment reproduction.
+type (
+	// Report is one experiment's output: series, summary table and notes.
+	Report = experiments.Report
+	// Scale selects experiment size (ScaleSmall/ScaleMedium/ScaleFull).
+	Scale = experiments.Scale
+)
+
+// Experiment sizes.
+const (
+	ScaleSmall  = experiments.ScaleSmall
+	ScaleMedium = experiments.ScaleMedium
+	ScaleFull   = experiments.ScaleFull
+)
+
+// Experiment runs the experiment with the given id ("fig2".."fig6",
+// "abl-eps", "abl-neighbors", "abl-seeds", "engines") at the given scale.
+func Experiment(id string, scale Scale) (*Report, error) {
+	runner, ok := experiments.All()[id]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown experiment %q", id)
+	}
+	return runner(scale)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experiments.All()))
+	for id := range experiments.All() {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Assignment-problem core (the paper's algorithmic contribution), exposed for
+// direct use on arbitrary transportation instances.
+type (
+	// Problem is a transportation instance: unit-demand requests, capacitated
+	// sinks, weighted edges.
+	Problem = core.Problem
+	// Assignment maps each request to a sink (or Unassigned).
+	Assignment = core.Assignment
+	// AuctionOptions configures the primal-dual auction solver.
+	AuctionOptions = core.AuctionOptions
+	// AuctionResult carries the solution, prices and solver diagnostics.
+	AuctionResult = core.AuctionResult
+)
+
+// Unassigned marks a request that receives no bandwidth.
+const Unassigned = core.Unassigned
+
+// NewProblem returns an empty transportation instance.
+func NewProblem() *Problem { return core.NewProblem() }
+
+// SolveAuction runs the primal-dual auction solver.
+func SolveAuction(p *Problem, opts AuctionOptions) (*AuctionResult, error) {
+	return core.SolveAuction(p, opts)
+}
+
+// SolveExact computes the optimal assignment by min-cost flow (ground truth).
+func SolveExact(p *Problem) (*Assignment, error) { return core.SolveExact(p) }
+
+// VerifyEpsilonCS checks ε-complementary slackness of a solution certificate.
+func VerifyEpsilonCS(p *Problem, a *Assignment, prices []float64, eps, tol float64) error {
+	return core.VerifyEpsilonCS(p, a, prices, eps, tol)
+}
+
+// DualObjective evaluates the dual objective (5) at the given prices.
+func DualObjective(p *Problem, prices []float64) float64 {
+	return core.DualObjective(p, prices)
+}

@@ -1,0 +1,105 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func smallConfig() repro.Config {
+	cfg := repro.ReproConfig()
+	cfg.StaticPeers = 30
+	cfg.Slots = 4
+	cfg.Catalog.Count = 8
+	cfg.Catalog.SizeMB = 4
+	cfg.NeighborCount = 10
+	return cfg
+}
+
+func TestFacadeRunners(t *testing.T) {
+	cfg := smallConfig()
+	for name, run := range map[string]func(repro.Config) (*repro.Results, error){
+		"auction":  repro.RunAuction,
+		"locality": repro.RunLocality,
+		"random":   repro.RunRandom,
+	} {
+		res, err := run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalGrants == 0 {
+			t.Errorf("%s scheduled nothing", name)
+		}
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Slots = 2
+	res, err := repro.RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PriceTrace == nil {
+		t.Fatal("distributed run should carry a price trace")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if _, err := repro.Experiment("no-such-experiment", repro.ScaleSmall); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	ids := repro.ExperimentIDs()
+	if len(ids) < 9 {
+		t.Fatalf("expected ≥9 experiments, got %d", len(ids))
+	}
+}
+
+func TestFacadeSolver(t *testing.T) {
+	p := repro.NewProblem()
+	s, err := p.AddSink(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.AddRequest()
+	if err := p.AddEdge(r, s, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.SolveAuction(p, repro.AuctionOptions{Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.SinkOf[r] != s {
+		t.Fatal("trivial assignment failed")
+	}
+	exact, err := repro.SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Welfare(p) != res.Assignment.Welfare(p) {
+		t.Fatal("solvers disagree on a trivial instance")
+	}
+	if err := repro.VerifyEpsilonCS(p, res.Assignment, res.Prices, 0.01, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if dual := repro.DualObjective(p, res.Prices); dual < res.Assignment.Welfare(p)-1e-9 {
+		t.Fatalf("weak duality violated: dual %v < primal %v", dual, res.Assignment.Welfare(p))
+	}
+}
+
+func TestPaperVsReproConfig(t *testing.T) {
+	paper := repro.PaperConfig()
+	if paper.CostScale != 1 || paper.Placement != repro.SeedsPerISP {
+		t.Error("PaperConfig must stay literal")
+	}
+	calibrated := repro.ReproConfig()
+	if calibrated.CostScale == 1 {
+		t.Error("ReproConfig should carry the documented calibrations")
+	}
+	if err := paper.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := calibrated.Validate(); err != nil {
+		t.Error(err)
+	}
+}
