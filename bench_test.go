@@ -1,5 +1,5 @@
 // Package repro's benchmark harness: one benchmark per table/figure of the
-// paper's evaluation plus the DESIGN.md ablations. Each benchmark runs the
+// paper's evaluation plus the repository’s ablations (docs/ARCHITECTURE.md). Each benchmark runs the
 // corresponding experiment and reports its headline metrics through
 // b.ReportMetric, so `go test -bench=. -benchmem` regenerates the full
 // evaluation at bench scale:

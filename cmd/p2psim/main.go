@@ -1,12 +1,23 @@
-// Command p2psim regenerates the paper's figures and the repository's
-// ablations from the command line:
+// Command p2psim is the evaluation driver: it runs registered scenarios —
+// single runs, seed batches and parameter sweeps — and regenerates the
+// paper's figures and ablations.
+//
+// Scenario engine (see internal/scenario and the README's catalog):
+//
+//	p2psim -list                                    # catalog of registered scenarios
+//	p2psim -scenario quickstart -seed 7             # one run, metric table + chart
+//	p2psim -scenario churn -solver locality         # same world, baseline solver
+//	p2psim -scenario vodstreaming -seeds 10 -workers 4 -csv out.csv
+//	p2psim -scenario vodstreaming -seeds 5 -sweep "neighbors=5,15,30" -json out.json
+//
+// Paper figures and ablations (see internal/experiments):
 //
 //	p2psim -exp fig4 -scale full            # Fig. 4 at the paper's scale
 //	p2psim -exp all -scale small            # everything, quickly
 //	p2psim -exp fig3 -csv fig3.csv          # export the series as CSV
 //
-// Output: a summary table per experiment, an ASCII chart of its series, and
-// the reading notes that say what shape to expect against the paper.
+// Output: metric/summary tables, ASCII charts of the per-slot series, and —
+// for experiments — reading notes on what shape to expect against the paper.
 package main
 
 import (
@@ -14,11 +25,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -31,15 +44,41 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("p2psim", flag.ContinueOnError)
 	var (
-		expID    = fs.String("exp", "all", "experiment id (fig2..fig6, abl-eps, abl-neighbors, abl-seeds, engines) or 'all'")
+		expID    = fs.String("exp", "", "experiment id (fig2..fig6, abl-eps, abl-neighbors, abl-seeds, engines, robust-loss, strategic, isp-matrix) or 'all'")
 		scaleStr = fs.String("scale", "small", "experiment scale: small, medium, full")
-		csvPath  = fs.String("csv", "", "write the experiment series to this CSV file")
+		csvPath  = fs.String("csv", "", "write series (experiments/single run) or batch summaries to this CSV file")
 		noChart  = fs.Bool("nochart", false, "suppress ASCII charts")
 		width    = fs.Int("width", 72, "chart width")
 		height   = fs.Int("height", 14, "chart height")
+
+		list     = fs.Bool("list", false, "list registered scenarios and exit")
+		scenName = fs.String("scenario", "", "run the named scenario (see -list)")
+		solver   = fs.String("solver", "", "override the scenario's solver (auction, auction-jacobi, exact, locality, random)")
+		seed     = fs.Uint64("seed", 1, "base seed for scenario runs")
+		seeds    = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
+		workers  = fs.Int("workers", 1, "batch worker pool size")
+		sweep    = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
+		jsonPath = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*list || *scenName != "") && *expID != "" {
+		return fmt.Errorf("-exp cannot be combined with -list/-scenario")
+	}
+	if *list {
+		return listScenarios(os.Stdout)
+	}
+	if *scenName != "" {
+		return runScenario(scenarioOpts{
+			name: *scenName, solver: *solver,
+			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
+			jsonPath: *jsonPath, csvPath: *csvPath,
+			noChart: *noChart, width: *width, height: *height,
+		})
+	}
+	if *expID == "" {
+		*expID = "all"
 	}
 	scale, err := parseScale(*scaleStr)
 	if err != nil {
@@ -145,12 +184,166 @@ func writeCSV(path string, rep *repro.Report) error {
 	if len(rep.Series) == 0 {
 		return fmt.Errorf("experiment %s has no series to export", rep.ID)
 	}
+	return writeFile(path, func(f *os.File) error {
+		return metrics.WriteCSV(f, rep.Series...)
+	})
+}
+
+// listScenarios prints the registry catalog.
+func listScenarios(w *os.File) error {
+	specs := scenario.All()
+	fmt.Fprintf(w, "%d registered scenarios:\n\n", len(specs))
+	nameW, kindW, loadW := len("name"), len("kind"), len("workload")
+	for _, s := range specs {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+		if len(s.Kind.String()) > kindW {
+			kindW = len(s.Kind.String())
+		}
+		if len(s.Workload) > loadW {
+			loadW = len(s.Workload)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-14s  %s\n", nameW, "name", kindW, "kind", loadW, "workload", "solver", "summary")
+	for _, s := range specs {
+		fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-14s  %s\n",
+			nameW, s.Name, kindW, s.Kind.String(), loadW, s.Workload, s.SolverName(), s.Summary)
+	}
+	fmt.Fprintln(w, "\nrun one with: p2psim -scenario <name> [-seed S] [-seeds N -workers K] [-sweep \"param=v1,v2\"]")
+	return nil
+}
+
+type scenarioOpts struct {
+	name, solver      string
+	seed              uint64
+	seeds, workers    int
+	sweep             string
+	jsonPath, csvPath string
+	noChart           bool
+	width, height     int
+}
+
+// runScenario executes a single run or a batch, per the flags.
+func runScenario(o scenarioOpts) error {
+	spec, ok := scenario.Get(o.name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have: %s)", o.name, strings.Join(scenario.Names(), ", "))
+	}
+	if o.solver != "" {
+		spec = spec.WithSolver(scenario.Solver(o.solver))
+	}
+	if o.seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)
+	}
+	grids, err := parseSweep(o.sweep)
+	if err != nil {
+		return err
+	}
+	if o.seeds > 1 || len(grids) > 0 {
+		return runScenarioBatch(spec, o, grids)
+	}
+	res, err := spec.Run(o.seed)
+	if err != nil {
+		return err
+	}
+	if err := scenario.Fprint(os.Stdout, res); err != nil {
+		return err
+	}
+	if !o.noChart && len(res.Series) > 0 {
+		fmt.Println("\nper-slot series:")
+		if err := metrics.Chart(os.Stdout, o.width, o.height, res.Series...); err != nil {
+			return err
+		}
+	}
+	if o.jsonPath != "" {
+		if err := writeFile(o.jsonPath, func(f *os.File) error {
+			return scenario.WriteRunJSON(f, res)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("run written to %s\n", o.jsonPath)
+	}
+	if o.csvPath != "" {
+		if len(res.Series) == 0 {
+			return fmt.Errorf("scenario %s has no series to export; use -seeds/-sweep for summary CSV", o.name)
+		}
+		if err := writeFile(o.csvPath, func(f *os.File) error {
+			return metrics.WriteCSV(f, res.Series...)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("series written to %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// runScenarioBatch fans the spec over seeds × grid and reports aggregates.
+func runScenarioBatch(spec scenario.Spec, o scenarioOpts, grids []scenario.Grid) error {
+	batch := scenario.Batch{
+		Spec:    spec,
+		Seeds:   scenario.Seeds(o.seed, o.seeds),
+		Workers: o.workers,
+		Grids:   grids,
+	}
+	res, err := batch.Run()
+	if err != nil {
+		return err
+	}
+	if err := scenario.FprintBatch(os.Stdout, res); err != nil {
+		return err
+	}
+	if o.jsonPath != "" {
+		if err := writeFile(o.jsonPath, func(f *os.File) error {
+			return scenario.WriteJSON(f, res)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("batch result written to %s\n", o.jsonPath)
+	}
+	if o.csvPath != "" {
+		if err := writeFile(o.csvPath, func(f *os.File) error {
+			return scenario.WriteCSV(f, res)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("summaries written to %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// parseSweep parses "p1=v1,v2;p2=v3,v4" into grids.
+func parseSweep(s string) ([]scenario.Grid, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var grids []scenario.Grid
+	for _, part := range strings.Split(s, ";") {
+		key, vals, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("sweep %q: want param=v1,v2,...", part)
+		}
+		g := scenario.Grid{Param: strings.TrimSpace(key)}
+		for _, v := range strings.Split(vals, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %q: %w", part, err)
+			}
+			g.Values = append(g.Values, x)
+		}
+		grids = append(grids, g)
+	}
+	return grids, nil
+}
+
+// writeFile creates path, runs emit, and closes it, reporting write errors.
+func writeFile(path string, emit func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := metrics.WriteCSV(f, rep.Series...); err != nil {
+	if err := emit(f); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()

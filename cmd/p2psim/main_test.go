@@ -68,3 +68,89 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("-csv with all experiments should error")
 	}
 }
+
+func TestParseSweep(t *testing.T) {
+	grids, err := parseSweep("neighbors=5,15,30; epsilon=0.01,0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 2 || grids[0].Param != "neighbors" || len(grids[0].Values) != 3 {
+		t.Fatalf("grids = %+v", grids)
+	}
+	if grids[1].Param != "epsilon" || grids[1].Values[1] != 0.1 {
+		t.Fatalf("grids = %+v", grids)
+	}
+	if _, err := parseSweep("neighbors"); err == nil {
+		t.Error("missing '=' should error")
+	}
+	if _, err := parseSweep("neighbors=abc"); err == nil {
+		t.Error("non-numeric value should error")
+	}
+	if grids, err := parseSweep(""); err != nil || grids != nil {
+		t.Errorf("empty sweep: %v, %v", grids, err)
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scenario end-to-end")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.json")
+	err := run([]string{"-scenario", "assignment", "-seed", "3", "-nochart", "-json", jsonPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Scenario": "assignment"`) {
+		t.Fatalf("JSON missing scenario name: %s", data)
+	}
+}
+
+func TestRunScenarioBatchSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scenario batch")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "batch.csv")
+	err := run([]string{"-scenario", "assignment", "-seeds", "3", "-workers", "2",
+		"-sweep", "requests=40,80", "-csv", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 { // header + one row per grid point
+		t.Fatalf("want 3 CSV lines, got %d:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "scenario,solver,runs,failed,requests,") {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+}
+
+func TestRunScenarioRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such"}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if err := run([]string{"-scenario", "assignment", "-seeds", "0"}); err == nil {
+		t.Error("zero seeds should error")
+	}
+	if err := run([]string{"-scenario", "assignment", "-sweep", "bogus"}); err == nil {
+		t.Error("malformed sweep should error")
+	}
+	if err := run([]string{"-scenario", "quickstart", "-solver", "bogus"}); err == nil {
+		t.Error("unknown solver should error")
+	}
+}

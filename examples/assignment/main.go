@@ -1,85 +1,43 @@
-// Assignment: use the paper's primal-dual auction as a standalone solver for
-// a transportation problem — the abstract form of "who downloads which chunk
-// from whom". Builds a small instance by hand, solves it with the auction and
-// the exact min-cost-flow solver, verifies the ε-complementary-slackness
-// certificate and prints the market prices.
+// Assignment: use the paper's primal-dual auction as a standalone solver on
+// transportation problems — the abstract form of "who downloads which chunk
+// from whom". The registry's "assignment" preset solves random slot-shaped
+// instances with the auction, cross-checks each against the exact
+// min-cost-flow optimum, and verifies the ε-complementary-slackness
+// certificate; the metrics below report welfare, optimality gap and solver
+// effort averaged over the trials.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
-	"repro/internal/core"
 )
 
 func main() {
-	// Three uploaders with limited bandwidth units, five requests.
-	// Edge weights are net utilities v − w, exactly as in problem (1).
-	p := repro.NewProblem()
-	fast, err := p.AddSink(2) // well-provisioned local peer
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	slow, err := p.AddSink(1) // thin uplink
-	if err != nil {
-		log.Fatal(err)
-	}
-	remote, err := p.AddSink(3) // other ISP: costly but plenty of capacity
-	if err != nil {
-		log.Fatal(err)
-	}
-	names := map[core.SinkID]string{fast: "fast", slow: "slow", remote: "remote"}
+}
 
-	type edge struct {
-		sink   core.SinkID
-		weight float64
+func run(w io.Writer) error {
+	spec, ok := repro.GetScenario("assignment")
+	if !ok {
+		return fmt.Errorf("assignment scenario not registered")
 	}
-	requestEdges := [][]edge{
-		{{fast, 6.0}, {remote, 1.5}},              // urgent chunk, local best
-		{{fast, 5.5}, {slow, 5.0}},                // two local options
-		{{slow, 4.0}, {remote, 0.5}},              // moderate urgency
-		{{fast, 3.0}, {slow, 2.5}, {remote, 2.0}}, // flexible
-		{{remote, -0.5}},                          // not worth fetching at all
-	}
-	for _, edges := range requestEdges {
-		r := p.AddRequest()
-		for _, e := range edges {
-			if err := p.AddEdge(r, e.sink, e.weight); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-
-	const eps = 0.01
-	res, err := repro.SolveAuction(p, repro.AuctionOptions{Epsilon: eps})
+	res, err := spec.Run(1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	exact, err := repro.SolveExact(p)
-	if err != nil {
-		log.Fatal(err)
+	if err := repro.FprintScenario(w, res); err != nil {
+		return err
 	}
-
-	fmt.Println("assignment (auction):")
-	for r, s := range res.Assignment.SinkOf {
-		if s == repro.Unassigned {
-			fmt.Printf("  request %d → unassigned (no profitable option)\n", r)
-			continue
-		}
-		w, _ := p.Weight(core.RequestID(r), s)
-		fmt.Printf("  request %d → %-6s (net utility %.2f, price λ=%.3f)\n",
-			r, names[s], w, res.Prices[s])
-	}
-	fmt.Printf("\nwelfare: auction %.2f vs exact optimum %.2f (ε bound n·ε = %.2f)\n",
-		res.Assignment.Welfare(p), exact.Welfare(p), float64(p.NumRequests())*eps)
-	fmt.Printf("dual objective at the auction's prices: %.2f (weak duality upper bound)\n",
-		repro.DualObjective(p, res.Prices))
-
-	if err := repro.VerifyEpsilonCS(p, res.Assignment, res.Prices, eps, 1e-9); err != nil {
-		log.Fatalf("certificate rejected: %v", err)
-	}
-	fmt.Println("ε-complementary slackness certificate: OK")
-	fmt.Printf("solver: %d iterations, %d bids, %d evictions\n",
-		res.Iterations, res.Bids, res.Evictions)
+	t := spec.Transport
+	fmt.Fprintf(w, "\n%d trials of %d requests × %d sinks; ε-CS certificate verified on every solve\n",
+		t.Trials, t.Requests, t.Sinks)
+	fmt.Fprintf(w, "welfare is within the n·ε = %.2f auction bound of the exact optimum\n",
+		float64(t.Requests)*t.Epsilon)
+	return nil
 }

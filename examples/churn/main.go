@@ -1,65 +1,46 @@
 // Churn: the paper's peer-dynamics scenario (Fig. 6) — peers arrive as a
 // Poisson process and 60% of them quit before finishing their video. The
-// example compares the auction against Simple Locality under this churn and
-// also runs the message-level distributed engine to show the λ_u price trace
-// surviving the dynamics (the paper's §IV.C claims the auctions handle joins
-// and departures smoothly).
+// workload is the registry's "churn" preset, compared under the auction and
+// the Simple Locality baseline (the paper's §IV.C claims the auctions handle
+// joins and departures smoothly).
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
-	cfg := repro.ReproConfig()
-	cfg.Seed = 23
-	cfg.Scenario = repro.ScenarioDynamic
-	cfg.ArrivalPerSec = 1
-	cfg.EarlyLeaveProb = 0.6
-	cfg.Slots = 10
-	cfg.Catalog.Count = 12
-	cfg.Catalog.SizeMB = 8
-	cfg.NeighborCount = 15
-
-	auction, err := repro.RunAuction(cfg)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	locality, err := repro.RunLocality(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+}
 
-	fmt.Printf("churn: %d joined, %d departed over %d slots (early-leave p=%.1f)\n\n",
-		auction.Joined, auction.Departed, cfg.Slots, cfg.EarlyLeaveProb)
-	fmt.Printf("%-10s %14s %12s %12s\n", "strategy", "welfare/slot", "inter-ISP", "miss-rate")
-	for _, res := range []*repro.Results{auction, locality} {
-		fmt.Printf("%-10s %14.1f %11.1f%% %11.2f%%\n",
-			res.Strategy,
-			res.Welfare.Summarize().Mean,
-			100*res.MeanInterISPFraction(),
-			100*res.MeanMissRate())
+func run(w io.Writer) error {
+	spec, ok := repro.GetScenario("churn")
+	if !ok {
+		return fmt.Errorf("churn scenario not registered")
 	}
-
-	// Message-level engine under the same churn: the distributed auctions
-	// keep converging slot after slot while peers come and go.
-	small := cfg
-	small.Slots = 4
-	des, err := repro.RunDistributed(small)
+	auction, err := spec.Run(23)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ndistributed engine under churn: welfare/slot %.1f, %d λ price samples\n",
-		des.Welfare.Summarize().Mean, des.PriceTrace.Len())
-	fmt.Println("representative peer λ_u trace (time, price):")
-	for i, p := range des.PriceTrace.Points {
-		if i >= 12 {
-			fmt.Printf("  ... %d more samples\n", des.PriceTrace.Len()-i)
-			break
-		}
-		fmt.Printf("  t=%6.2fs  λ=%.3f\n", p.T, p.V)
+	locality, err := spec.WithSolver(repro.SolverLocality).Run(23)
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(w, "churn: %.0f joined, %.0f departed over %d slots (early-leave p=%.1f)\n\n",
+		auction.Metrics["joined"], auction.Metrics["departed"],
+		spec.Sim.Slots, spec.Sim.EarlyLeaveProb)
+	fmt.Fprintf(w, "%-10s %14s %12s %12s\n", "solver", "welfare/slot", "inter-ISP", "miss-rate")
+	for _, res := range []*repro.ScenarioResult{auction, locality} {
+		m := res.Metrics
+		fmt.Fprintf(w, "%-10s %14.1f %11.1f%% %11.2f%%\n",
+			res.Solver, m["welfare_per_slot"], 100*m["inter_isp"], 100*m["miss_rate"])
+	}
+	return nil
 }

@@ -3,94 +3,43 @@
 // auctioneer state machines as the simulators — the package-scale equivalent
 // of the paper's one-process-per-peer emulator with real traffic.
 //
-// Two uploaders (one "local", one "remote" with higher network cost) sell
-// bandwidth to three downloaders competing for chunks.
+// The registry's "livenet" preset wires two uploaders (one "local", one
+// "remote" with higher network cost) selling bandwidth to three downloaders
+// competing for chunks; the highest-value downloader holds the local uplink
+// and the rest spill to the remote uploader exactly when their value
+// justifies the extra cost.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
-	"time"
+	"os"
 
-	"repro/internal/auction"
-	"repro/internal/live"
-	"repro/internal/video"
+	"repro"
 )
 
 func main() {
-	hub, err := live.NewHub()
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	defer hub.Close()
-	fmt.Printf("hub listening on %s\n", hub.Addr())
+}
 
-	// Uploaders: peer 1 is local (cost 1), peer 2 remote (cost 4).
-	localUp, err := live.Dial(hub.Addr(), 1, 0.01, 2)
+func run(w io.Writer) error {
+	spec, ok := repro.GetScenario("livenet")
+	if !ok {
+		return fmt.Errorf("livenet scenario not registered")
+	}
+	res, err := spec.Run(1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer localUp.Close()
-	remoteUp, err := live.Dial(hub.Addr(), 2, 0.01, 2)
-	if err != nil {
-		log.Fatal(err)
+	if err := repro.FprintScenario(w, res); err != nil {
+		return err
 	}
-	defer remoteUp.Close()
-	localUp.SetNeighbors([]int32{10, 11, 12})
-	remoteUp.SetNeighbors([]int32{10, 11, 12})
-
-	// Three downloaders, two chunks each; values drop with peer index so the
-	// contest has a deterministic pecking order.
-	downloaders := make([]*live.Peer, 3)
-	for i := range downloaders {
-		id := int32(10 + i)
-		p, err := live.Dial(hub.Addr(), id, 0.01, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer p.Close()
-		p.SetNeighbors([]int32{1, 2})
-		downloaders[i] = p
-
-		var reqs []auction.Request
-		for c := 0; c < 2; c++ {
-			reqs = append(reqs, auction.Request{
-				Chunk: video.ChunkID{Video: 0, Index: video.ChunkIndex(2*i + c)},
-				Value: float64(8 - i),
-				Candidates: []auction.Candidate{
-					{Peer: 1, Cost: 1},
-					{Peer: 2, Cost: 4},
-				},
-			})
-		}
-		if err := p.Bid(reqs); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	peers := append([]*live.Peer{localUp, remoteUp}, downloaders...)
-	for _, p := range peers {
-		if err := p.WaitQuiescent(150*time.Millisecond, 30*time.Second); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	fmt.Println("\nconverged. books:")
-	for i, up := range []*live.Peer{localUp, remoteUp} {
-		names := []string{"local", "remote"}
-		fmt.Printf("  uploader %s (λ=%.3f):\n", names[i], up.Price())
-		for _, w := range up.Winners() {
-			fmt.Printf("    sold unit to peer %d for chunk %v at bid %.3f\n",
-				w.Bidder, w.Chunk, w.Bid)
-		}
-	}
-	total := 0
-	for i, d := range downloaders {
-		wins := d.Wins()
-		total += len(wins)
-		fmt.Printf("  downloader %d won %d chunks\n", 10+i, len(wins))
-	}
-	fmt.Printf("\n%d of 6 requested chunks acquired; the local uplink is contested, "+
-		"so the highest-value downloader holds it and the rest spill to the "+
-		"remote uploader exactly when their value justifies the extra cost.\n", total)
+	l := spec.Live
+	fmt.Fprintf(w, "\n%d downloaders bid for %d chunks each against %d uploaders (capacity %d each)\n",
+		l.Downloaders, l.ChunksPerDownloader, len(l.UploaderCosts), l.UploaderCapacity)
+	fmt.Fprintln(w, "value order decides the contest: the cheapest uplink goes to the highest bidder")
+	return nil
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens TCP sockets")
+	}
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

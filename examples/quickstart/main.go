@@ -1,39 +1,31 @@
 // Quickstart: simulate a small ISP-aware P2P VoD swarm under the paper's
-// primal-dual auction and print the headline metrics.
+// primal-dual auction and print the headline metrics. The whole workload is
+// the registry's "quickstart" preset — run `p2psim -list` for the catalog.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro"
 )
 
 func main() {
-	// Start from the calibrated reproduction configuration and shrink it so
-	// the example runs in under a second.
-	cfg := repro.ReproConfig()
-	cfg.Seed = 7
-	cfg.StaticPeers = 40
-	cfg.Slots = 6
-	cfg.Catalog.Count = 10 // videos
-	cfg.Catalog.SizeMB = 4 // short clips: 512 chunks ≈ 51 s
-	cfg.NeighborCount = 12
-
-	res, err := repro.RunAuction(cfg)
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	fmt.Printf("simulated %d slots of a %d-peer swarm across %d ISPs\n",
-		cfg.Slots, cfg.StaticPeers, cfg.NumISPs)
-	fmt.Printf("  chunks scheduled:     %d\n", res.TotalGrants)
-	fmt.Printf("  social welfare/slot:  %.1f\n", res.Welfare.Summarize().Mean)
-	fmt.Printf("  inter-ISP traffic:    %.1f%%\n", 100*res.MeanInterISPFraction())
-	fmt.Printf("  chunk miss rate:      %.2f%%\n", 100*res.MeanMissRate())
-	fmt.Println()
-	fmt.Println("per-slot social welfare:")
-	for _, p := range res.Welfare.Points {
-		fmt.Printf("  t=%3.0fs  welfare=%8.1f\n", p.T, p.V)
+func run(w io.Writer) error {
+	spec, ok := repro.GetScenario("quickstart")
+	if !ok {
+		return fmt.Errorf("quickstart scenario not registered")
 	}
+	res, err := spec.Run(7)
+	if err != nil {
+		return err
+	}
+	return repro.FprintScenario(w, res)
 }

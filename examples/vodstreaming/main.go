@@ -6,56 +6,41 @@
 //   - random:    network-agnostic peer selection (the legacy protocols the
 //     paper's introduction criticizes)
 //
-// Prints a comparison table and an ASCII chart of per-slot social welfare.
+// The world is the registry's "vodstreaming" preset; each strategy is the
+// same spec with a different solver (Spec.WithSolver).
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"repro"
-	"repro/internal/metrics"
 )
 
 func main() {
-	cfg := repro.ReproConfig()
-	cfg.Seed = 11
-	cfg.StaticPeers = 80
-	cfg.Slots = 10
-	cfg.Catalog.Count = 12
-	cfg.Catalog.SizeMB = 8
-	cfg.NeighborCount = 15
-
-	type entry struct {
-		name string
-		run  func(repro.Config) (*repro.Results, error)
-	}
-	strategies := []entry{
-		{"auction", repro.RunAuction},
-		{"locality", repro.RunLocality},
-		{"random", repro.RunRandom},
-	}
-
-	fmt.Printf("%-10s %14s %12s %12s %10s\n",
-		"strategy", "welfare/slot", "inter-ISP", "miss-rate", "grants")
-	var welfareSeries []*metrics.Series
-	for _, s := range strategies {
-		res, err := s.run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s %14.1f %11.1f%% %11.2f%% %10d\n",
-			s.name,
-			res.Welfare.Summarize().Mean,
-			100*res.MeanInterISPFraction(),
-			100*res.MeanMissRate(),
-			res.TotalGrants)
-		welfareSeries = append(welfareSeries, &res.Welfare)
-	}
-
-	fmt.Println("\nper-slot social welfare:")
-	if err := metrics.Chart(os.Stdout, 70, 12, welfareSeries...); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer) error {
+	spec, ok := repro.GetScenario("vodstreaming")
+	if !ok {
+		return fmt.Errorf("vodstreaming scenario not registered")
+	}
+	solvers := []repro.Solver{repro.SolverAuction, repro.SolverLocality, repro.SolverRandom}
+	fmt.Fprintf(w, "%-16s %14s %12s %12s %10s\n",
+		"solver", "welfare/slot", "inter-ISP", "miss-rate", "grants")
+	for _, sv := range solvers {
+		res, err := spec.WithSolver(sv).Run(11)
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		fmt.Fprintf(w, "%-16s %14.1f %11.1f%% %11.2f%% %10.0f\n",
+			res.Solver, m["welfare_per_slot"], 100*m["inter_isp"], 100*m["miss_rate"], m["grants"])
+	}
+	return nil
 }

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three solver comparisons")
+	}
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,11 +1,16 @@
 // Package experiments defines one runnable reproduction per figure of the
-// paper's evaluation (Figs. 2–6) plus the ablations called out in DESIGN.md.
-// Each experiment returns a Report: the time series behind the figure, a
-// summary table, and notes on how to read it against the paper.
+// paper's evaluation (Figs. 2–6) plus ablations (ε, neighbor count, seed
+// provisioning, engine equivalence) and extensions (message-loss robustness,
+// strategic bidding, per-ISP traffic matrix) — All() maps every id to its
+// runner. Each experiment returns a Report: the time series behind the
+// figure, a summary table, and notes on how to read it against the paper.
+//
+// Experiments are fixed paper-shaped comparisons; for declarative, batchable
+// workloads use internal/scenario instead.
 //
 // The calibrated configuration (ReproConfig) documents every deviation from
-// the paper's literal parameters; see EXPERIMENTS.md for the rationale and
-// the paper-vs-measured record.
+// the paper's literal parameters; see docs/ARCHITECTURE.md §7 for the
+// rationale and the paper-vs-measured record.
 package experiments
 
 import (
@@ -292,7 +297,7 @@ func Fig6PeerDynamics(scale Scale) (*Report, error) {
 // AblationEpsilon sweeps the auction's ε on random transportation instances,
 // reporting the optimality gap (vs the exact min-cost-flow solver) and the
 // iteration count — the termination/optimality trade-off behind design
-// choice 1 in DESIGN.md.
+// choice 1 (docs/ARCHITECTURE.md §3).
 func AblationEpsilon(scale Scale) (*Report, error) {
 	size := map[Scale]int{ScaleSmall: 40, ScaleMedium: 80, ScaleFull: 150}[scale]
 	if size == 0 {

@@ -57,7 +57,7 @@ func (s *Series) Last() float64 {
 type Summary struct {
 	Count          int
 	Mean, Min, Max float64
-	P50, P90       float64
+	P50, P90, P95  float64
 }
 
 // Summarize computes summary statistics over the series values.
@@ -84,6 +84,7 @@ func SummarizeValues(vals []float64) Summary {
 		Max:   sorted[len(sorted)-1],
 		P50:   quantile(sorted, 0.5),
 		P90:   quantile(sorted, 0.9),
+		P95:   quantile(sorted, 0.95),
 	}
 }
 

@@ -43,12 +43,15 @@ func TestSummarize(t *testing.T) {
 	if sum.P90 < 4 || sum.P90 > 5 {
 		t.Fatalf("p90 = %v", sum.P90)
 	}
+	if sum.P95 < sum.P90 || sum.P95 > sum.Max {
+		t.Fatalf("p95 = %v outside [p90=%v, max=%v]", sum.P95, sum.P90, sum.Max)
+	}
 	empty := SummarizeValues(nil)
 	if empty.Count != 0 {
 		t.Fatal("empty summary should be zero")
 	}
 	single := SummarizeValues([]float64{7})
-	if single.P50 != 7 || single.P90 != 7 || single.Mean != 7 {
+	if single.P50 != 7 || single.P90 != 7 || single.P95 != 7 || single.Mean != 7 {
 		t.Fatalf("single summary = %+v", single)
 	}
 }

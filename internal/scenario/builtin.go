@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/isp"
+	"repro/internal/sim"
+)
+
+// smallSim returns the calibrated reproduction config at the fast evaluation
+// size (experiments.ScaleSmall): the shared starting point of the presets.
+func smallSim() sim.Config {
+	cfg, err := experiments.At(experiments.ScaleSmall)
+	if err != nil {
+		panic(err) // ScaleSmall is a known scale
+	}
+	return cfg
+}
+
+// Built-in presets. Every entry here must appear in the README's scenario
+// catalog table; the golden tests in registry_test.go run each one.
+func init() {
+	// quickstart — the 30-second tour: a small static VoD swarm under the
+	// paper's auction (ported from examples/quickstart).
+	quick := smallSim()
+	quick.StaticPeers = 40
+	quick.Slots = 6
+	quick.Catalog.Count = 10
+	quick.Catalog.SizeMB = 4
+	quick.NeighborCount = 12
+	MustRegister(Spec{
+		Name:     "quickstart",
+		Summary:  "small static VoD swarm under the primal-dual auction",
+		Workload: "vod",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      quick,
+	})
+
+	// vodstreaming — the paper's static evaluation scenario at example size
+	// (ported from examples/vodstreaming; compare solvers with WithSolver).
+	vod := smallSim()
+	vod.StaticPeers = 80
+	vod.Slots = 10
+	MustRegister(Spec{
+		Name:     "vodstreaming",
+		Summary:  "static Zipf-popular VoD swarm, the paper's §V environment",
+		Workload: "vod",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      vod,
+	})
+
+	// churn — the paper's Fig. 6 peer-dynamics workload (ported from
+	// examples/churn): Poisson arrivals, 60% leave before finishing.
+	churn := smallSim()
+	churn.Scenario = sim.ScenarioDynamic
+	churn.Slots = 10
+	churn.ArrivalPerSec = 1
+	churn.EarlyLeaveProb = 0.6
+	MustRegister(Spec{
+		Name:     "churn",
+		Summary:  "dynamic arrivals with 60% early departures (paper Fig. 6)",
+		Workload: "churn",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      churn,
+	})
+
+	// flash-crowd — a premiere spike: the arrival rate jumps 6× for two
+	// slots mid-run, stressing price re-convergence and local supply.
+	flash := smallSim()
+	flash.Scenario = sim.ScenarioDynamic
+	flash.Slots = 12
+	flash.ArrivalPerSec = 0.8
+	flash.Arrival = sim.ArrivalFlashCrowd
+	flash.FlashSlot = 4
+	flash.FlashSlots = 2
+	flash.FlashMultiplier = 6
+	MustRegister(Spec{
+		Name:     "flash-crowd",
+		Summary:  "arrival rate spikes 6x for two slots mid-run",
+		Workload: "flash-crowd",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      flash,
+	})
+
+	// diurnal — a day/night arrival cycle over the run: the swarm drains to
+	// 20% of peak arrivals and refills, exercising both supply-scarce and
+	// supply-rich regimes in one run.
+	diurnal := smallSim()
+	diurnal.Scenario = sim.ScenarioDynamic
+	diurnal.Slots = 12
+	diurnal.ArrivalPerSec = 1
+	diurnal.Arrival = sim.ArrivalDiurnal
+	diurnal.DiurnalPeriodSlots = 12
+	diurnal.DiurnalMinFactor = 0.2
+	MustRegister(Spec{
+		Name:     "diurnal",
+		Summary:  "raised-cosine day/night arrival cycle (trough 20% of peak)",
+		Workload: "diurnal",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      diurnal,
+	})
+
+	// asymmetric-cost — eight ISPs with a wide, noisy inter-ISP cost spread
+	// (transit vs peering): locality pressure differs per ISP pair, so
+	// ISP-aware scheduling matters more than under the paper's uniform model.
+	asym := smallSim()
+	asym.NumISPs = 8
+	asym.StaticPeers = 64
+	asym.Cost = isp.CostModel{
+		IntraMean: 1, IntraStd: 1, IntraMin: 0, IntraMax: 2,
+		InterMean: 8, InterStd: 4, InterMin: 1, InterMax: 20,
+	}
+	MustRegister(Spec{
+		Name:     "asymmetric-cost",
+		Summary:  "8 ISPs with wide transit/peering cost spread",
+		Workload: "vod",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      asym,
+	})
+
+	// large-scale — a ~10k-peer swarm scheduled by the parallel Jacobi
+	// auction: the scale stress test (single-seed smoke in tests; use the
+	// batch runner for sweeps).
+	large := smallSim()
+	large.StaticPeers = 10000
+	large.Slots = 4
+	// Short slots keep the per-slot problem tractable at 10k peers: the
+	// 25-chunk window covers one slot of playback (~24 chunks at 2.5 s),
+	// so misses reflect scheduling quality, not structural starvation.
+	large.SlotSeconds = 2.5
+	large.BidRoundsPerSlot = 1
+	large.WindowChunks = 25
+	large.NeighborCount = 20
+	large.Catalog.Count = 100
+	large.Catalog.SizeMB = 8
+	MustRegister(Spec{
+		Name:          "large-scale",
+		Summary:       "10k-peer swarm under the parallel Jacobi auction",
+		Workload:      "vod",
+		Kind:          KindSim,
+		Solver:        SolverAuctionJacobi,
+		SolverWorkers: 8,
+		Heavy:         true,
+		Sim:           large,
+	})
+
+	// assignment — the bare solver on random transportation instances,
+	// cross-checked against the exact optimum with its ε-CS certificate
+	// (ported from examples/assignment).
+	MustRegister(Spec{
+		Name:     "assignment",
+		Summary:  "auction vs exact optimum on random transportation instances",
+		Workload: "solver",
+		Kind:     KindTransport,
+		Solver:   SolverAuction,
+		Transport: TransportParams{
+			Requests: 100, Sinks: 20, MaxDegree: 5,
+			MinCapacity: 1, MaxCapacity: 4,
+			MinWeight: -1, MaxWeight: 8,
+			Trials: 3, Epsilon: 0.01,
+		},
+	})
+
+	// solver-parallel — the Jacobi auction with parallel bid computation on
+	// larger instances (Bertsekas' original parallel-relaxation motivation).
+	MustRegister(Spec{
+		Name:          "solver-parallel",
+		Summary:       "parallel Jacobi auction on larger solver instances",
+		Workload:      "solver",
+		Kind:          KindTransport,
+		Solver:        SolverAuctionJacobi,
+		SolverWorkers: 4,
+		Transport: TransportParams{
+			Requests: 300, Sinks: 60, MaxDegree: 6,
+			MinCapacity: 1, MaxCapacity: 6,
+			MinWeight: -1, MaxWeight: 8,
+			Trials: 2, Epsilon: 0.01,
+		},
+	})
+
+	// livenet — the distributed auction protocol over real TCP sockets: two
+	// uploaders (local and remote) sell bandwidth to three downloaders
+	// (ported from examples/livenet).
+	MustRegister(Spec{
+		Name:     "livenet",
+		Summary:  "distributed auction over real TCP sockets (2 uploaders, 3 downloaders)",
+		Workload: "protocol",
+		Kind:     KindLive,
+		Live: LiveParams{
+			UploaderCosts:       []float64{1, 4},
+			UploaderCapacity:    2,
+			Downloaders:         3,
+			ChunksPerDownloader: 2,
+			TopValue:            8,
+			Epsilon:             0.01,
+		},
+	})
+}

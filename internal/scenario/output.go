@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// fnum formats a metric value compactly (counts without decimals, rates with
+// four).
+func fnum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// Fprint renders a single run as an aligned two-column metric table.
+func Fprint(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "scenario %s (workload %s, solver %s, seed %d)\n",
+		r.Scenario, r.Workload, r.Solver, r.Seed); err != nil {
+		return err
+	}
+	names := r.MetricNames()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "  %-*s  %s\n", width, n, fnum(r.Metrics[n])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRunJSON renders a single run as indented JSON.
+func WriteRunJSON(w io.Writer, r *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSON renders the full batch result — records and summaries — as
+// indented JSON.
+func WriteJSON(w io.Writer, r *BatchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV renders the seed-aggregated summaries as CSV: one row per grid
+// point, columns scenario, solver, runs, failed, the swept parameters, then
+// <metric>_mean, <metric>_p50, <metric>_p95 for every metric.
+func WriteCSV(w io.Writer, r *BatchResult) error {
+	params := r.ParamNames()
+	names := r.MetricNames()
+	header := []string{"scenario", "solver", "runs", "failed"}
+	header = append(header, params...)
+	for _, n := range names {
+		header = append(header, n+"_mean", n+"_p50", n+"_p95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, s := range r.Summaries {
+		row := []string{
+			r.Scenario, r.Solver,
+			strconv.Itoa(s.Runs), strconv.Itoa(s.Failed),
+		}
+		for _, p := range params {
+			row = append(row, fnum(s.Point[p]))
+		}
+		for _, n := range names {
+			agg, ok := s.Metrics[n]
+			if !ok {
+				row = append(row, "", "", "")
+				continue
+			}
+			row = append(row, fnum(agg.Mean), fnum(agg.P50), fnum(agg.P95))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FprintBatch renders the batch summaries as an aligned text table.
+func FprintBatch(w io.Writer, r *BatchResult) error {
+	if _, err := fmt.Fprintf(w, "scenario %s (workload %s, solver %s, %d seed(s))\n",
+		r.Scenario, r.Workload, r.Solver, len(r.Seeds)); err != nil {
+		return err
+	}
+	params := r.ParamNames()
+	names := r.MetricNames()
+	cols := append([]string{}, params...)
+	cols = append(cols, "runs", "failed")
+	for _, n := range names {
+		cols = append(cols, n+" mean", n+" p50", n+" p95")
+	}
+	rows := make([][]string, 0, len(r.Summaries))
+	for _, s := range r.Summaries {
+		row := make([]string, 0, len(cols))
+		for _, p := range params {
+			row = append(row, fnum(s.Point[p]))
+		}
+		row = append(row, strconv.Itoa(s.Runs), strconv.Itoa(s.Failed))
+		for _, n := range names {
+			agg := s.Metrics[n]
+			row = append(row, fnum(agg.Mean), fnum(agg.P50), fnum(agg.P95))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		return err
+	}
+	if err := printRow(cols); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

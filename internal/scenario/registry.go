@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to their specs. Built-ins register in
+// init() (builtin.go); embedders may Register more at startup.
+var (
+	regMu sync.RWMutex
+	specs = make(map[string]Spec)
+)
+
+// Register validates the spec and adds it to the registry. Duplicate names
+// are rejected so presets cannot silently shadow each other.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := specs[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	specs[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins; it panics on error.
+func MustRegister(s Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named spec.
+func Get(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := specs[name]
+	return s, ok
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered spec, sorted by name.
+func All() []Spec {
+	names := Names()
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		out = append(out, specs[n])
+	}
+	return out
+}

@@ -1,0 +1,480 @@
+// Package scenario is the declarative workload engine: every runnable
+// workload in the repository — the paper's VoD swarms, churn and flash-crowd
+// dynamics, standalone solver instances, even the live TCP protocol demo — is
+// a Spec value naming its topology, workload shape, solver and scale. A
+// registry ships the built-in presets (see builtin.go and the README's
+// scenario catalog); cmd/p2psim and the examples/ are thin calls through it.
+//
+// A Spec runs one of three workload kinds:
+//
+//   - KindSim: the slot-based P2P streaming simulator (internal/sim), with
+//     any registered solver — the paper's evaluation environment;
+//   - KindTransport: the bare assignment solvers on random transportation
+//     instances, always cross-checked against the exact optimum;
+//   - KindLive: the distributed auction protocol over real TCP sockets
+//     (internal/live).
+//
+// Spec.Run(seed) executes one deterministic run and reduces it to a flat
+// map of named scalar metrics; Batch fans a spec out over seed lists and
+// parameter grids on a worker pool and aggregates mean/p50/p95 summaries
+// (batch.go), exportable as JSON or CSV (output.go).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/video"
+)
+
+// Kind selects a Spec's workload family.
+type Kind int
+
+const (
+	// KindSim runs the slot-based P2P streaming simulator.
+	KindSim Kind = iota + 1
+	// KindTransport runs solvers on random transportation instances.
+	KindTransport
+	// KindLive runs the distributed auction protocol over TCP sockets.
+	KindLive
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSim:
+		return "sim"
+	case KindTransport:
+		return "transport"
+	case KindLive:
+		return "live"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Solver names a scheduling/solving strategy.
+type Solver string
+
+// Registered solvers.
+const (
+	// SolverAuction is the paper's primal-dual auction, Gauss–Seidel rounds.
+	SolverAuction Solver = "auction"
+	// SolverAuctionJacobi is the auction with Jacobi rounds, parallelizable
+	// across Spec.SolverWorkers goroutines.
+	SolverAuctionJacobi Solver = "auction-jacobi"
+	// SolverExact is the exact min-cost-flow optimum (ground truth).
+	SolverExact Solver = "exact"
+	// SolverLocality is the paper's Simple Locality baseline (sim only).
+	SolverLocality Solver = "locality"
+	// SolverRandom is the network-agnostic random baseline (sim only).
+	SolverRandom Solver = "random"
+)
+
+// Solvers lists every solver usable in a KindSim spec.
+func Solvers() []Solver {
+	return []Solver{SolverAuction, SolverAuctionJacobi, SolverExact, SolverLocality, SolverRandom}
+}
+
+// scheduler instantiates the solver as a slot scheduler for cfg.
+func (s Solver) scheduler(cfg sim.Config, workers int) (sched.Scheduler, error) {
+	switch s {
+	case SolverAuction:
+		return &sched.Auction{Epsilon: cfg.Epsilon}, nil
+	case SolverAuctionJacobi:
+		return &sched.Auction{Epsilon: cfg.Epsilon, Mode: core.Jacobi, Workers: workers}, nil
+	case SolverExact:
+		return &sched.Exact{}, nil
+	case SolverLocality:
+		return &baseline.Locality{Rounds: cfg.LocalityRounds}, nil
+	case SolverRandom:
+		return &baseline.Random{Seed: cfg.Seed, Rounds: cfg.LocalityRounds}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown solver %q", s)
+	}
+}
+
+// TransportParams describes the random transportation instances of a
+// KindTransport spec (the shape of one slot's scheduling problem).
+type TransportParams struct {
+	// Requests and Sinks size each instance.
+	Requests, Sinks int
+	// MaxDegree bounds candidate sinks per request (uniform in [1, MaxDegree]).
+	MaxDegree int
+	// MinCapacity/MaxCapacity bound sink capacities.
+	MinCapacity, MaxCapacity int
+	// MinWeight/MaxWeight bound edge weights v − w (negatives model
+	// not-worth-fetching chunks).
+	MinWeight, MaxWeight float64
+	// Trials is how many instances one run solves (metrics average over them).
+	Trials int
+	// Epsilon is the auction bid increment.
+	Epsilon float64
+}
+
+// LiveParams describes a KindLive spec: a TCP hub, uploaders selling
+// bandwidth and downloaders bidding for chunks, exactly the shape of
+// examples/livenet.
+type LiveParams struct {
+	// UploaderCosts gives one uploader per entry; the cost every downloader
+	// sees for that uploader (e.g. {1, 4} = one local, one remote uplink).
+	UploaderCosts []float64
+	// UploaderCapacity is each uploader's bandwidth units.
+	UploaderCapacity int
+	// Downloaders is the number of competing downloaders.
+	Downloaders int
+	// ChunksPerDownloader is how many chunks each downloader wants.
+	ChunksPerDownloader int
+	// TopValue is downloader 0's per-chunk valuation; downloader i bids
+	// TopValue − i, giving the contest a deterministic pecking order.
+	TopValue float64
+	// Epsilon is the auction bid increment.
+	Epsilon float64
+}
+
+// Spec declares one scenario: what world to build, what workload to drive
+// through it, and which solver schedules it. Specs are plain values — copy
+// and mutate freely (WithSolver, ApplyParam) to derive variants.
+type Spec struct {
+	// Name is the registry key (kebab-case).
+	Name string
+	// Summary is the one-line catalog description.
+	Summary string
+	// Workload labels the traffic shape ("vod", "churn", "flash-crowd",
+	// "diurnal", "solver", "protocol") for reports.
+	Workload string
+	// Kind selects the workload family.
+	Kind Kind
+	// Solver schedules KindSim slots or solves KindTransport instances
+	// (KindLive always runs the distributed auction).
+	Solver Solver
+	// SolverWorkers parallelizes SolverAuctionJacobi's bid computation
+	// (0 or 1 = sequential).
+	SolverWorkers int
+	// Heavy marks scenarios too large for routine double-run golden tests;
+	// they are smoke-tested once instead.
+	Heavy bool
+
+	// Sim configures KindSim (the Seed field is overwritten per run).
+	Sim sim.Config
+	// Transport configures KindTransport.
+	Transport TransportParams
+	// Live configures KindLive.
+	Live LiveParams
+}
+
+// WithSolver returns a copy of the spec scheduled by a different solver.
+func (s Spec) WithSolver(sv Solver) Spec {
+	s.Solver = sv
+	return s
+}
+
+// SolverName reports the solver that actually runs: live scenarios always
+// play the distributed auction regardless of the (empty) Solver field.
+func (s Spec) SolverName() string {
+	if s.Kind == KindLive {
+		return string(SolverAuction)
+	}
+	return string(s.Solver)
+}
+
+// Validate checks the spec is runnable.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	switch s.Kind {
+	case KindSim:
+		if _, err := s.Solver.scheduler(s.Sim, 1); err != nil {
+			return err
+		}
+		cfg := s.Sim
+		cfg.Seed = 1
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	case KindTransport:
+		switch s.Solver {
+		case SolverAuction, SolverAuctionJacobi, SolverExact:
+		default:
+			return fmt.Errorf("scenario %s: solver %q cannot solve bare transportation instances",
+				s.Name, s.Solver)
+		}
+		t := s.Transport
+		if t.Requests <= 0 || t.Sinks <= 0 || t.Trials <= 0 {
+			return fmt.Errorf("scenario %s: transport needs positive requests/sinks/trials", s.Name)
+		}
+		if t.MaxDegree <= 0 || t.MinCapacity <= 0 || t.MaxCapacity < t.MinCapacity {
+			return fmt.Errorf("scenario %s: transport degree/capacity bounds invalid", s.Name)
+		}
+		if t.MaxWeight < t.MinWeight {
+			return fmt.Errorf("scenario %s: transport weight bounds inverted", s.Name)
+		}
+		if t.Epsilon < 0 {
+			return fmt.Errorf("scenario %s: negative epsilon", s.Name)
+		}
+	case KindLive:
+		if s.Solver != "" && s.Solver != SolverAuction {
+			return fmt.Errorf("scenario %s: live scenarios always run the distributed auction; cannot use solver %q",
+				s.Name, s.Solver)
+		}
+		l := s.Live
+		if len(l.UploaderCosts) == 0 || l.UploaderCapacity <= 0 {
+			return fmt.Errorf("scenario %s: live needs uploaders with capacity", s.Name)
+		}
+		if l.Downloaders <= 0 || l.ChunksPerDownloader <= 0 {
+			return fmt.Errorf("scenario %s: live needs downloaders wanting chunks", s.Name)
+		}
+		if l.Epsilon <= 0 {
+			return fmt.Errorf("scenario %s: live needs a positive epsilon", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %d", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// Result is one run's output, reduced to named scalar metrics. Series carries
+// the per-slot curves behind them for charts (KindSim only).
+type Result struct {
+	Scenario string
+	Workload string
+	Solver   string
+	Seed     uint64
+	Metrics  map[string]float64
+	Series   []*metrics.Series `json:"-"`
+	Elapsed  time.Duration     `json:"-"`
+}
+
+// MetricNames returns the metric keys in stable (sorted) order.
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the spec once under the given seed.
+func (s Spec) Run(seed uint64) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch s.Kind {
+	case KindSim:
+		res, err = s.runSim(seed)
+	case KindTransport:
+		res, err = s.runTransport(seed)
+	case KindLive:
+		res, err = s.runLive(seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	res.Scenario = s.Name
+	res.Workload = s.Workload
+	res.Seed = seed
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runSim executes a simulator scenario.
+func (s Spec) runSim(seed uint64) (*Result, error) {
+	cfg := s.Sim
+	cfg.Seed = seed
+	scheduler, err := s.Solver.scheduler(cfg, s.SolverWorkers)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(cfg, scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Solver: string(s.Solver),
+		Metrics: map[string]float64{
+			"welfare_per_slot": r.Welfare.Summarize().Mean,
+			"welfare_final":    r.Welfare.Last(),
+			"inter_isp":        r.MeanInterISPFraction(),
+			"miss_rate":        r.MeanMissRate(),
+			"fairness":         r.MissRateFairness(),
+			"grants":           float64(r.TotalGrants),
+			"payments":         r.TotalPayments,
+			"joined":           float64(r.Joined),
+			"departed":         float64(r.Departed),
+		},
+		Series: []*metrics.Series{&r.Welfare, &r.InterISP, &r.MissRate, &r.Online},
+	}, nil
+}
+
+// runTransport solves Trials random transportation instances with the chosen
+// solver and cross-checks each against the exact optimum.
+func (s Spec) runTransport(seed uint64) (*Result, error) {
+	t := s.Transport
+	rng := randx.New(seed)
+	var welfare, exactWelfare, gapPct, iters, bids, assigned float64
+	for trial := 0; trial < t.Trials; trial++ {
+		p := randomTransport(rng, t)
+		exact, err := core.SolveExact(p)
+		if err != nil {
+			return nil, err
+		}
+		opt := exact.Welfare(p)
+		exactWelfare += opt
+		var got float64
+		if s.Solver == SolverExact {
+			got = opt
+			assigned += float64(exact.Assigned())
+		} else {
+			mode := core.GaussSeidel
+			workers := 0 // parallel bidding is a Jacobi-only option in core
+			if s.Solver == SolverAuctionJacobi {
+				mode = core.Jacobi
+				workers = s.SolverWorkers
+			}
+			res, err := core.SolveAuction(p, core.AuctionOptions{
+				Epsilon: t.Epsilon, Mode: mode, Workers: workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := core.VerifyEpsilonCS(p, res.Assignment, res.Prices, t.Epsilon, 1e-9); err != nil {
+				return nil, fmt.Errorf("certificate rejected: %w", err)
+			}
+			got = res.Assignment.Welfare(p)
+			iters += float64(res.Iterations)
+			bids += float64(res.Bids)
+			assigned += float64(res.Assignment.Assigned())
+		}
+		welfare += got
+		if opt > 0 {
+			gapPct += 100 * (opt - got) / opt
+		}
+	}
+	n := float64(t.Trials)
+	return &Result{
+		Solver: string(s.Solver),
+		Metrics: map[string]float64{
+			"welfare":       welfare / n,
+			"exact_welfare": exactWelfare / n,
+			"gap_pct":       gapPct / n,
+			"iterations":    iters / n,
+			"bids":          bids / n,
+			"assigned":      assigned / n,
+		},
+	}, nil
+}
+
+// randomTransport builds one random instance shaped like a slot problem.
+func randomTransport(rng *randx.Source, t TransportParams) *core.Problem {
+	p := core.NewProblem()
+	for s := 0; s < t.Sinks; s++ {
+		cap := t.MinCapacity + rng.Intn(t.MaxCapacity-t.MinCapacity+1)
+		if _, err := p.AddSink(cap); err != nil {
+			panic(err) // bounds validated by Spec.Validate
+		}
+	}
+	for r := 0; r < t.Requests; r++ {
+		req := p.AddRequest()
+		degree := 1 + rng.Intn(t.MaxDegree)
+		perm := rng.Perm(t.Sinks)
+		for k := 0; k < degree && k < len(perm); k++ {
+			w := rng.Range(t.MinWeight, t.MaxWeight)
+			if err := p.AddEdge(req, core.SinkID(perm[k]), w); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// runLive plays the distributed auction protocol over a real TCP hub. The
+// contest is value-ordered by construction, so the win counts are
+// deterministic even though message timing is not; price-dependent
+// quantities are deliberately not reported.
+func (s Spec) runLive(_ uint64) (*Result, error) {
+	l := s.Live
+	hub, err := live.NewHub()
+	if err != nil {
+		return nil, err
+	}
+	defer hub.Close()
+
+	downIDs := make([]int32, l.Downloaders)
+	for i := range downIDs {
+		downIDs[i] = int32(100 + i)
+	}
+	upIDs := make([]int32, len(l.UploaderCosts))
+	uploaders := make([]*live.Peer, len(l.UploaderCosts))
+	for i := range l.UploaderCosts {
+		upIDs[i] = int32(1 + i)
+		up, err := live.Dial(hub.Addr(), upIDs[i], l.Epsilon, l.UploaderCapacity)
+		if err != nil {
+			return nil, err
+		}
+		defer up.Close()
+		up.SetNeighbors(downIDs)
+		uploaders[i] = up
+	}
+
+	downloaders := make([]*live.Peer, l.Downloaders)
+	for i := range downloaders {
+		p, err := live.Dial(hub.Addr(), downIDs[i], l.Epsilon, 0)
+		if err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		p.SetNeighbors(upIDs)
+		downloaders[i] = p
+
+		var reqs []auction.Request
+		for c := 0; c < l.ChunksPerDownloader; c++ {
+			var cands []auction.Candidate
+			for u, cost := range l.UploaderCosts {
+				cands = append(cands, auction.Candidate{Peer: auction.PeerRef(upIDs[u]), Cost: cost})
+			}
+			reqs = append(reqs, auction.Request{
+				Chunk:      video.ChunkID{Video: 0, Index: video.ChunkIndex(l.ChunksPerDownloader*i + c)},
+				Value:      l.TopValue - float64(i),
+				Candidates: cands,
+			})
+		}
+		if err := p.Bid(reqs); err != nil {
+			return nil, err
+		}
+	}
+
+	peers := append(append([]*live.Peer{}, uploaders...), downloaders...)
+	for _, p := range peers {
+		if err := p.WaitQuiescent(150*time.Millisecond, 30*time.Second); err != nil {
+			return nil, err
+		}
+	}
+
+	m := map[string]float64{
+		"requested": float64(l.Downloaders * l.ChunksPerDownloader),
+	}
+	total := 0
+	for i, d := range downloaders {
+		wins := len(d.Wins())
+		total += wins
+		m[fmt.Sprintf("wins_downloader_%d", i)] = float64(wins)
+	}
+	m["wins_total"] = float64(total)
+	return &Result{Solver: string(SolverAuction), Metrics: m}, nil
+}

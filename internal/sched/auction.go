@@ -15,6 +15,9 @@ type Auction struct {
 	Epsilon float64
 	// Mode selects Gauss–Seidel (default) or Jacobi bidding rounds.
 	Mode core.BidMode
+	// Workers parallelizes Jacobi bid computation (0 or 1 = sequential;
+	// requires Jacobi mode, as in core.AuctionOptions).
+	Workers int
 }
 
 var _ Scheduler = (*Auction)(nil)
@@ -22,31 +25,45 @@ var _ Scheduler = (*Auction)(nil)
 // Name implements Scheduler.
 func (a *Auction) Name() string { return "auction" }
 
-// Schedule implements Scheduler by translating the instance to a
-// transportation problem and running the auction solver.
-func (a *Auction) Schedule(in *Instance) (*Result, error) {
-	p := core.NewProblem()
+// buildProblem translates a slot instance into the transportation problem of
+// (1): one sink per uploader with capacity B(u), one request per wish, edge
+// weights v_c(d) − w_{u→d}. Shared by the auction and exact schedulers.
+// uploaderOf maps each minted SinkID back to its uploader's index.
+func buildProblem(in *Instance) (p *core.Problem, uploaderOf map[core.SinkID]int, err error) {
+	p = core.NewProblem()
 	sinkOf := make([]core.SinkID, len(in.Uploaders))
+	uploaderOf = make(map[core.SinkID]int, len(in.Uploaders))
 	for i, u := range in.Uploaders {
 		s, err := p.AddSink(u.Capacity)
 		if err != nil {
-			return nil, fmt.Errorf("auction schedule: %w", err)
+			return nil, nil, err
 		}
 		sinkOf[i] = s
+		uploaderOf[s] = i
 	}
 	for _, req := range in.Requests {
 		r := p.AddRequest()
 		for _, cand := range req.Candidates {
 			ui, ok := in.UploaderIndex(cand.Peer)
 			if !ok {
-				return nil, fmt.Errorf("auction schedule: unknown uploader %d", cand.Peer)
+				return nil, nil, fmt.Errorf("unknown uploader %d", cand.Peer)
 			}
 			if err := p.AddEdge(r, sinkOf[ui], req.Value-cand.Cost); err != nil {
-				return nil, fmt.Errorf("auction schedule: %w", err)
+				return nil, nil, err
 			}
 		}
 	}
-	res, err := core.SolveAuction(p, core.AuctionOptions{Epsilon: a.Epsilon, Mode: a.Mode})
+	return p, uploaderOf, nil
+}
+
+// Schedule implements Scheduler by translating the instance to a
+// transportation problem and running the auction solver.
+func (a *Auction) Schedule(in *Instance) (*Result, error) {
+	p, uploaderOf, err := buildProblem(in)
+	if err != nil {
+		return nil, fmt.Errorf("auction schedule: %w", err)
+	}
+	res, err := core.SolveAuction(p, core.AuctionOptions{Epsilon: a.Epsilon, Mode: a.Mode, Workers: a.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("auction schedule: %w", err)
 	}
@@ -58,14 +75,14 @@ func (a *Auction) Schedule(in *Instance) (*Result, error) {
 			"evictions":  float64(res.Evictions),
 		},
 	}
-	for i, u := range in.Uploaders {
-		out.Prices[u.Peer] = res.Prices[sinkOf[i]]
+	for s, i := range uploaderOf {
+		out.Prices[in.Uploaders[i].Peer] = res.Prices[s]
 	}
 	for r, s := range res.Assignment.SinkOf {
 		if s == core.Unassigned {
 			continue
 		}
-		out.Grants = append(out.Grants, Grant{Request: r, Uploader: in.Uploaders[s].Peer})
+		out.Grants = append(out.Grants, Grant{Request: r, Uploader: in.Uploaders[uploaderOf[s]].Peer})
 	}
 	return out, nil
 }

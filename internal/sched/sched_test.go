@@ -129,3 +129,31 @@ func TestUploaderIndexAndCost(t *testing.T) {
 		t.Fatal("non-candidate cost should miss")
 	}
 }
+
+// TestExactMatchesAuctionWelfare checks the exact scheduler produces valid
+// grants whose welfare is at least the auction's on the same instance.
+func TestExactMatchesAuctionWelfare(t *testing.T) {
+	in := smallInstance(t)
+	exact, err := (&Exact{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(exact.Grants); err != nil {
+		t.Fatalf("exact grants invalid: %v", err)
+	}
+	auction, err := (&Auction{Epsilon: 0.01}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := in.Welfare(exact.Grants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := in.Welfare(auction.Grants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew+1e-9 < aw {
+		t.Fatalf("exact welfare %v below auction %v", ew, aw)
+	}
+}

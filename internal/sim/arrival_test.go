@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestArrivalRateConstant(t *testing.T) {
+	cfg := PaperConfig()
+	for slot := 0; slot < 5; slot++ {
+		if got := cfg.ArrivalRate(slot); got != cfg.ArrivalPerSec {
+			t.Fatalf("slot %d: rate %v, want %v", slot, got, cfg.ArrivalPerSec)
+		}
+	}
+}
+
+func TestArrivalRateFlashCrowd(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Scenario = ScenarioDynamic
+	cfg.Arrival = ArrivalFlashCrowd
+	cfg.FlashSlot = 3
+	cfg.FlashSlots = 2
+	cfg.FlashMultiplier = 6
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{
+		0: cfg.ArrivalPerSec,
+		2: cfg.ArrivalPerSec,
+		3: 6 * cfg.ArrivalPerSec,
+		4: 6 * cfg.ArrivalPerSec,
+		5: cfg.ArrivalPerSec,
+	}
+	for slot, rate := range want {
+		if got := cfg.ArrivalRate(slot); got != rate {
+			t.Errorf("slot %d: rate %v, want %v", slot, got, rate)
+		}
+	}
+}
+
+func TestArrivalRateDiurnal(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Scenario = ScenarioDynamic
+	cfg.Arrival = ArrivalDiurnal
+	cfg.DiurnalPeriodSlots = 12
+	cfg.DiurnalMinFactor = 0.2
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Trough at slot 0 and at a full period; peak half a period in.
+	if got := cfg.ArrivalRate(0); math.Abs(got-0.2*cfg.ArrivalPerSec) > 1e-12 {
+		t.Errorf("trough rate %v, want %v", got, 0.2*cfg.ArrivalPerSec)
+	}
+	if got := cfg.ArrivalRate(6); math.Abs(got-cfg.ArrivalPerSec) > 1e-12 {
+		t.Errorf("peak rate %v, want %v", got, cfg.ArrivalPerSec)
+	}
+	if got := cfg.ArrivalRate(12); math.Abs(got-0.2*cfg.ArrivalPerSec) > 1e-12 {
+		t.Errorf("full-period rate %v, want %v", got, 0.2*cfg.ArrivalPerSec)
+	}
+	for slot := 0; slot <= 12; slot++ {
+		got := cfg.ArrivalRate(slot)
+		if got < 0.2*cfg.ArrivalPerSec-1e-12 || got > cfg.ArrivalPerSec+1e-12 {
+			t.Errorf("slot %d: rate %v outside [min, base]", slot, got)
+		}
+	}
+}
+
+func TestArrivalPatternValidation(t *testing.T) {
+	base := PaperConfig()
+	base.Scenario = ScenarioDynamic
+	cases := map[string]func(*Config){
+		"negative flash slot": func(c *Config) {
+			c.Arrival = ArrivalFlashCrowd
+			c.FlashSlot = -1
+			c.FlashSlots = 2
+			c.FlashMultiplier = 2
+		},
+		"zero flash duration": func(c *Config) { c.Arrival = ArrivalFlashCrowd; c.FlashSlots = 0; c.FlashMultiplier = 2 },
+		"zero flash factor":   func(c *Config) { c.Arrival = ArrivalFlashCrowd; c.FlashSlots = 1 },
+		"zero diurnal period": func(c *Config) { c.Arrival = ArrivalDiurnal; c.DiurnalMinFactor = 0.5 },
+		"diurnal factor > 1":  func(c *Config) { c.Arrival = ArrivalDiurnal; c.DiurnalPeriodSlots = 10; c.DiurnalMinFactor = 1.5 },
+		"unknown pattern":     func(c *Config) { c.Arrival = ArrivalPattern(99) },
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", name)
+		}
+	}
+}
+
+// noopScheduler grants nothing; population dynamics alone are under test.
+type noopScheduler struct{}
+
+func (noopScheduler) Name() string { return "noop" }
+func (noopScheduler) Schedule(in *sched.Instance) (*sched.Result, error) {
+	return &sched.Result{}, nil
+}
+
+// TestFlashCrowdChangesPopulation checks the burst actually lands in the
+// simulated world: a flash-crowd run admits more peers than the flat-rate run
+// with the same seed.
+func TestFlashCrowdChangesPopulation(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Scenario = ScenarioDynamic
+	cfg.Slots = 6
+	cfg.StaticPeers = 0
+	cfg.ArrivalPerSec = 1
+	cfg.Catalog.Count = 5
+	cfg.Catalog.SizeMB = 4
+	flat, err := Run(cfg, noopScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrival = ArrivalFlashCrowd
+	cfg.FlashSlot = 1
+	cfg.FlashSlots = 3
+	cfg.FlashMultiplier = 8
+	burst, err := Run(cfg, noopScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.Joined <= flat.Joined {
+		t.Fatalf("flash crowd joined %d, flat joined %d; want more under the burst",
+			burst.Joined, flat.Joined)
+	}
+}

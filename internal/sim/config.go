@@ -1,8 +1,9 @@
 // Package sim is the evaluation testbed: a slot-based P2P VoD streaming
 // simulator reproducing the paper's emulation environment (§V) — M ISPs,
-// Zipf–Mandelbrot video popularity, Poisson peer arrivals, seed peers,
-// prefetch windows with deadline-based valuations, per-uplink serialized
-// chunk transfers, and deadline-miss accounting.
+// Zipf–Mandelbrot video popularity, Poisson peer arrivals (flat, flash-crowd
+// or diurnal, per ArrivalPattern), seed peers, prefetch windows with
+// deadline-based valuations, per-uplink serialized chunk transfers, and
+// deadline-miss accounting.
 //
 // Two engines run the same world:
 //
@@ -39,6 +40,27 @@ const (
 	ScenarioDynamic
 )
 
+// ArrivalPattern shapes the Poisson arrival rate over the run for
+// ScenarioDynamic. The zero value (ArrivalConstant) reproduces the paper's
+// flat rate; the other patterns open workloads the paper does not evaluate
+// but that the locality literature sweeps (flash crowds, daily cycles).
+type ArrivalPattern int
+
+const (
+	// ArrivalConstant keeps the rate at ArrivalPerSec for the whole run
+	// (the paper's workload; zero value for backward compatibility).
+	ArrivalConstant ArrivalPattern = iota
+	// ArrivalFlashCrowd multiplies the rate by FlashMultiplier for
+	// FlashSlots slots starting at FlashSlot — a premiere or breaking-news
+	// spike hitting every ISP at once.
+	ArrivalFlashCrowd
+	// ArrivalDiurnal modulates the rate with a raised-cosine day/night
+	// cycle of period DiurnalPeriodSlots: the rate starts at
+	// DiurnalMinFactor×ArrivalPerSec, peaks at ArrivalPerSec half a period
+	// in, and returns to the trough.
+	ArrivalDiurnal
+)
+
 // SeedPlacement selects how seed peers are distributed.
 type SeedPlacement int
 
@@ -50,7 +72,7 @@ const (
 	// SeedsGlobal places SeedsPerVideo seeds per video in total, assigned to
 	// ISPs round-robin — a scarcity calibration that reproduces the paper's
 	// traffic shapes when local seed supply would otherwise trivialize the
-	// workload (see EXPERIMENTS.md).
+	// workload (see docs/ARCHITECTURE.md §7).
 	SeedsGlobal
 )
 
@@ -76,7 +98,7 @@ type Config struct {
 	// from v directly without justifying the exchange rate; 1 is the literal
 	// reading, while the reproduction config calibrates it so that urgent
 	// chunks can out-value inter-ISP costs, the regime the paper's figures
-	// exhibit (see EXPERIMENTS.md).
+	// exhibit (see docs/ARCHITECTURE.md §7).
 	CostScale float64
 	// NeighborCount caps the tracker's neighbor list (paper: 30).
 	NeighborCount int
@@ -100,6 +122,21 @@ type Config struct {
 	// ArrivalPerSec is the Poisson arrival rate for ScenarioDynamic
 	// (paper: 1 peer/s).
 	ArrivalPerSec float64
+	// Arrival shapes the arrival rate over time for ScenarioDynamic
+	// (default ArrivalConstant, the paper's flat rate).
+	Arrival ArrivalPattern
+	// FlashSlot is the first slot of the ArrivalFlashCrowd burst.
+	FlashSlot int
+	// FlashSlots is the burst duration in slots (ArrivalFlashCrowd).
+	FlashSlots int
+	// FlashMultiplier scales ArrivalPerSec during the burst
+	// (ArrivalFlashCrowd; must be > 0).
+	FlashMultiplier float64
+	// DiurnalPeriodSlots is the day length in slots (ArrivalDiurnal).
+	DiurnalPeriodSlots int
+	// DiurnalMinFactor is the trough-to-peak rate ratio in [0, 1]
+	// (ArrivalDiurnal).
+	DiurnalMinFactor float64
 	// EarlyLeaveProb is the probability a joining peer departs before
 	// finishing (paper Fig. 6: 0.6; others: 0).
 	EarlyLeaveProb float64
@@ -107,7 +144,7 @@ type Config struct {
 	// each slot runs this many scheduling rounds, re-valuing still-missing
 	// chunks at their current (tighter) deadlines. 1 reduces to a single
 	// slot-start snapshot, which systematically overstates misses for any
-	// deferral-capable strategy (see DESIGN.md §3). Paper-faithful default: 4.
+	// deferral-capable strategy (see docs/ARCHITECTURE.md §7). Paper-faithful default: 4.
 	BidRoundsPerSlot int
 	// Epsilon is the auction bid increment used by auction strategies.
 	Epsilon float64
@@ -199,6 +236,25 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown scenario %d", c.Scenario)
 	}
+	switch c.Arrival {
+	case ArrivalConstant:
+	case ArrivalFlashCrowd:
+		if c.FlashSlot < 0 || c.FlashSlots <= 0 {
+			return fmt.Errorf("sim: flash burst [%d, %d slots) invalid", c.FlashSlot, c.FlashSlots)
+		}
+		if c.FlashMultiplier <= 0 || math.IsNaN(c.FlashMultiplier) {
+			return fmt.Errorf("sim: FlashMultiplier must be positive, got %v", c.FlashMultiplier)
+		}
+	case ArrivalDiurnal:
+		if c.DiurnalPeriodSlots <= 0 {
+			return fmt.Errorf("sim: DiurnalPeriodSlots must be positive, got %d", c.DiurnalPeriodSlots)
+		}
+		if c.DiurnalMinFactor < 0 || c.DiurnalMinFactor > 1 || math.IsNaN(c.DiurnalMinFactor) {
+			return fmt.Errorf("sim: DiurnalMinFactor %v outside [0,1]", c.DiurnalMinFactor)
+		}
+	default:
+		return fmt.Errorf("sim: unknown arrival pattern %d", c.Arrival)
+	}
 	if c.EarlyLeaveProb < 0 || c.EarlyLeaveProb > 1 {
 		return fmt.Errorf("sim: EarlyLeaveProb %v outside [0,1]", c.EarlyLeaveProb)
 	}
@@ -212,6 +268,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: CostLatencyUnit must be >= 0, got %v", c.CostLatencyUnit)
 	}
 	return nil
+}
+
+// ArrivalRate returns the effective Poisson arrival rate (peers per second)
+// at the given slot, after applying the configured ArrivalPattern to the base
+// rate ArrivalPerSec. ScenarioStatic ignores it.
+func (c Config) ArrivalRate(slot int) float64 {
+	switch c.Arrival {
+	case ArrivalFlashCrowd:
+		if slot >= c.FlashSlot && slot < c.FlashSlot+c.FlashSlots {
+			return c.ArrivalPerSec * c.FlashMultiplier
+		}
+		return c.ArrivalPerSec
+	case ArrivalDiurnal:
+		phase := 2 * math.Pi * float64(slot) / float64(c.DiurnalPeriodSlots)
+		factor := c.DiurnalMinFactor + (1-c.DiurnalMinFactor)*0.5*(1-math.Cos(phase))
+		return c.ArrivalPerSec * factor
+	default:
+		return c.ArrivalPerSec
+	}
 }
 
 // chunksPerSlot returns how many chunks playback consumes per slot.

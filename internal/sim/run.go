@@ -202,7 +202,7 @@ func finishSlot(w *world, out *slotOutcome) error {
 		}
 	}
 	if w.cfg.Scenario == ScenarioDynamic {
-		arrivals := w.rngChurn.Poisson(w.cfg.ArrivalPerSec * w.cfg.SlotSeconds)
+		arrivals := w.rngChurn.Poisson(w.cfg.ArrivalRate(w.slot) * w.cfg.SlotSeconds)
 		for i := 0; i < arrivals; i++ {
 			if err := w.spawnDynamicPeer(); err != nil {
 				return err

@@ -16,20 +16,24 @@
 //   - the paper's Simple Locality baseline and a network-agnostic random
 //     baseline;
 //   - one runnable experiment per figure of the paper (Figs. 2–6) plus
-//     ablations.
+//     ablations and extensions (robustness, strategic bidding, ISP matrix);
+//   - a declarative scenario registry with named workload presets and a
+//     parallel batch runner (internal/scenario, driven by cmd/p2psim).
 //
 // This facade re-exports the stable entry points; the implementation lives
-// under internal/. Start with RunAuction for simulations or Experiment for
-// paper figures — see examples/ for complete programs.
+// under internal/. Start with RunScenario or RunAuction for simulations, or
+// Experiment for paper figures — see examples/ for complete programs.
 package repro
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -60,7 +64,7 @@ const (
 func PaperConfig() Config { return sim.PaperConfig() }
 
 // ReproConfig returns the calibrated reproduction configuration used for the
-// figures (see EXPERIMENTS.md for the calibration rationale).
+// figures (see docs/ARCHITECTURE.md §7 for the calibration rationale).
 func ReproConfig() Config { return experiments.ReproConfig() }
 
 // RunAuction simulates cfg under the paper's primal-dual auction scheduler.
@@ -102,7 +106,8 @@ const (
 )
 
 // Experiment runs the experiment with the given id ("fig2".."fig6",
-// "abl-eps", "abl-neighbors", "abl-seeds", "engines") at the given scale.
+// "abl-eps", "abl-neighbors", "abl-seeds", "engines", "robust-loss",
+// "strategic", "isp-matrix") at the given scale; ExperimentIDs lists them.
 func Experiment(id string, scale Scale) (*Report, error) {
 	runner, ok := experiments.All()[id]
 	if !ok {
@@ -118,6 +123,47 @@ func ExperimentIDs() []string {
 		ids = append(ids, id)
 	}
 	return ids
+}
+
+// Scenario engine (see internal/scenario and the README's catalog).
+type (
+	// Scenario declares one registered workload: topology, traffic shape,
+	// solver and scale.
+	Scenario = scenario.Spec
+	// ScenarioResult is one scenario run reduced to named scalar metrics.
+	ScenarioResult = scenario.Result
+	// ScenarioBatch fans a scenario over seeds × parameter grids on a
+	// worker pool and aggregates mean/p50/p95 summaries.
+	ScenarioBatch = scenario.Batch
+	// Solver names a scenario scheduling strategy.
+	Solver = scenario.Solver
+)
+
+// Scenario solvers (Scenario.WithSolver derives a re-solved variant).
+const (
+	SolverAuction       = scenario.SolverAuction
+	SolverAuctionJacobi = scenario.SolverAuctionJacobi
+	SolverExact         = scenario.SolverExact
+	SolverLocality      = scenario.SolverLocality
+	SolverRandom        = scenario.SolverRandom
+)
+
+// FprintScenario renders one scenario run as an aligned metric table.
+func FprintScenario(w io.Writer, r *ScenarioResult) error { return scenario.Fprint(w, r) }
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string { return scenario.Names() }
+
+// GetScenario returns the named scenario spec.
+func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// RunScenario executes a registered scenario once under the given seed.
+func RunScenario(name string, seed uint64) (*ScenarioResult, error) {
+	spec, ok := scenario.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown scenario %q (have: %v)", name, scenario.Names())
+	}
+	return spec.Run(seed)
 }
 
 // Assignment-problem core (the paper's algorithmic contribution), exposed for

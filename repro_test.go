@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro"
@@ -101,5 +102,40 @@ func TestPaperVsReproConfig(t *testing.T) {
 	}
 	if err := calibrated.Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFacadeScenarios(t *testing.T) {
+	names := repro.Scenarios()
+	if len(names) < 8 {
+		t.Fatalf("facade lists %d scenarios, want >= 8: %v", len(names), names)
+	}
+	spec, ok := repro.GetScenario("quickstart")
+	if !ok {
+		t.Fatal("quickstart not reachable through the facade")
+	}
+	res, err := spec.WithSolver(repro.SolverLocality).Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != string(repro.SolverLocality) || res.Metrics["grants"] <= 0 {
+		t.Fatalf("unexpected facade run: %+v", res)
+	}
+	direct, err := repro.RunScenario("quickstart", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Scenario != "quickstart" || direct.Seed != 3 {
+		t.Fatalf("RunScenario result: %+v", direct)
+	}
+	var buf strings.Builder
+	if err := repro.FprintScenario(&buf, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scenario quickstart") {
+		t.Fatalf("FprintScenario output: %s", buf.String())
+	}
+	if _, err := repro.RunScenario("no-such", 1); err == nil {
+		t.Error("unknown scenario should error")
 	}
 }
