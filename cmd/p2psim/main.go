@@ -7,8 +7,10 @@
 //	p2psim -list                                    # catalog of registered scenarios
 //	p2psim -scenario quickstart -seed 7             # one run, metric table + chart
 //	p2psim -scenario churn -solver locality         # same world, baseline solver
+//	p2psim -scenario churn -warmstart               # warm-started incremental auction
 //	p2psim -scenario vodstreaming -seeds 10 -workers 4 -csv out.csv
 //	p2psim -scenario vodstreaming -seeds 5 -sweep "neighbors=5,15,30" -json out.json
+//	p2psim -scenario churn -seeds 5 -sweep "warmstart=0,1" -csv warm.csv
 //
 // Paper figures and ablations (see internal/experiments):
 //
@@ -51,14 +53,15 @@ func run(args []string) error {
 		width    = fs.Int("width", 72, "chart width")
 		height   = fs.Int("height", 14, "chart height")
 
-		list     = fs.Bool("list", false, "list registered scenarios and exit")
-		scenName = fs.String("scenario", "", "run the named scenario (see -list)")
-		solver   = fs.String("solver", "", "override the scenario's solver (auction, auction-jacobi, exact, locality, random)")
-		seed     = fs.Uint64("seed", 1, "base seed for scenario runs")
-		seeds    = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
-		workers  = fs.Int("workers", 1, "batch worker pool size")
-		sweep    = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
-		jsonPath = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
+		list      = fs.Bool("list", false, "list registered scenarios and exit")
+		scenName  = fs.String("scenario", "", "run the named scenario (see -list)")
+		solver    = fs.String("solver", "", "override the scenario's solver (auction, auction-jacobi, exact, locality, random)")
+		warmStart = fs.Bool("warmstart", false, "schedule slots with the warm-started incremental auction (requires the auction solver); sweep it with -sweep \"warmstart=0,1\"")
+		seed      = fs.Uint64("seed", 1, "base seed for scenario runs")
+		seeds     = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
+		workers   = fs.Int("workers", 1, "batch worker pool size")
+		sweep     = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
+		jsonPath  = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +74,7 @@ func run(args []string) error {
 	}
 	if *scenName != "" {
 		return runScenario(scenarioOpts{
-			name: *scenName, solver: *solver,
+			name: *scenName, solver: *solver, warmStart: *warmStart,
 			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
 			jsonPath: *jsonPath, csvPath: *csvPath,
 			noChart: *noChart, width: *width, height: *height,
@@ -216,6 +219,7 @@ func listScenarios(w *os.File) error {
 
 type scenarioOpts struct {
 	name, solver      string
+	warmStart         bool
 	seed              uint64
 	seeds, workers    int
 	sweep             string
@@ -232,6 +236,9 @@ func runScenario(o scenarioOpts) error {
 	}
 	if o.solver != "" {
 		spec = spec.WithSolver(scenario.Solver(o.solver))
+	}
+	if o.warmStart {
+		spec.WarmStart = true
 	}
 	if o.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)

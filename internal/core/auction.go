@@ -22,12 +22,14 @@ const (
 
 // AuctionOptions configures the primal-dual auction solver.
 //
-// ε-scaling (solving with a coarse ε first and refining) is deliberately not
-// offered: carrying prices between phases is unsound for this asymmetric
-// problem — a carried positive price on a sink that ends a later phase
-// unsaturated violates complementary slackness condition 1 and can exclude
-// optimal assignments. Each solve therefore starts from λ = 0, exactly like
-// the paper's per-slot auctions.
+// SolveAuction itself never carries prices between calls: naively reusing a
+// price vector is unsound for this asymmetric problem — a carried positive
+// price on a sink that ends the next solve unsaturated violates
+// complementary slackness condition 1 and can exclude optimal assignments.
+// Each SolveAuction therefore starts from λ = 0, exactly like the paper's
+// per-slot auctions. Warm starts across solves (and ε-rescaling schedules)
+// are provided soundly by the incremental Solver (solver.go), which repairs
+// CS1 before terminating.
 type AuctionOptions struct {
 	// Epsilon is the bid increment. Epsilon = 0 reproduces the paper's
 	// literal bidding rule (bid exactly the second-best difference), which
@@ -92,6 +94,12 @@ type AuctionResult struct {
 	// situation the paper's bidders "wait" in). The assignment is feasible
 	// but may be slightly suboptimal.
 	Stalled bool
+	// RepairRounds counts CS1-repair rounds of a warm Solver.Solve (0 for
+	// cold solves: a cold drain leaves no unsold reserves to repair).
+	RepairRounds int
+	// Restarted is true when a warm Solver.Solve abandoned its carried state
+	// and fell back to a cold solve (pathological warm start).
+	Restarted bool
 }
 
 // DualObjective evaluates the dual objective (5): Σ λ_u·B(u) + Σ η, with

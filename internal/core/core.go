@@ -4,6 +4,10 @@
 //
 //   - the primal-dual auction solver (Bertsekas-style ε-auction, with the
 //     paper's literal ε=0 bidding as a mode, Gauss–Seidel and Jacobi rounds),
+//   - the incremental warm-starting Solver, which retains prices and partial
+//     assignments between solves and accepts ProblemDeltas — the amortized
+//     path for slowly-varying slot sequences (churn), with reverse-auction
+//     repair keeping the certificate identical to a cold solve's,
 //   - an exact successive-shortest-path min-cost-flow solver used as the
 //     optimality ground truth,
 //   - a brute-force solver for tiny instances,

@@ -18,9 +18,11 @@ type Grid struct {
 
 // ApplyParam mutates the spec by one named parameter — the vocabulary of
 // batch sweeps. Keys: peers, slots, neighbors, epsilon, arrival, early-leave,
-// cost-scale, seeds-per-video, videos, window, requests, sinks.
+// cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
+	case "warmstart":
+		s.WarmStart = v != 0
 	case "peers":
 		s.Sim.StaticPeers = int(v)
 	case "slots":
@@ -50,7 +52,7 @@ func ApplyParam(s *Spec, key string, v float64) error {
 	default:
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
-			"videos, window, requests or sinks)", key)
+			"videos, window, requests, sinks or warmstart)", key)
 	}
 	return nil
 }

@@ -66,6 +66,22 @@ func init() {
 		Sim:      churn,
 	})
 
+	// churn-warm — the same Fig. 6 churn workload scheduled by the
+	// warm-started incremental auction (sched.WarmAuction): prices and
+	// partial assignments carry across slots, so each slot re-converges from
+	// the previous market instead of from λ = 0. Welfare matches the cold
+	// auction (golden-tested in warm_test.go); docs/PERFORMANCE.md records
+	// the speedup. Sweep `warmstart=0,1` on any sim scenario to compare.
+	MustRegister(Spec{
+		Name:      "churn-warm",
+		Summary:   "the churn workload under the warm-started incremental auction",
+		Workload:  "churn",
+		Kind:      KindSim,
+		Solver:    SolverAuction,
+		WarmStart: true,
+		Sim:       churn,
+	})
+
 	// flash-crowd — a premiere spike: the arrival rate jumps 6× for two
 	// slots mid-run, stressing price re-convergence and local supply.
 	flash := smallSim()

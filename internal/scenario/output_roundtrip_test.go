@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// TestBatchExportRoundTrip is the export contract: the emitted JSON and CSV
+// files, parsed back, must reproduce the in-memory batch result — JSON
+// exactly (records and summaries), CSV to its declared formatting precision
+// (fnum renders non-integer values with four decimals).
+func TestBatchExportRoundTrip(t *testing.T) {
+	batch := Batch{
+		Spec:  batchSpec(t),
+		Seeds: Seeds(3, 3),
+		Grids: []Grid{
+			{Param: "requests", Values: []float64{20, 40}},
+			{Param: "epsilon", Values: []float64{0.01, 0.1}},
+		},
+	}
+	res, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON: full fidelity.
+	var js bytes.Buffer
+	if err := WriteJSON(&js, res); err != nil {
+		t.Fatal(err)
+	}
+	var back BatchResult
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, res) {
+		t.Fatalf("JSON round-trip diverged:\n got %+v\nwant %+v", back, *res)
+	}
+
+	// CSV: one row per grid point; every cell checks out against the
+	// in-memory summary within the 4-decimal formatting precision.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Summaries)+1 {
+		t.Fatalf("CSV has %d rows, want header + %d summaries", len(rows), len(res.Summaries))
+	}
+	header := rows[0]
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[name] = i
+	}
+	cell := func(row []string, name string) float64 {
+		t.Helper()
+		i, ok := col[name]
+		if !ok {
+			t.Fatalf("CSV missing column %q (header %v)", name, header)
+		}
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("column %q: %v", name, err)
+		}
+		return v
+	}
+	const tol = 5e-5 // fnum prints non-integers with 4 decimals
+	for i, sum := range res.Summaries {
+		row := rows[i+1]
+		if got := row[col["scenario"]]; got != res.Scenario {
+			t.Fatalf("row %d scenario = %q, want %q", i, got, res.Scenario)
+		}
+		if got := row[col["solver"]]; got != res.Solver {
+			t.Fatalf("row %d solver = %q, want %q", i, got, res.Solver)
+		}
+		if got := cell(row, "runs"); int(got) != sum.Runs {
+			t.Fatalf("row %d runs = %v, want %d", i, got, sum.Runs)
+		}
+		if got := cell(row, "failed"); int(got) != sum.Failed {
+			t.Fatalf("row %d failed = %v, want %d", i, got, sum.Failed)
+		}
+		for param, want := range sum.Point {
+			if got := cell(row, param); math.Abs(got-want) > tol {
+				t.Fatalf("row %d param %s = %v, want %v", i, param, got, want)
+			}
+		}
+		for metric, agg := range sum.Metrics {
+			for suffix, want := range map[string]float64{
+				"_mean": agg.Mean, "_p50": agg.P50, "_p95": agg.P95,
+			} {
+				if got := cell(row, metric+suffix); math.Abs(got-want) > tol {
+					t.Fatalf("row %d %s%s = %v, want %v", i, metric, suffix, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunExportRoundTrip does the same for a single run's JSON export.
+func TestRunExportRoundTrip(t *testing.T) {
+	spec := batchSpec(t)
+	res, err := spec.Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRunJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	// Series and Elapsed are deliberately excluded from the JSON contract.
+	if back.Scenario != res.Scenario || back.Workload != res.Workload ||
+		back.Solver != res.Solver || back.Seed != res.Seed ||
+		!reflect.DeepEqual(back.Metrics, res.Metrics) {
+		t.Fatalf("run JSON round-trip diverged:\n got %+v\nwant %+v", back, *res)
+	}
+}

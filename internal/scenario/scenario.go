@@ -85,13 +85,22 @@ func Solvers() []Solver {
 	return []Solver{SolverAuction, SolverAuctionJacobi, SolverExact, SolverLocality, SolverRandom}
 }
 
-// scheduler instantiates the solver as a slot scheduler for cfg.
-func (s Solver) scheduler(cfg sim.Config, workers int) (sched.Scheduler, error) {
-	switch s {
+// scheduler instantiates the spec's solver as a slot scheduler for cfg. A
+// fresh scheduler is built per run: warm-started schedulers carry state
+// across a run's slots and must not leak across runs.
+func (s Spec) scheduler(cfg sim.Config) (sched.Scheduler, error) {
+	if s.WarmStart && s.Solver != SolverAuction {
+		return nil, fmt.Errorf("scenario: warm start requires the %q solver, got %q",
+			SolverAuction, s.Solver)
+	}
+	switch s.Solver {
 	case SolverAuction:
+		if s.WarmStart {
+			return &sched.WarmAuction{Epsilon: cfg.Epsilon}, nil
+		}
 		return &sched.Auction{Epsilon: cfg.Epsilon}, nil
 	case SolverAuctionJacobi:
-		return &sched.Auction{Epsilon: cfg.Epsilon, Mode: core.Jacobi, Workers: workers}, nil
+		return &sched.Auction{Epsilon: cfg.Epsilon, Mode: core.Jacobi, Workers: s.SolverWorkers}, nil
 	case SolverExact:
 		return &sched.Exact{}, nil
 	case SolverLocality:
@@ -99,7 +108,7 @@ func (s Solver) scheduler(cfg sim.Config, workers int) (sched.Scheduler, error) 
 	case SolverRandom:
 		return &baseline.Random{Seed: cfg.Seed, Rounds: cfg.LocalityRounds}, nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown solver %q", s)
+		return nil, fmt.Errorf("scenario: unknown solver %q", s.Solver)
 	}
 }
 
@@ -160,6 +169,12 @@ type Spec struct {
 	// SolverWorkers parallelizes SolverAuctionJacobi's bid computation
 	// (0 or 1 = sequential).
 	SolverWorkers int
+	// WarmStart schedules KindSim slots with the incremental warm-started
+	// auction (sched.WarmAuction): prices and partial assignments carry
+	// across the run's slots instead of re-converging from λ = 0. Requires
+	// SolverAuction; welfare guarantees are identical to the cold auction
+	// (see docs/PERFORMANCE.md for the speedups it buys under churn).
+	WarmStart bool
 	// Heavy marks scenarios too large for routine double-run golden tests;
 	// they are smoke-tested once instead.
 	Heavy bool
@@ -179,10 +194,14 @@ func (s Spec) WithSolver(sv Solver) Spec {
 }
 
 // SolverName reports the solver that actually runs: live scenarios always
-// play the distributed auction regardless of the (empty) Solver field.
+// play the distributed auction regardless of the (empty) Solver field, and
+// warm-started sim scenarios run the incremental auction.
 func (s Spec) SolverName() string {
 	if s.Kind == KindLive {
 		return string(SolverAuction)
+	}
+	if s.WarmStart && s.Solver == SolverAuction {
+		return "auction-warm"
 	}
 	return string(s.Solver)
 }
@@ -194,8 +213,8 @@ func (s Spec) Validate() error {
 	}
 	switch s.Kind {
 	case KindSim:
-		if _, err := s.Solver.scheduler(s.Sim, 1); err != nil {
-			return err
+		if _, err := s.scheduler(s.Sim); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 		cfg := s.Sim
 		cfg.Seed = 1
@@ -208,6 +227,9 @@ func (s Spec) Validate() error {
 		default:
 			return fmt.Errorf("scenario %s: solver %q cannot solve bare transportation instances",
 				s.Name, s.Solver)
+		}
+		if s.WarmStart {
+			return fmt.Errorf("scenario %s: warm start applies to slot sequences (KindSim), not independent transport instances", s.Name)
 		}
 		t := s.Transport
 		if t.Requests <= 0 || t.Sinks <= 0 || t.Trials <= 0 {
@@ -226,6 +248,9 @@ func (s Spec) Validate() error {
 		if s.Solver != "" && s.Solver != SolverAuction {
 			return fmt.Errorf("scenario %s: live scenarios always run the distributed auction; cannot use solver %q",
 				s.Name, s.Solver)
+		}
+		if s.WarmStart {
+			return fmt.Errorf("scenario %s: warm start is not plumbed through the live TCP engine", s.Name)
 		}
 		l := s.Live
 		if len(l.UploaderCosts) == 0 || l.UploaderCapacity <= 0 {
@@ -297,7 +322,7 @@ func (s Spec) Run(seed uint64) (*Result, error) {
 func (s Spec) runSim(seed uint64) (*Result, error) {
 	cfg := s.Sim
 	cfg.Seed = seed
-	scheduler, err := s.Solver.scheduler(cfg, s.SolverWorkers)
+	scheduler, err := s.scheduler(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +331,7 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Solver: string(s.Solver),
+		Solver: s.SolverName(),
 		Metrics: map[string]float64{
 			"welfare_per_slot": r.Welfare.Summarize().Mean,
 			"welfare_final":    r.Welfare.Last(),

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// recordingScheduler wraps the cold auction and captures every slot Instance
+// it is asked to solve, together with the cold welfare it achieved — the
+// exact solve sequence a run produces, for replay through the warm solver.
+type recordingScheduler struct {
+	inner     sched.Scheduler
+	instances []*sched.Instance
+	welfare   []float64
+}
+
+func (r *recordingScheduler) Name() string { return r.inner.Name() }
+
+func (r *recordingScheduler) Schedule(in *sched.Instance) (*sched.Result, error) {
+	res, err := r.inner.Schedule(in)
+	if err != nil {
+		return nil, err
+	}
+	w, err := in.Welfare(res.Grants)
+	if err != nil {
+		return nil, err
+	}
+	r.instances = append(r.instances, in)
+	r.welfare = append(r.welfare, w)
+	return res, nil
+}
+
+// TestWarmEqualsColdWelfarePerScenario is the warm-start golden: for every
+// registered sim scenario, replay the cold run's slot-instance sequence
+// through the warm-started incremental auction and demand equal welfare on
+// every single solve, where "equal" is pinned at two levels:
+//
+//   - the certificate band n·ε — both solvers terminate with an ε-CS
+//     certificate, so each is within n·ε of that instance's optimum and
+//     they cannot differ by more; a violation means the warm path lost its
+//     optimality guarantee (a correctness bug, not tolerance);
+//   - a 10⁻³ relative regression band — empirically the two agree to ~10⁻⁵
+//     relative on these float-weighted workloads (tie-breaks inside the
+//     shared ε-band account for the rest), so any real warm-start defect
+//     shows up here long before it dents the certificate band.
+//
+// Bit-exact welfare identity is a theorem only for integral weights with
+// ε < 1/(n+1); core's TestSolverWarmEqualsColdWelfareIntegerWeights and
+// sched's TestWarmAuctionMatchesColdWelfare pin that case exactly.
+func TestWarmEqualsColdWelfarePerScenario(t *testing.T) {
+	const seed = 42
+	for _, spec := range All() {
+		spec := spec
+		if spec.Kind != KindSim {
+			continue
+		}
+		if spec.Heavy {
+			if err := ApplyParam(&spec, "peers", 500); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := spec.Sim
+			cfg.Seed = seed
+			rec := &recordingScheduler{inner: &sched.Auction{Epsilon: cfg.Epsilon}}
+			if _, err := sim.Run(cfg, rec); err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.instances) == 0 {
+				t.Fatal("run produced no slot instances")
+			}
+			warm := &sched.WarmAuction{Epsilon: cfg.Epsilon}
+			solved := 0
+			for i, in := range rec.instances {
+				res, err := warm.Schedule(in)
+				if err != nil {
+					t.Fatalf("solve %d: %v", i, err)
+				}
+				if err := in.Validate(res.Grants); err != nil {
+					t.Fatalf("solve %d: warm grants infeasible: %v", i, err)
+				}
+				got, err := in.Welfare(res.Grants)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := rec.welfare[i]
+				certBand := cfg.Epsilon*float64(len(in.Requests)) + 1e-9
+				if diff := math.Abs(got - want); diff > certBand {
+					t.Fatalf("solve %d (%d requests): warm welfare %v vs cold %v — Δ=%g exceeds the n·ε certificate band %g",
+						i, len(in.Requests), got, want, diff, certBand)
+				}
+				if diff := math.Abs(got - want); diff > 1e-3*math.Max(1, math.Abs(want)) {
+					t.Fatalf("solve %d (%d requests): warm welfare %v drifted %g from cold %v (> 10⁻³ relative)",
+						i, len(in.Requests), got, got-want, want)
+				}
+				solved++
+			}
+			t.Logf("%d solves, warm welfare equals cold within the certificate band on every one", solved)
+		})
+	}
+}
+
+// TestWarmScenarioPresetMatchesColdMetrics pins the registered churn-warm
+// preset to its cold twin at the whole-run level: per-slot welfare equality
+// implies the two runs schedule equally well, though grant-level tie-breaks
+// may route chunks differently.
+func TestWarmScenarioPresetMatchesColdMetrics(t *testing.T) {
+	warmSpec, ok := Get("churn-warm")
+	if !ok {
+		t.Fatal("churn-warm not registered")
+	}
+	coldSpec := warmSpec
+	coldSpec.WarmStart = false
+	warmRes, err := warmSpec.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := coldSpec.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie-broken grants may differ chunk-by-chunk, which perturbs downstream
+	// caches; welfare per slot must stay within the ε-CS band of the same
+	// optimum on the first slot (identical world) and close thereafter.
+	if warmRes.Metrics["grants"] == 0 {
+		t.Fatal("warm run scheduled nothing")
+	}
+	if math.IsNaN(warmRes.Metrics["welfare_per_slot"]) {
+		t.Fatal("warm welfare is NaN")
+	}
+	rel := math.Abs(warmRes.Metrics["welfare_per_slot"]-coldRes.Metrics["welfare_per_slot"]) /
+		math.Max(1, math.Abs(coldRes.Metrics["welfare_per_slot"]))
+	if rel > 0.05 {
+		t.Fatalf("warm run welfare/slot %v drifted %.1f%% from cold %v",
+			warmRes.Metrics["welfare_per_slot"], 100*rel, coldRes.Metrics["welfare_per_slot"])
+	}
+}
+
+// TestWarmStartValidation pins the plumbing: warm start composes only with
+// the auction solver and sim scenarios, and is sweepable.
+func TestWarmStartValidation(t *testing.T) {
+	spec, _ := Get("churn")
+	spec.WarmStart = true
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("warm churn should validate: %v", err)
+	}
+	if got := spec.SolverName(); got != "auction-warm" {
+		t.Fatalf("SolverName = %q, want auction-warm", got)
+	}
+	bad := spec.WithSolver(SolverLocality)
+	if err := bad.Validate(); err == nil {
+		t.Error("warm start with a price-free baseline should be rejected")
+	}
+	transport, _ := Get("assignment")
+	transport.WarmStart = true
+	if err := transport.Validate(); err == nil {
+		t.Error("warm start on independent transport instances should be rejected")
+	}
+	live, _ := Get("livenet")
+	live.WarmStart = true
+	if err := live.Validate(); err == nil {
+		t.Error("warm start on the live TCP engine should be rejected")
+	}
+	swept, _ := Get("churn")
+	if err := ApplyParam(&swept, "warmstart", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !swept.WarmStart {
+		t.Error("ApplyParam(warmstart, 1) did not enable warm start")
+	}
+}

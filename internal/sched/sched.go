@@ -1,11 +1,13 @@
 // Package sched defines the slot-level chunk-scheduling interface shared by
-// every strategy in the evaluation: the auction (the paper's algorithm), the
-// Simple Locality baseline, and the network-agnostic random baseline. A
-// strategy receives one slot's Instance — requests with valuations and
-// deadlines, candidate uploaders with network costs, uploader capacities —
-// and returns the set of grants. The simulator computes welfare, inter-ISP
-// traffic and miss metrics uniformly from the grants, so strategies compete
-// on identical terms.
+// every strategy in the evaluation: the auction (the paper's algorithm, in
+// cold per-slot form as Auction and warm-started incremental form as
+// WarmAuction), the exact min-cost-flow optimum (Exact), the Simple
+// Locality baseline, and the network-agnostic random baseline (both in
+// internal/baseline). A strategy receives one slot's Instance — requests
+// with valuations and deadlines, candidate uploaders with network costs,
+// uploader capacities — and returns the set of grants. The simulator
+// computes welfare, inter-ISP traffic and miss metrics uniformly from the
+// grants, so strategies compete on identical terms.
 package sched
 
 import (

@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isp"
+	"repro/internal/video"
+)
+
+// reqKey identifies a request across slots: the same peer wanting the same
+// chunk is the same economic actor, whatever its index in this slot's
+// Instance.
+type reqKey struct {
+	peer  isp.PeerID
+	chunk video.ChunkID
+}
+
+// reqState is the wrapper's persistent view of one live request.
+type reqState struct {
+	id    core.RequestID
+	value float64
+	cands []Candidate // owned by the last Instance; read-only
+	stamp uint64
+}
+
+// sinkState is the wrapper's persistent view of one live uploader.
+type sinkState struct {
+	id       core.SinkID
+	capacity int
+	stamp    uint64
+}
+
+// WarmAuction is the warm-starting counterpart of Auction: a stateful
+// scheduler that diffs consecutive slot Instances into core.ProblemDeltas
+// and drives a persistent core.Solver, so the auction re-converges from the
+// previous slot's prices instead of from λ = 0 every slot. Under churn the
+// problem changes only marginally between slots, which makes the amortized
+// cost per slot a fraction of a cold solve's (see docs/PERFORMANCE.md); the
+// solution quality guarantee is unchanged — every slot terminates with the
+// same ε-complementary-slackness certificate as the cold auction.
+//
+// The diff recognizes three levels of change per surviving request: exact
+// carry (nothing to do), pure re-valuation (same candidates, new value — a
+// core.ValueShift, the every-round deadline tightening), and a full edge
+// rewrite (changed neighbor set). Uploaders diff into capacity changes and
+// arrivals/departures.
+//
+// A WarmAuction carries state across Schedule calls and is therefore bound
+// to one simulation run: create a fresh value per run (as scenario.Spec.Run
+// does) and do not share it across goroutines.
+type WarmAuction struct {
+	// Epsilon is the bid increment (same semantics as Auction.Epsilon).
+	Epsilon float64
+
+	solver *core.Solver
+	reqs   map[reqKey]*reqState
+	sinks  map[isp.PeerID]*sinkState
+	// prevReqKeys / prevSinkPeers list the previous instance's keys in
+	// instance order, for deterministic removal detection.
+	prevReqKeys   []reqKey
+	prevSinkPeers []isp.PeerID
+	stamp         uint64
+	// Reused scratch buffers: an edge arena for delta construction (Apply
+	// copies, so the arena is free to be recycled next round), the key
+	// double-buffer, and per-row state caches aligned with the current
+	// instance so the grant/price loops skip the key maps entirely.
+	edgeBuf []core.Edge
+	keyBuf  []reqKey
+	reqRow  []*reqState
+	sinkRow []*sinkState
+}
+
+var _ Scheduler = (*WarmAuction)(nil)
+
+// Name implements Scheduler.
+func (a *WarmAuction) Name() string { return "auction-warm" }
+
+// compactThreshold is how many dead solver slots WarmAuction tolerates
+// before compacting (dead slots also must outnumber live ones twice over —
+// compaction rewrites every handle, so it must stay rare relative to the
+// per-slot churn that creates the garbage).
+const compactThreshold = 8192
+
+// Schedule implements Scheduler: diff the instance against the previous
+// slot's, apply the delta to the persistent solver, and re-optimize warm.
+func (a *WarmAuction) Schedule(in *Instance) (*Result, error) {
+	if a.solver == nil {
+		solver, err := core.NewSolver(core.AuctionOptions{Epsilon: a.Epsilon})
+		if err != nil {
+			return nil, fmt.Errorf("warm auction: %w", err)
+		}
+		a.solver = solver
+		a.reqs = make(map[reqKey]*reqState)
+		a.sinks = make(map[isp.PeerID]*sinkState)
+	}
+	a.maybeCompact()
+
+	carried, err := a.applyDiff(in)
+	if err != nil {
+		return nil, fmt.Errorf("warm auction: %w", err)
+	}
+	res, err := a.solver.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("warm auction: %w", err)
+	}
+
+	out := &Result{
+		Prices: make(map[isp.PeerID]float64, len(in.Uploaders)),
+		Stats: map[string]float64{
+			"bids":          float64(res.Bids),
+			"iterations":    float64(res.Iterations),
+			"evictions":     float64(res.Evictions),
+			"repair_rounds": float64(res.RepairRounds),
+			"carried":       float64(carried),
+		},
+	}
+	if res.Restarted {
+		out.Stats["cold_restarts"] = 1
+	}
+	for i := range in.Uploaders {
+		out.Prices[in.Uploaders[i].Peer] = res.Prices[a.sinkRow[i].id]
+	}
+	for ri := range in.Requests {
+		if s := res.Assignment.SinkOf[a.reqRow[ri].id]; s != core.Unassigned {
+			out.Grants = append(out.Grants, Grant{Request: ri, Uploader: a.grantUploader(&in.Requests[ri], s)})
+		}
+	}
+	return out, nil
+}
+
+// grantUploader maps a granted solver sink back to the uploader peer via the
+// request's own candidate list (bounded by the candidate degree).
+func (a *WarmAuction) grantUploader(r *Request, s core.SinkID) isp.PeerID {
+	for _, c := range r.Candidates {
+		if st, ok := a.sinks[c.Peer]; ok && st.id == s {
+			return c.Peer
+		}
+	}
+	panic(fmt.Sprintf("sched: solver sink %d is not a candidate of request (%d, %v)", s, r.Peer, r.Chunk))
+}
+
+func key(r *Request) reqKey { return reqKey{peer: r.Peer, chunk: r.Chunk} }
+
+// sameCandidates reports whether a request kept its exact candidate list
+// (order-sensitively — a reordered neighbor list is conservatively treated
+// as a change).
+func sameCandidates(prev []Candidate, cur []Candidate) bool {
+	if len(prev) != len(cur) {
+		return false
+	}
+	for i := range prev {
+		if prev[i] != cur[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDiff turns the instance-over-instance change into solver deltas (two
+// phases: sink-side first so request edges can reference freshly minted
+// sinks) and returns how many requests were carried — kept or value-shifted
+// without re-deriving their assignment.
+func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
+	a.stamp++
+
+	// Sink side.
+	a.sinkRow = a.sinkRow[:0]
+	var sinkDelta core.ProblemDelta
+	var addedPeers []isp.PeerID
+	var addedRows []int
+	for i := range in.Uploaders {
+		u := &in.Uploaders[i]
+		st, known := a.sinks[u.Peer]
+		a.sinkRow = append(a.sinkRow, st)
+		if !known {
+			sinkDelta.AddSinks = append(sinkDelta.AddSinks, u.Capacity)
+			addedPeers = append(addedPeers, u.Peer)
+			addedRows = append(addedRows, i)
+			continue
+		}
+		st.stamp = a.stamp
+		if st.capacity != u.Capacity {
+			sinkDelta.SetCapacities = append(sinkDelta.SetCapacities,
+				core.SinkCapacity{Sink: st.id, Capacity: u.Capacity})
+			st.capacity = u.Capacity
+		}
+	}
+	for _, p := range a.prevSinkPeers {
+		if st, ok := a.sinks[p]; ok && st.stamp != a.stamp {
+			sinkDelta.RemoveSinks = append(sinkDelta.RemoveSinks, st.id)
+			delete(a.sinks, p)
+		}
+	}
+	applied, err := a.solver.Apply(sinkDelta)
+	if err != nil {
+		return 0, err
+	}
+	for i, s := range applied.Sinks {
+		row := addedRows[i]
+		st := &sinkState{id: s, stamp: a.stamp, capacity: in.Uploaders[row].Capacity}
+		a.sinks[addedPeers[i]] = st
+		a.sinkRow[row] = st
+	}
+	a.prevSinkPeers = a.prevSinkPeers[:0]
+	for i := range in.Uploaders {
+		a.prevSinkPeers = append(a.prevSinkPeers, in.Uploaders[i].Peer)
+	}
+
+	// Request side. curKeys accumulates this instance's keys in order and
+	// becomes prevReqKeys at the end (buffer swap, no extra map pass).
+	a.edgeBuf = a.edgeBuf[:0]
+	a.reqRow = a.reqRow[:0]
+	curKeys := a.keyBuf[:0]
+	var reqDelta core.ProblemDelta
+	var addedKeys []reqKey
+	var addedReqs []*Request
+	var addedReqRows []int
+	for ri := range in.Requests {
+		r := &in.Requests[ri]
+		k := key(r)
+		curKeys = append(curKeys, k)
+		st, existed := a.reqs[k]
+		a.reqRow = append(a.reqRow, st)
+		if existed {
+			st.stamp = a.stamp
+			if sameCandidates(st.cands, r.Candidates) {
+				if r.Value != st.value {
+					// A pure re-valuation (the every-round deadline
+					// tightening) shifts all the request's weights uniformly
+					// — the cheap path.
+					reqDelta.ShiftValues = append(reqDelta.ShiftValues,
+						core.ValueShift{Request: st.id, Delta: r.Value - st.value})
+					st.value = r.Value
+				}
+				st.cands = r.Candidates
+				carried++
+				continue
+			}
+			edges, err := a.edgesOf(r)
+			if err != nil {
+				return 0, err
+			}
+			reqDelta.UpdateRequests = append(reqDelta.UpdateRequests,
+				core.RequestEdges{Request: st.id, Edges: edges})
+			st.value, st.cands = r.Value, r.Candidates
+			continue
+		}
+		edges, err := a.edgesOf(r)
+		if err != nil {
+			return 0, err
+		}
+		reqDelta.AddRequests = append(reqDelta.AddRequests, edges)
+		addedKeys = append(addedKeys, k)
+		addedReqs = append(addedReqs, r)
+		addedReqRows = append(addedReqRows, ri)
+	}
+	for _, k := range a.prevReqKeys {
+		if st, ok := a.reqs[k]; ok && st.stamp != a.stamp {
+			reqDelta.RemoveRequests = append(reqDelta.RemoveRequests, st.id)
+			delete(a.reqs, k)
+		}
+	}
+	applied, err = a.solver.Apply(reqDelta)
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range applied.Requests {
+		st := &reqState{
+			id: id, stamp: a.stamp,
+			value: addedReqs[i].Value, cands: addedReqs[i].Candidates,
+		}
+		a.reqs[addedKeys[i]] = st
+		a.reqRow[addedReqRows[i]] = st
+	}
+	a.keyBuf = a.prevReqKeys // swap buffers
+	a.prevReqKeys = curKeys
+	return carried, nil
+}
+
+// edgesOf translates a request's candidates into solver edges (weight
+// v − w, as buildProblem does for the cold path), carved out of the per-
+// round edge arena. Arena growth may strand earlier slices on the old
+// backing array; they stay valid, the capacity is simply rebuilt next
+// round.
+func (a *WarmAuction) edgesOf(r *Request) ([]core.Edge, error) {
+	start := len(a.edgeBuf)
+	for _, c := range r.Candidates {
+		st, ok := a.sinks[c.Peer]
+		if !ok {
+			return nil, fmt.Errorf("request (%d, %v) references unknown uploader %d",
+				r.Peer, r.Chunk, c.Peer)
+		}
+		a.edgeBuf = append(a.edgeBuf, core.Edge{Sink: st.id, Weight: r.Value - c.Cost})
+	}
+	return a.edgeBuf[start:len(a.edgeBuf):len(a.edgeBuf)], nil
+}
+
+// maybeCompact reclaims dead solver slots once they dominate, rewriting the
+// peer/chunk handle maps to the compacted ids.
+func (a *WarmAuction) maybeCompact() {
+	deadReqs, deadSinks := a.solver.Dead()
+	if deadReqs+deadSinks <= compactThreshold ||
+		deadReqs+deadSinks <= 2*(a.solver.NumRequests()+a.solver.NumSinks()) {
+		return
+	}
+	reqMap, sinkMap := a.solver.Compact()
+	for _, st := range a.reqs {
+		st.id = reqMap[st.id]
+	}
+	for _, st := range a.sinks {
+		st.id = sinkMap[st.id]
+	}
+}

@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/randx"
+	"repro/internal/video"
+)
+
+// churnInstances synthesizes a slot sequence the way a swarm under churn
+// produces them: a peer population that joins and leaves, windows that slide
+// (requests appear and disappear), and per-slot re-valuations. Integer
+// values and costs keep edge weights integral, so with ε < 1/(n+1) both warm
+// and cold solves are exactly optimal and must produce identical welfare.
+func churnInstances(t *testing.T, seed uint64, slots, basePeers int) []*Instance {
+	t.Helper()
+	rng := randx.New(seed)
+	type peerState struct {
+		id       isp.PeerID
+		capacity int
+	}
+	var peers []peerState
+	nextID := isp.PeerID(100)
+	for i := 0; i < basePeers; i++ {
+		peers = append(peers, peerState{id: nextID, capacity: 1 + rng.Intn(3)})
+		nextID++
+	}
+	var out []*Instance
+	nextChunk := 0
+	for slot := 0; slot < slots; slot++ {
+		if slot > 0 {
+			// Churn ~20% of the population.
+			var kept []peerState
+			for _, p := range peers {
+				if len(peers) > 4 && rng.Float64() < 0.1 {
+					continue
+				}
+				if rng.Float64() < 0.2 {
+					p.capacity = 1 + rng.Intn(3)
+				}
+				kept = append(kept, p)
+			}
+			peers = kept
+			joins := rng.Intn(3)
+			for i := 0; i < joins; i++ {
+				peers = append(peers, peerState{id: nextID, capacity: 1 + rng.Intn(3)})
+				nextID++
+			}
+		}
+		uploaders := make([]Uploader, len(peers))
+		for i, p := range peers {
+			uploaders[i] = Uploader{Peer: p.id, Capacity: p.capacity}
+		}
+		var reqs []Request
+		for _, p := range peers {
+			wants := 1 + rng.Intn(3)
+			for c := 0; c < wants; c++ {
+				var cands []Candidate
+				for _, u := range peers {
+					if u.id != p.id && rng.Float64() < 0.5 {
+						cands = append(cands, Candidate{Peer: u.id, Cost: float64(rng.Intn(5))})
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				// Re-requested chunks (sliding window): reuse a recent index
+				// half the time so keys persist across slots.
+				idx := nextChunk
+				if nextChunk > 0 && rng.Float64() < 0.5 {
+					idx = rng.Intn(nextChunk)
+				} else {
+					nextChunk++
+				}
+				reqs = append(reqs, Request{
+					Peer:       p.id,
+					Chunk:      video.ChunkID{Video: 0, Index: video.ChunkIndex(idx)},
+					Value:      float64(2 + rng.Intn(8)),
+					Candidates: cands,
+				})
+			}
+		}
+		// Dedup (peer, chunk) keys the synthetic generator may collide on.
+		seen := make(map[reqKey]bool, len(reqs))
+		var unique []Request
+		for i := range reqs {
+			if k := key(&reqs[i]); !seen[k] {
+				seen[k] = true
+				unique = append(unique, reqs[i])
+			}
+		}
+		in, err := NewInstance(unique, uploaders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestWarmAuctionMatchesColdWelfare(t *testing.T) {
+	// Integer weights + small ε ⇒ warm and cold welfare identical per slot,
+	// even though the assignments may differ among ties.
+	const eps = 1e-3
+	for _, seed := range []uint64{1, 2, 3} {
+		instances := churnInstances(t, seed, 12, 10)
+		warm := &WarmAuction{Epsilon: eps}
+		cold := &Auction{Epsilon: eps}
+		for slot, in := range instances {
+			wr, err := warm.Schedule(in)
+			if err != nil {
+				t.Fatalf("seed %d slot %d: %v", seed, slot, err)
+			}
+			cr, err := cold.Schedule(in)
+			if err != nil {
+				t.Fatalf("seed %d slot %d: %v", seed, slot, err)
+			}
+			if err := in.Validate(wr.Grants); err != nil {
+				t.Fatalf("seed %d slot %d: warm grants invalid: %v", seed, slot, err)
+			}
+			ww, err := in.Welfare(wr.Grants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cw, err := in.Welfare(cr.Grants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ww-cw) > 1e-9 {
+				t.Fatalf("seed %d slot %d: warm welfare %v != cold welfare %v",
+					seed, slot, ww, cw)
+			}
+		}
+	}
+}
+
+func TestWarmAuctionDeterministic(t *testing.T) {
+	instances := churnInstances(t, 9, 8, 8)
+	run := func() [][]Grant {
+		warm := &WarmAuction{Epsilon: 0.01}
+		var grants [][]Grant
+		for _, in := range instances {
+			res, err := warm.Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grants = append(grants, res.Grants)
+		}
+		return grants
+	}
+	if first, second := run(), run(); !reflect.DeepEqual(first, second) {
+		t.Fatal("warm auction grants differ across identical replays")
+	}
+}
+
+func TestWarmAuctionFirstSlotMatchesCold(t *testing.T) {
+	// With no carried state the warm scheduler is the cold auction.
+	in := smallInstance(t)
+	warm := &WarmAuction{Epsilon: 0.01}
+	cold := &Auction{Epsilon: 0.01}
+	wr, err := warm.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := cold.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wr.Grants, cr.Grants) {
+		t.Fatalf("grants differ: warm %v, cold %v", wr.Grants, cr.Grants)
+	}
+	if !reflect.DeepEqual(wr.Prices, cr.Prices) {
+		t.Fatalf("prices differ: warm %v, cold %v", wr.Prices, cr.Prices)
+	}
+}
+
+func TestWarmAuctionCarriesAcrossIdenticalSlots(t *testing.T) {
+	in := smallInstance(t)
+	warm := &WarmAuction{Epsilon: 0.01}
+	if _, err := warm.Schedule(in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["carried"] != float64(len(in.Requests)) {
+		t.Fatalf("carried = %v, want %d (identical slot)", res.Stats["carried"], len(in.Requests))
+	}
+	if res.Stats["bids"] != 0 {
+		t.Fatalf("identical slot re-bid %v times, want 0", res.Stats["bids"])
+	}
+}
+
+func TestWarmAuctionCompactsUnderLongChurn(t *testing.T) {
+	// Enough slots of heavy request turnover to cross the compaction
+	// threshold; the run must stay correct afterwards.
+	instances := churnInstances(t, 17, 60, 12)
+	warm := &WarmAuction{Epsilon: 1e-3}
+	cold := &Auction{Epsilon: 1e-3}
+	compacted := false
+	for slot, in := range instances {
+		deadBefore, _ := warm.solverDead()
+		wr, err := warm.Schedule(in)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if deadAfter, _ := warm.solverDead(); deadAfter < deadBefore {
+			compacted = true
+		}
+		cr, err := cold.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ww, _ := in.Welfare(wr.Grants)
+		cw, _ := in.Welfare(cr.Grants)
+		if math.Abs(ww-cw) > 1e-9 {
+			t.Fatalf("slot %d: warm welfare %v != cold %v", slot, ww, cw)
+		}
+	}
+	if !compacted {
+		t.Skip("churn never crossed the compaction threshold; raise turnover to cover Compact")
+	}
+}
+
+// solverDead exposes the solver's garbage counters to the compaction test.
+func (a *WarmAuction) solverDead() (int, int) {
+	if a.solver == nil {
+		return 0, 0
+	}
+	return a.solver.Dead()
+}

@@ -37,6 +37,11 @@ type DESOptions struct {
 	// Jitter adds uniform [0, Jitter) extra latency per message, perturbing
 	// bid arrival order.
 	Jitter time.Duration
+	// WarmStart carries each auctioneer's λ_u across bidding cycles as a
+	// reserve price when its book sold out (peer.Node.StartSlotWarm) — the
+	// message-level counterpart of the warm-started centralized solver, so
+	// churn scenarios stop paying cold price re-convergence every slot.
+	WarmStart bool
 }
 
 // RunDES executes the message-level engine: the same world and slot pipeline
@@ -73,7 +78,7 @@ func RunDES(cfg Config, opts DESOptions) (*Results, error) {
 	nodes := make(map[isp.PeerID]*peer.Node)
 	for slot := 0; slot < cfg.Slots; slot++ {
 		w.slot = slot
-		if err := desSlot(w, netSched, network, nodes, opts.TracePeer, traces, res); err != nil {
+		if err := desSlot(w, netSched, network, nodes, opts, traces, res); err != nil {
 			return nil, fmt.Errorf("sim: DES slot %d: %w", slot, err)
 		}
 	}
@@ -162,10 +167,10 @@ func stepExpand(s *metrics.Series, horizon, step float64) *metrics.Series {
 // winners from the auctioneers' books and feed the shared transfer/playback
 // pipeline.
 func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
-	nodes map[isp.PeerID]*peer.Node, tracePeer isp.PeerID,
+	nodes map[isp.PeerID]*peer.Node, opts DESOptions,
 	traces map[isp.PeerID]*metrics.Series, res *Results) error {
 	w.refreshNeighbors()
-	if err := syncNodes(w, netSched, network, nodes, tracePeer, traces); err != nil {
+	if err := syncNodes(w, netSched, network, nodes, opts.TracePeer, traces); err != nil {
 		return err
 	}
 
@@ -176,7 +181,7 @@ func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		if err != nil {
 			return err
 		}
-		grants, err := desRound(w, j, in, netSched, nodes)
+		grants, err := desRound(w, j, in, netSched, nodes, opts.WarmStart)
 		if err != nil {
 			return err
 		}
@@ -256,7 +261,7 @@ func watchersOf(w *world, v video.ID, exclude isp.PeerID) []isp.PeerID {
 // desRound runs one bidding round's distributed auction to quiescence and
 // extracts the grants.
 func desRound(w *world, j int, in *sched.Instance,
-	netSched *netsim.Scheduler, nodes map[isp.PeerID]*peer.Node) ([]sched.Grant, error) {
+	netSched *netsim.Scheduler, nodes map[isp.PeerID]*peer.Node, warm bool) ([]sched.Grant, error) {
 	// Index requests by (peer, chunk) to translate auction wins to grants.
 	type reqKey struct {
 		peer  isp.PeerID
@@ -290,12 +295,19 @@ func desRound(w *world, j int, in *sched.Instance,
 			return nil, err
 		}
 	}
-	// Open the round on every node: allocators reset with the round's
-	// capacity share; bidders fire their initial bids.
+	// Open the round on every node: allocators reset (or, warm, keep their
+	// sold-out reserve) with the round's capacity share; bidders fire their
+	// initial bids.
 	for _, id := range w.order {
 		node := nodes[id]
 		capacity := roundCapacity(w.peers[id].capacity, j, w.cfg.BidRoundsPerSlot)
-		if err := node.StartSlot(perPeer[id], capacity); err != nil {
+		var err error
+		if warm {
+			err = node.StartSlotWarm(perPeer[id], capacity)
+		} else {
+			err = node.StartSlot(perPeer[id], capacity)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}

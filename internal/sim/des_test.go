@@ -102,3 +102,38 @@ func TestRunDESInvalidConfig(t *testing.T) {
 		t.Fatal("invalid config should error")
 	}
 }
+
+// TestRunDESWarmStart exercises the message-level warm start: carried
+// reserve prices must not change the engine's determinism or wreck welfare
+// relative to the cold protocol (stale reserves self-heal with one slot of
+// lag, so small gaps are expected, large ones are a bug).
+func TestRunDESWarmStart(t *testing.T) {
+	cfg := desConfig()
+	cold, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunDES(cfg, DESOptions{TracePeer: -1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := RunDES(cfg, DESOptions{TracePeer: -1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalGrants != warm2.TotalGrants || warm.TotalMissed != warm2.TotalMissed {
+		t.Fatalf("warm DES non-deterministic: %d/%d vs %d/%d",
+			warm.TotalGrants, warm.TotalMissed, warm2.TotalGrants, warm2.TotalMissed)
+	}
+	if warm.TotalGrants == 0 {
+		t.Fatal("warm distributed auction granted nothing")
+	}
+	cw := cold.Welfare.Summarize().Mean
+	ww := warm.Welfare.Summarize().Mean
+	if cw <= 0 {
+		t.Fatalf("degenerate cold welfare %v", cw)
+	}
+	if gap := math.Abs(cw-ww) / cw; gap > 0.05 {
+		t.Fatalf("warm DES welfare %v diverges %.1f%% from cold %v", ww, 100*gap, cw)
+	}
+}
