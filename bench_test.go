@@ -24,8 +24,11 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cluster"
+	"repro/internal/cluster/clustertest"
 	"repro/internal/core"
 	"repro/internal/randx"
+	"repro/internal/sched"
 )
 
 // reportPair pulls "auction vs locality" numbers out of an experiment table.
@@ -446,3 +449,90 @@ func BenchmarkWarmStartSimChurnWarm(b *testing.B) {
 		}
 	}
 }
+
+// --- Sharding benchmarks ----------------------------------------------------
+//
+// BenchmarkShard* measure the sharded swarm orchestrator (internal/cluster)
+// against monolithic solves on multi-swarm churn traces: S independent
+// swarms (the slot problem's connected components), 16 slots of ~8% request
+// churn each, at three problem sizes. The monolithic baselines pay one
+// global solve per slot — cold (rebuild + λ=0 auction, the pre-warm-start
+// baseline) or warm (one global incremental solver, the PR-2 baseline); the
+// sharded runs pay partition + per-shard warm solves on 1/2/4/8 workers.
+// Results are recorded in BENCH_shard.json and discussed in
+// docs/PERFORMANCE.md ("The sharding headline").
+
+// The trace generator is shared with the cluster package's golden tests
+// (internal/cluster/clustertest), so the goldens and these benchmarks
+// always measure the same workload shape.
+//
+// Shard benchmark sizes: swarms × requests-per-swarm × uploaders-per-swarm.
+// Small ≈ 1.6k requests, medium ≈ 6.4k, large ≈ 19.2k per slot — the large
+// size is one bidding round of a ~20k-peer network.
+const (
+	shardBenchSlots = 16
+	shardBenchFrac  = 0.08
+)
+
+func shardBenchTrace(b *testing.B, swarms, reqPer, upPer int) []*sched.Instance {
+	b.Helper()
+	return clustertest.BuildSlots(42, shardBenchSlots, swarms, reqPer, upPer, shardBenchFrac, false)
+}
+
+func benchmarkShardMonolithicCold(b *testing.B, swarms, reqPer, upPer int) {
+	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &sched.Auction{Epsilon: 0.01}
+		for _, in := range slots {
+			if _, err := s.Schedule(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchmarkShardMonolithicWarm(b *testing.B, swarms, reqPer, upPer int) {
+	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &sched.WarmAuction{Epsilon: 0.01}
+		for _, in := range slots {
+			if _, err := s.Schedule(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchmarkShardSharded(b *testing.B, swarms, reqPer, upPer, workers int) {
+	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &cluster.ShardedAuction{Epsilon: 0.01, Workers: workers}
+		for _, in := range slots {
+			if _, err := s.Schedule(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkShardMonolithicColdSmall(b *testing.B)  { benchmarkShardMonolithicCold(b, 8, 200, 40) }
+func BenchmarkShardMonolithicWarmSmall(b *testing.B)  { benchmarkShardMonolithicWarm(b, 8, 200, 40) }
+func BenchmarkShardShardedSmall1(b *testing.B)        { benchmarkShardSharded(b, 8, 200, 40, 1) }
+func BenchmarkShardShardedSmall2(b *testing.B)        { benchmarkShardSharded(b, 8, 200, 40, 2) }
+func BenchmarkShardShardedSmall4(b *testing.B)        { benchmarkShardSharded(b, 8, 200, 40, 4) }
+func BenchmarkShardShardedSmall8(b *testing.B)        { benchmarkShardSharded(b, 8, 200, 40, 8) }
+func BenchmarkShardMonolithicColdMedium(b *testing.B) { benchmarkShardMonolithicCold(b, 32, 200, 40) }
+func BenchmarkShardMonolithicWarmMedium(b *testing.B) { benchmarkShardMonolithicWarm(b, 32, 200, 40) }
+func BenchmarkShardShardedMedium1(b *testing.B)       { benchmarkShardSharded(b, 32, 200, 40, 1) }
+func BenchmarkShardShardedMedium2(b *testing.B)       { benchmarkShardSharded(b, 32, 200, 40, 2) }
+func BenchmarkShardShardedMedium4(b *testing.B)       { benchmarkShardSharded(b, 32, 200, 40, 4) }
+func BenchmarkShardShardedMedium8(b *testing.B)       { benchmarkShardSharded(b, 32, 200, 40, 8) }
+func BenchmarkShardMonolithicColdLarge(b *testing.B)  { benchmarkShardMonolithicCold(b, 96, 200, 40) }
+func BenchmarkShardMonolithicWarmLarge(b *testing.B)  { benchmarkShardMonolithicWarm(b, 96, 200, 40) }
+func BenchmarkShardShardedLarge1(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 1) }
+func BenchmarkShardShardedLarge2(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 2) }
+func BenchmarkShardShardedLarge4(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 4) }
+func BenchmarkShardShardedLarge8(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 8) }

@@ -8,9 +8,12 @@
 //	p2psim -scenario quickstart -seed 7             # one run, metric table + chart
 //	p2psim -scenario churn -solver locality         # same world, baseline solver
 //	p2psim -scenario churn -warmstart               # warm-started incremental auction
+//	p2psim -scenario mega-swarm                     # 100k peers, sharded orchestrator
+//	p2psim -scenario churn -shards -shard-workers 4 # shard any sim scenario
 //	p2psim -scenario vodstreaming -seeds 10 -workers 4 -csv out.csv
 //	p2psim -scenario vodstreaming -seeds 5 -sweep "neighbors=5,15,30" -json out.json
 //	p2psim -scenario churn -seeds 5 -sweep "warmstart=0,1" -csv warm.csv
+//	p2psim -scenario mega-swarm -seeds 3 -sweep "shard-workers=1,2,4,8" -csv scale.csv
 //
 // Paper figures and ablations (see internal/experiments):
 //
@@ -53,15 +56,18 @@ func run(args []string) error {
 		width    = fs.Int("width", 72, "chart width")
 		height   = fs.Int("height", 14, "chart height")
 
-		list      = fs.Bool("list", false, "list registered scenarios and exit")
-		scenName  = fs.String("scenario", "", "run the named scenario (see -list)")
-		solver    = fs.String("solver", "", "override the scenario's solver (auction, auction-jacobi, exact, locality, random)")
-		warmStart = fs.Bool("warmstart", false, "schedule slots with the warm-started incremental auction (requires the auction solver); sweep it with -sweep \"warmstart=0,1\"")
-		seed      = fs.Uint64("seed", 1, "base seed for scenario runs")
-		seeds     = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
-		workers   = fs.Int("workers", 1, "batch worker pool size")
-		sweep     = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
-		jsonPath  = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
+		list         = fs.Bool("list", false, "list registered scenarios and exit")
+		scenName     = fs.String("scenario", "", "run the named scenario (see -list)")
+		solver       = fs.String("solver", "", "override the scenario's solver (auction, auction-jacobi, exact, locality, random)")
+		warmStart    = fs.Bool("warmstart", false, "schedule slots with the warm-started incremental auction (requires the auction solver); sweep it with -sweep \"warmstart=0,1\"")
+		shards       = fs.Bool("shards", false, "schedule slots with the sharded swarm orchestrator: partitioned per-swarm warm auctions solved concurrently (requires the auction solver)")
+		shardWorkers = fs.Int("shard-workers", 0, "concurrent shard solves for -shards (0 = sequential; also a sweep parameter)")
+		shardMax     = fs.Int("shard-max", 0, "ISP-affinity refinement threshold for -shards: split components bigger than this many peers (0 = never)")
+		seed         = fs.Uint64("seed", 1, "base seed for scenario runs")
+		seeds        = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
+		workers      = fs.Int("workers", 1, "batch worker pool size")
+		sweep        = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
+		jsonPath     = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +81,7 @@ func run(args []string) error {
 	if *scenName != "" {
 		return runScenario(scenarioOpts{
 			name: *scenName, solver: *solver, warmStart: *warmStart,
+			shards: *shards, shardWorkers: *shardWorkers, shardMax: *shardMax,
 			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
 			jsonPath: *jsonPath, csvPath: *csvPath,
 			noChart: *noChart, width: *width, height: *height,
@@ -196,7 +203,7 @@ func writeCSV(path string, rep *repro.Report) error {
 func listScenarios(w *os.File) error {
 	specs := scenario.All()
 	fmt.Fprintf(w, "%d registered scenarios:\n\n", len(specs))
-	nameW, kindW, loadW := len("name"), len("kind"), len("workload")
+	nameW, kindW, loadW, solverW := len("name"), len("kind"), len("workload"), len("solver")
 	for _, s := range specs {
 		if len(s.Name) > nameW {
 			nameW = len(s.Name)
@@ -207,25 +214,30 @@ func listScenarios(w *os.File) error {
 		if len(s.Workload) > loadW {
 			loadW = len(s.Workload)
 		}
+		if len(s.SolverName()) > solverW {
+			solverW = len(s.SolverName())
+		}
 	}
-	fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-14s  %s\n", nameW, "name", kindW, "kind", loadW, "workload", "solver", "summary")
+	fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-*s  %s\n", nameW, "name", kindW, "kind", loadW, "workload", solverW, "solver", "summary")
 	for _, s := range specs {
-		fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-14s  %s\n",
-			nameW, s.Name, kindW, s.Kind.String(), loadW, s.Workload, s.SolverName(), s.Summary)
+		fmt.Fprintf(w, "  %-*s  %-*s  %-*s  %-*s  %s\n",
+			nameW, s.Name, kindW, s.Kind.String(), loadW, s.Workload, solverW, s.SolverName(), s.Summary)
 	}
 	fmt.Fprintln(w, "\nrun one with: p2psim -scenario <name> [-seed S] [-seeds N -workers K] [-sweep \"param=v1,v2\"]")
 	return nil
 }
 
 type scenarioOpts struct {
-	name, solver      string
-	warmStart         bool
-	seed              uint64
-	seeds, workers    int
-	sweep             string
-	jsonPath, csvPath string
-	noChart           bool
-	width, height     int
+	name, solver           string
+	warmStart              bool
+	shards                 bool
+	shardWorkers, shardMax int
+	seed                   uint64
+	seeds, workers         int
+	sweep                  string
+	jsonPath, csvPath      string
+	noChart                bool
+	width, height          int
 }
 
 // runScenario executes a single run or a batch, per the flags.
@@ -239,6 +251,15 @@ func runScenario(o scenarioOpts) error {
 	}
 	if o.warmStart {
 		spec.WarmStart = true
+	}
+	if o.shards {
+		spec.Sharding.Enabled = true
+	}
+	if o.shardWorkers > 0 {
+		spec.Sharding.Workers = o.shardWorkers
+	}
+	if o.shardMax > 0 {
+		spec.Sharding.MaxShardPeers = o.shardMax
 	}
 	if o.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/isp"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sched"
+)
+
+// defaultTTL is how many consecutive slots a shard may sit unused (its swarm
+// drained or merged away) before its solver is reclaimed. Reclamation is the
+// cluster-level counterpart of core.Solver.Compact: a retired shard's warm
+// state is worthless once its peers are gone, and a returning swarm simply
+// gets a fresh solver.
+const defaultTTL = 8
+
+// shardState is the orchestrator's persistent view of one shard.
+type shardState struct {
+	solver sched.Scheduler
+	rng    *randx.Source
+	// idle counts consecutive slots the shard was absent from the partition.
+	idle int
+	// welfare is the shard's per-solve welfare series (timestamps are solve
+	// indices), merged across shards by WelfareSeries.
+	welfare metrics.Series
+}
+
+// Stats are the orchestrator's cumulative lifecycle counters.
+type Stats struct {
+	// Born / Retired count shard solver creations and idle reclamations.
+	Born, Retired int64
+	// Migrations counts uploader peers observed under a different shard key
+	// than the slot before (the churn path: a peer's swarm component
+	// changed).
+	Migrations int64
+	// CutEdges totals candidate edges dropped by ISP-affinity refinement.
+	CutEdges int64
+	// MaxShardRequests is the largest per-shard request count seen.
+	MaxShardRequests int
+}
+
+// ShardedAuction is a sched.Scheduler that solves each slot as a set of
+// independent per-swarm markets: PartitionInstance splits the instance,
+// every shard keeps a persistent warm-started auction (sched.WarmAuction by
+// default) across slots, and a bounded worker pool solves the shards
+// concurrently. Results are identical regardless of Workers: shards share no
+// state, and grants, prices and stats merge in deterministic shard-key
+// order.
+//
+// Like WarmAuction, a ShardedAuction carries state across Schedule calls and
+// is bound to one simulation run: create a fresh value per run and do not
+// call Schedule from multiple goroutines (the internal pool is the
+// parallelism).
+type ShardedAuction struct {
+	// Epsilon is the bid increment handed to every per-shard solver.
+	Epsilon float64
+	// Workers bounds concurrent shard solves (0 or 1 = sequential).
+	Workers int
+	// MaxShardPeers enables ISP-affinity refinement: swarm groups with more
+	// than this many distinct peers (uploaders plus downloaders, however
+	// many chunks each requests — Shard.Peers) are split per ISP, once an
+	// ISP lookup is injected. 0 = never refine; the partition stays exact.
+	MaxShardPeers int
+	// Seed roots the deterministic per-shard random streams: shard key k
+	// gets root.Derive(k.seedLabel()), so a stream depends only on (Seed,
+	// key) — never on shard count or discovery order.
+	Seed uint64
+	// TTLSlots overrides the idle-reclamation horizon (0 = defaultTTL).
+	TTLSlots int
+	// NewSolver overrides the per-shard solver factory (default: a
+	// sched.WarmAuction with Epsilon). The shard's private random stream is
+	// for factories whose solvers randomize; WarmAuction ignores it.
+	NewSolver func(key Key, rng *randx.Source) sched.Scheduler
+	// SelfCheck runs the golden referee (VerifySharded) after every slot —
+	// a monolithic re-solve per Schedule, so tests only.
+	SelfCheck bool
+
+	ispOf       func(isp.PeerID) (isp.ID, bool)
+	shards      map[Key]*shardState
+	lastShardOf map[isp.PeerID]Key
+	curShardOf  map[isp.PeerID]Key
+	root        *randx.Source
+	slot        int
+	stats       Stats
+	// retiredWelfare accumulates the welfare series of reclaimed shards, so
+	// WelfareSeries stays exact after idle reclamation deletes their state.
+	retiredWelfare metrics.Series
+}
+
+var _ sched.Scheduler = (*ShardedAuction)(nil)
+
+// Name implements sched.Scheduler.
+func (a *ShardedAuction) Name() string { return "auction-sharded" }
+
+// SetISPLookup injects the peer→ISP mapping that unlocks ISP-affinity
+// refinement (sim.Run injects the topology's lookup through this; without
+// one, oversized components are left whole).
+func (a *ShardedAuction) SetISPLookup(f func(isp.PeerID) (isp.ID, bool)) { a.ispOf = f }
+
+// Stats returns the cumulative lifecycle counters.
+func (a *ShardedAuction) Stats() Stats { return a.stats }
+
+// ShardCount returns the number of live (not yet reclaimed) shard solvers.
+func (a *ShardedAuction) ShardCount() int { return len(a.shards) }
+
+// WelfareSeries merges the per-solve welfare series of the live shards and
+// of every reclaimed one (their history is folded into an accumulator on
+// retirement) into the global per-solve welfare series — exact, since
+// welfare is additive over shards.
+func (a *ShardedAuction) WelfareSeries() *metrics.Series {
+	parts := make([]*metrics.Series, 0, len(a.shards)+1)
+	parts = append(parts, &a.retiredWelfare)
+	for _, st := range a.shards {
+		parts = append(parts, &st.welfare)
+	}
+	return metrics.SumSeries(a.Name()+"/welfare", parts...)
+}
+
+// ttl returns the idle-reclamation horizon in force.
+func (a *ShardedAuction) ttl() int {
+	if a.TTLSlots > 0 {
+		return a.TTLSlots
+	}
+	return defaultTTL
+}
+
+// Schedule implements sched.Scheduler: partition, solve shards on the pool,
+// merge, advance the lifecycle.
+func (a *ShardedAuction) Schedule(in *sched.Instance) (*sched.Result, error) {
+	if a.shards == nil {
+		a.shards = make(map[Key]*shardState)
+		a.lastShardOf = make(map[isp.PeerID]Key)
+		a.curShardOf = make(map[isp.PeerID]Key)
+		a.root = randx.New(a.Seed)
+	}
+	part, err := PartitionInstance(in, a.MaxShardPeers, a.ispOf)
+	if err != nil {
+		return nil, fmt.Errorf("sharded auction: %w", err)
+	}
+
+	states := make([]*shardState, len(part.Shards))
+	for i := range part.Shards {
+		sh := &part.Shards[i]
+		st, ok := a.shards[sh.Key]
+		if !ok {
+			rng := a.root.Derive(sh.Key.seedLabel())
+			var solver sched.Scheduler
+			if a.NewSolver != nil {
+				solver = a.NewSolver(sh.Key, rng)
+			} else {
+				solver = &sched.WarmAuction{Epsilon: a.Epsilon}
+			}
+			st = &shardState{solver: solver, rng: rng}
+			a.shards[sh.Key] = st
+			a.stats.Born++
+		}
+		st.idle = -1 // seen this slot; bumped back to >= 0 below
+		states[i] = st
+		if n := len(sh.Requests); n > a.stats.MaxShardRequests {
+			a.stats.MaxShardRequests = n
+		}
+	}
+
+	type solved struct {
+		res     *sched.Result
+		welfare float64
+		err     error
+	}
+	results := make([]solved, len(part.Shards))
+	solveOne := func(i int) {
+		sh := &part.Shards[i]
+		sub, err := in.Subset(sh.Requests, sh.Uploaders)
+		if err != nil {
+			results[i] = solved{err: err}
+			return
+		}
+		res, err := states[i].solver.Schedule(sub)
+		if err != nil {
+			results[i] = solved{err: err}
+			return
+		}
+		w, err := sub.Welfare(res.Grants)
+		results[i] = solved{res: res, welfare: w, err: err}
+	}
+	if a.Workers <= 1 || len(part.Shards) <= 1 {
+		for i := range part.Shards {
+			solveOne(i)
+		}
+	} else {
+		workers := a.Workers
+		if workers > len(part.Shards) {
+			workers = len(part.Shards)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					solveOne(i)
+				}
+			}()
+		}
+		for i := range part.Shards {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := &sched.Result{
+		Prices: make(map[isp.PeerID]float64, len(in.Uploaders)),
+		Stats:  map[string]float64{},
+	}
+	for i := range in.Uploaders {
+		out.Prices[in.Uploaders[i].Peer] = 0 // idle uploaders sell nothing at 0
+	}
+	migrations := 0
+	for k := range a.curShardOf {
+		delete(a.curShardOf, k)
+	}
+	for i := range part.Shards {
+		sh := &part.Shards[i]
+		if err := results[i].err; err != nil {
+			return nil, fmt.Errorf("sharded auction: shard %v: %w", sh.Key, err)
+		}
+		res := results[i].res
+		for _, g := range res.Grants {
+			out.Grants = append(out.Grants, sched.Grant{Request: sh.Requests[g.Request], Uploader: g.Uploader})
+		}
+		for p, lambda := range res.Prices {
+			out.Prices[p] = lambda
+		}
+		for k, v := range res.Stats {
+			out.Stats[k] += v
+		}
+		for _, ui := range sh.Uploaders {
+			peer := in.Uploaders[ui].Peer
+			a.curShardOf[peer] = sh.Key
+			if prev, ok := a.lastShardOf[peer]; ok && prev != sh.Key {
+				migrations++
+			}
+		}
+		_ = states[i].welfare.Add(float64(a.slot), results[i].welfare)
+	}
+	a.lastShardOf, a.curShardOf = a.curShardOf, a.lastShardOf
+	a.stats.Migrations += int64(migrations)
+	a.stats.CutEdges += int64(part.CutEdges)
+	out.Stats["shards"] = float64(len(part.Shards))
+	out.Stats["cut_edges"] = float64(part.CutEdges)
+	out.Stats["migrations"] = float64(migrations)
+	out.Stats["idle_uploaders"] = float64(len(part.IdleUploaders))
+
+	// Lifecycle: shards absent this slot age toward reclamation.
+	for key, st := range a.shards {
+		if st.idle < 0 {
+			st.idle = 0
+			continue
+		}
+		st.idle++
+		if st.idle >= a.ttl() {
+			a.retiredWelfare = *metrics.SumSeries(a.retiredWelfare.Name, &a.retiredWelfare, &st.welfare)
+			delete(a.shards, key)
+			a.stats.Retired++
+		}
+	}
+	a.slot++
+
+	if a.SelfCheck {
+		if err := VerifySharded(in, part, out, a.Epsilon); err != nil {
+			return nil, fmt.Errorf("sharded auction self-check: %w", err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// pearson returns the sample correlation of two equal-length vectors.
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// drawFloats samples n uniforms from s.
+func drawFloats(s *Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Float64()
+	}
+	return out
+}
+
+// TestSplitStreamsStatisticallyIndependent is the per-shard stream contract:
+// streams derived from one parent — via Split and via Derive (the label-keyed
+// variant the sharded orchestrator uses) — must show no cross-stream
+// correlation. For independent uniform streams the sample correlation over N
+// draws is ~Normal(0, 1/√N); with N = 4096 we allow 5σ ≈ 0.078, and the test
+// is fully deterministic (fixed seed), so it never flakes — it fails only if
+// the generator actually degrades.
+func TestSplitStreamsStatisticallyIndependent(t *testing.T) {
+	const streams = 6
+	const n = 4096
+	limit := 5.0 / math.Sqrt(n)
+
+	parent := New(42)
+	var samples [][]float64
+	for i := 0; i < streams/2; i++ {
+		samples = append(samples, drawFloats(parent.Split(), n))
+	}
+	for i := 0; i < streams/2; i++ {
+		samples = append(samples, drawFloats(parent.Derive(uint64(i)*0x9e3779b9+7), n))
+	}
+	// The parent's own continuation must be independent of every child too.
+	samples = append(samples, drawFloats(parent, n))
+
+	for i := range samples {
+		for j := i + 1; j < len(samples); j++ {
+			if r := math.Abs(pearson(samples[i], samples[j])); r > limit {
+				t.Errorf("streams %d and %d correlate: |r| = %.4f > %.4f", i, j, r, limit)
+			}
+		}
+	}
+	// Lag-1 cross-correlation (stream i vs stream j shifted by one) guards
+	// against trivially offset sequences masquerading as independent.
+	for i := 0; i+1 < len(samples); i++ {
+		if r := math.Abs(pearson(samples[i][:n-1], samples[i+1][1:])); r > limit {
+			t.Errorf("streams %d and %d correlate at lag 1: |r| = %.4f", i, i+1, r)
+		}
+	}
+	// Each stream must also look uniform on its own.
+	for i, s := range samples {
+		mean := 0.0
+		for _, v := range s {
+			mean += v
+		}
+		mean /= n
+		if math.Abs(mean-0.5) > 0.03 {
+			t.Errorf("stream %d mean = %.4f, want ≈ 0.5", i, mean)
+		}
+	}
+}
+
+// TestSplitStableAcrossShardCounts pins the property the sharded
+// orchestrator relies on: shard i's stream is the same whether the run
+// splits 3 shards or 8 (Split children depend only on their ordinal), and a
+// Derive-keyed stream depends only on (parent state, label) — not on which
+// other labels were derived, in what order, or how many.
+func TestSplitStableAcrossShardCounts(t *testing.T) {
+	firstOf := func(children int) []uint64 {
+		parent := New(123)
+		out := make([]uint64, children)
+		for i := range out {
+			out[i] = parent.Split().Uint64()
+		}
+		return out
+	}
+	three, eight := firstOf(3), firstOf(8)
+	for i := range three {
+		if three[i] != eight[i] {
+			t.Errorf("split child %d differs across shard counts: %x vs %x", i, three[i], eight[i])
+		}
+	}
+
+	a := New(123)
+	b := New(123)
+	wantA := a.Derive(7).Uint64()
+	_ = b.Derive(1)
+	_ = b.Derive(99)
+	if got := b.Derive(7).Uint64(); got != wantA {
+		t.Errorf("Derive(7) depends on sibling derivations: %x vs %x", got, wantA)
+	}
+	if b.state != New(123).state {
+		t.Error("Derive advanced the parent state")
+	}
+}
+
+// TestSplitGoldenValues pins the exact child streams for seed 42 so a future
+// generator change cannot silently re-randomize every sharded experiment.
+// (Values are the SplitMix64 construction's; regenerate deliberately if the
+// generator is ever redesigned.)
+func TestSplitGoldenValues(t *testing.T) {
+	parent := New(42)
+	var got []uint64
+	for i := 0; i < 3; i++ {
+		c := parent.Split()
+		got = append(got, c.Uint64(), c.Uint64())
+	}
+	d := New(42).Derive(7)
+	got = append(got, d.Uint64(), d.Uint64())
+
+	want := []uint64{
+		0xc5a57e8172f0a9d2, 0x61b3e514f002fd8b,
+		0x6471f70293f908ce, 0xd8b2177ee8130ea0,
+		0xa619cc616692bfab, 0xa1fd7f89372d1b36,
+		0x30931df1079e4096, 0xfd66ac9b86a789db,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drew %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("golden value %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}

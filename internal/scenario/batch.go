@@ -18,11 +18,18 @@ type Grid struct {
 
 // ApplyParam mutates the spec by one named parameter — the vocabulary of
 // batch sweeps. Keys: peers, slots, neighbors, epsilon, arrival, early-leave,
-// cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart.
+// cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart,
+// sharding, shard-workers, shard-max.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
 	case "warmstart":
 		s.WarmStart = v != 0
+	case "sharding":
+		s.Sharding.Enabled = v != 0
+	case "shard-workers":
+		s.Sharding.Workers = int(v)
+	case "shard-max":
+		s.Sharding.MaxShardPeers = int(v)
 	case "peers":
 		s.Sim.StaticPeers = int(v)
 	case "slots":
@@ -52,7 +59,8 @@ func ApplyParam(s *Spec, key string, v float64) error {
 	default:
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
-			"videos, window, requests, sinks or warmstart)", key)
+			"videos, window, requests, sinks, warmstart, sharding, shard-workers or "+
+			"shard-max)", key)
 	}
 	return nil
 }

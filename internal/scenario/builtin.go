@@ -165,6 +165,67 @@ func init() {
 		Sim:           large,
 	})
 
+	// mega-swarm — the 100k-peer scale target: ~500 parallel swarms, each an
+	// independent component of the slot problem, scheduled by the sharded
+	// orchestrator (cluster.ShardedAuction) with 8 shard workers. Short
+	// slots and a tight window keep the per-slot problem's shape faithful to
+	// large-scale while the shard partition does the scaling (see
+	// docs/PERFORMANCE.md for the sharded-vs-monolithic curve). Routine
+	// tests run it shrunken (Heavy); drive the full size with
+	// `p2psim -scenario mega-swarm` or the batch runner.
+	mega := smallSim()
+	mega.StaticPeers = 100000
+	mega.Slots = 2
+	// One-second slots keep the per-slot problem tractable at 100k peers
+	// and let the 10-chunk window cover a full slot of playback (~10 chunks
+	// at 1 s), the same calibration rule as large-scale: misses then reflect
+	// scheduling quality, not structural starvation.
+	mega.SlotSeconds = 1
+	mega.BidRoundsPerSlot = 1
+	mega.WindowChunks = 10
+	mega.NeighborCount = 8
+	mega.Catalog.Count = 500
+	mega.Catalog.SizeMB = 8
+	mega.Placement = sim.SeedsGlobal
+	MustRegister(Spec{
+		Name:     "mega-swarm",
+		Summary:  "100k peers across ~500 swarms under the sharded orchestrator",
+		Workload: "vod",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sharding: Sharding{Enabled: true, Workers: 8},
+		Heavy:    true,
+		Sim:      mega,
+	})
+
+	// sharded-churn — swarm churn at scale: a dynamic network ramping toward
+	// ~100k cumulative arrivals with 60% early departures, scheduled sharded.
+	// Exercises the orchestrator's whole lifecycle — shard birth as swarms
+	// form, per-shard warm deltas as peers come and go, idle reclamation as
+	// swarms drain — under the paper's Fig. 6 dynamics.
+	shardedChurn := smallSim()
+	shardedChurn.Scenario = sim.ScenarioDynamic
+	shardedChurn.Slots = 10
+	shardedChurn.SlotSeconds = 1 // window covers a slot of playback, as above
+	shardedChurn.BidRoundsPerSlot = 1
+	shardedChurn.WindowChunks = 10
+	shardedChurn.NeighborCount = 10
+	shardedChurn.Catalog.Count = 200
+	shardedChurn.Catalog.SizeMB = 8
+	shardedChurn.Placement = sim.SeedsGlobal
+	shardedChurn.ArrivalPerSec = 10000
+	shardedChurn.EarlyLeaveProb = 0.6
+	MustRegister(Spec{
+		Name:     "sharded-churn",
+		Summary:  "high-churn arrivals toward 100k peers under the sharded orchestrator",
+		Workload: "churn",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sharding: Sharding{Enabled: true, Workers: 8},
+		Heavy:    true,
+		Sim:      shardedChurn,
+	})
+
 	// assignment — the bare solver on random transportation instances,
 	// cross-checked against the exact optimum with its ε-CS certificate
 	// (ported from examples/assignment).

@@ -4,7 +4,30 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+
+	"repro/internal/sim"
 )
+
+// boundHeavy shrinks a Heavy spec to routine-test size — the same code path
+// at a fraction of the wall time: static populations cap at peers, dynamic
+// arrival rates at arrival peers/s. Full-size heavy runs stay reachable via
+// p2psim and the benchmarks.
+func boundHeavy(t *testing.T, spec *Spec, peers int, arrival float64) {
+	t.Helper()
+	if !spec.Heavy {
+		return
+	}
+	if spec.Sim.Scenario == sim.ScenarioStatic && spec.Sim.StaticPeers > peers {
+		if err := ApplyParam(spec, "peers", float64(peers)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spec.Sim.Scenario == sim.ScenarioDynamic && spec.Sim.ArrivalPerSec > arrival {
+		if err := ApplyParam(spec, "arrival", arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
 
 func TestRegistryHasBuiltins(t *testing.T) {
 	names := Names()
@@ -17,6 +40,7 @@ func TestRegistryHasBuiltins(t *testing.T) {
 	for _, want := range []string{
 		"quickstart", "vodstreaming", "churn", "livenet", "assignment",
 		"flash-crowd", "diurnal", "asymmetric-cost", "large-scale",
+		"mega-swarm", "sharded-churn",
 	} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("preset %q missing", want)
@@ -57,11 +81,7 @@ func TestGoldenDeterminism(t *testing.T) {
 		if spec.Kind == KindLive {
 			continue
 		}
-		if spec.Heavy {
-			if err := ApplyParam(&spec, "peers", 500); err != nil {
-				t.Fatal(err)
-			}
-		}
+		boundHeavy(t, &spec, 500, 10)
 		t.Run(spec.Name, func(t *testing.T) {
 			t.Parallel()
 			first, err := spec.Run(seed)
@@ -122,7 +142,10 @@ func TestLiveStableOutcome(t *testing.T) {
 	}
 }
 
-// TestHeavySmoke runs the full-size heavy scenarios once each.
+// TestHeavySmoke runs the heavy scenarios once each at a bounded size (10k
+// static peers / 100 arrivals per second — large-scale's full dimensions,
+// and a ~2.5k-peer pass through the 100k-peer presets' code path; the full
+// populations are exercised by p2psim and the recorded benchmarks).
 func TestHeavySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy scenarios")
@@ -131,6 +154,7 @@ func TestHeavySmoke(t *testing.T) {
 		if !spec.Heavy {
 			continue
 		}
+		boundHeavy(t, &spec, 10000, 100)
 		res, err := spec.Run(1)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)

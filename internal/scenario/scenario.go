@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/metrics"
@@ -86,12 +87,27 @@ func Solvers() []Solver {
 }
 
 // scheduler instantiates the spec's solver as a slot scheduler for cfg. A
-// fresh scheduler is built per run: warm-started schedulers carry state
-// across a run's slots and must not leak across runs.
+// fresh scheduler is built per run: warm-started and sharded schedulers
+// carry state across a run's slots and must not leak across runs.
 func (s Spec) scheduler(cfg sim.Config) (sched.Scheduler, error) {
 	if s.WarmStart && s.Solver != SolverAuction {
 		return nil, fmt.Errorf("scenario: warm start requires the %q solver, got %q",
 			SolverAuction, s.Solver)
+	}
+	if s.Sharding.Enabled {
+		if s.Solver != SolverAuction {
+			return nil, fmt.Errorf("scenario: sharding requires the %q solver, got %q",
+				SolverAuction, s.Solver)
+		}
+		if s.WarmStart {
+			return nil, fmt.Errorf("scenario: sharding already warm-starts per shard; drop the WarmStart flag")
+		}
+		return &cluster.ShardedAuction{
+			Epsilon:       cfg.Epsilon,
+			Workers:       s.Sharding.Workers,
+			MaxShardPeers: s.Sharding.MaxShardPeers,
+			Seed:          cfg.Seed,
+		}, nil
 	}
 	switch s.Solver {
 	case SolverAuction:
@@ -150,6 +166,18 @@ type LiveParams struct {
 	Epsilon float64
 }
 
+// Sharding configures the sharded swarm orchestrator for KindSim specs (see
+// Spec.Sharding).
+type Sharding struct {
+	// Enabled switches the spec's slot scheduling to cluster.ShardedAuction.
+	Enabled bool
+	// Workers bounds concurrent shard solves (0 or 1 = sequential).
+	Workers int
+	// MaxShardPeers enables ISP-affinity refinement of components bigger
+	// than this many peers (0 = never refine; the partition stays exact).
+	MaxShardPeers int
+}
+
 // Spec declares one scenario: what world to build, what workload to drive
 // through it, and which solver schedules it. Specs are plain values — copy
 // and mutate freely (WithSolver, ApplyParam) to derive variants.
@@ -175,6 +203,14 @@ type Spec struct {
 	// SolverAuction; welfare guarantees are identical to the cold auction
 	// (see docs/PERFORMANCE.md for the speedups it buys under churn).
 	WarmStart bool
+	// Sharding schedules KindSim slots with the sharded swarm orchestrator
+	// (cluster.ShardedAuction): the slot problem is partitioned into its
+	// independent swarm components, each owned by a persistent warm-started
+	// solver, solved concurrently on Sharding.Workers goroutines. Requires
+	// SolverAuction and excludes WarmStart (every shard already warm-starts).
+	// Welfare equals the monolithic solve's within the ε-CS band — exactly,
+	// when no edges are cut (see docs/ARCHITECTURE.md §10).
+	Sharding Sharding
 	// Heavy marks scenarios too large for routine double-run golden tests;
 	// they are smoke-tested once instead.
 	Heavy bool
@@ -194,11 +230,15 @@ func (s Spec) WithSolver(sv Solver) Spec {
 }
 
 // SolverName reports the solver that actually runs: live scenarios always
-// play the distributed auction regardless of the (empty) Solver field, and
-// warm-started sim scenarios run the incremental auction.
+// play the distributed auction regardless of the (empty) Solver field,
+// warm-started sim scenarios run the incremental auction, and sharded sim
+// scenarios run the partitioned orchestrator.
 func (s Spec) SolverName() string {
 	if s.Kind == KindLive {
 		return string(SolverAuction)
+	}
+	if s.Sharding.Enabled && s.Solver == SolverAuction {
+		return "auction-sharded"
 	}
 	if s.WarmStart && s.Solver == SolverAuction {
 		return "auction-warm"
@@ -231,6 +271,9 @@ func (s Spec) Validate() error {
 		if s.WarmStart {
 			return fmt.Errorf("scenario %s: warm start applies to slot sequences (KindSim), not independent transport instances", s.Name)
 		}
+		if s.Sharding.Enabled {
+			return fmt.Errorf("scenario %s: sharding applies to slot sequences (KindSim), not independent transport instances", s.Name)
+		}
 		t := s.Transport
 		if t.Requests <= 0 || t.Sinks <= 0 || t.Trials <= 0 {
 			return fmt.Errorf("scenario %s: transport needs positive requests/sinks/trials", s.Name)
@@ -251,6 +294,9 @@ func (s Spec) Validate() error {
 		}
 		if s.WarmStart {
 			return fmt.Errorf("scenario %s: warm start is not plumbed through the live TCP engine", s.Name)
+		}
+		if s.Sharding.Enabled {
+			return fmt.Errorf("scenario %s: sharding is not plumbed through the live TCP engine", s.Name)
 		}
 		l := s.Live
 		if len(l.UploaderCosts) == 0 || l.UploaderCapacity <= 0 {
@@ -330,7 +376,7 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Solver: s.SolverName(),
 		Metrics: map[string]float64{
 			"welfare_per_slot": r.Welfare.Summarize().Mean,
@@ -344,7 +390,19 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 			"departed":         float64(r.Departed),
 		},
 		Series: []*metrics.Series{&r.Welfare, &r.InterISP, &r.MissRate, &r.Online},
-	}, nil
+	}
+	if s.Sharding.Enabled {
+		res.Metrics["shards_mean"] = r.Shards.Summarize().Mean
+		res.Series = append(res.Series, &r.Shards)
+		if sa, ok := scheduler.(*cluster.ShardedAuction); ok {
+			st := sa.Stats()
+			res.Metrics["shards_born"] = float64(st.Born)
+			res.Metrics["shards_retired"] = float64(st.Retired)
+			res.Metrics["shard_migrations"] = float64(st.Migrations)
+			res.Metrics["shard_cut_edges"] = float64(st.CutEdges)
+		}
+	}
+	return res, nil
 }
 
 // runTransport solves Trials random transportation instances with the chosen

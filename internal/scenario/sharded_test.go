@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestShardedEqualsMonolithicWelfarePerScenario is the sharding golden: for
+// every registered sim scenario, replay the monolithic cold run's exact
+// slot-instance sequence through the sharded orchestrator and demand equal
+// welfare on every single solve, pinned at the same two levels as the
+// warm-start golden (warm_test.go):
+//
+//   - the n·ε certificate band — with no ISP refinement the partition is
+//     exact (no admissible edge crosses shards), so the union of per-shard
+//     ε-CS certificates certifies the full problem and the two solves
+//     bracket the same optimum;
+//   - a 10⁻³ relative regression band, which catches real sharding defects
+//     long before they dent the certificate.
+//
+// Bit-exact equality is a theorem only for integral weights with ε small
+// enough; cluster's TestShardedBitEqualOnIntegralWeights pins that case.
+func TestShardedEqualsMonolithicWelfarePerScenario(t *testing.T) {
+	const seed = 42
+	for _, spec := range All() {
+		spec := spec
+		if spec.Kind != KindSim {
+			continue
+		}
+		boundHeavy(t, &spec, 500, 10)
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := spec.Sim
+			cfg.Seed = seed
+			rec := &recordingScheduler{inner: &sched.Auction{Epsilon: cfg.Epsilon}}
+			if _, err := sim.Run(cfg, rec); err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.instances) == 0 {
+				t.Fatal("run produced no slot instances")
+			}
+			sharded := &cluster.ShardedAuction{Epsilon: cfg.Epsilon, Workers: 4}
+			solved, shardPeak := 0, 0.0
+			for i, in := range rec.instances {
+				res, err := sharded.Schedule(in)
+				if err != nil {
+					t.Fatalf("solve %d: %v", i, err)
+				}
+				if err := in.Validate(res.Grants); err != nil {
+					t.Fatalf("solve %d: sharded grants infeasible: %v", i, err)
+				}
+				got, err := in.Welfare(res.Grants)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := rec.welfare[i]
+				certBand := cfg.Epsilon*float64(len(in.Requests)) + 1e-9
+				if diff := math.Abs(got - want); diff > certBand {
+					t.Fatalf("solve %d (%d requests, %v shards): sharded welfare %v vs monolithic %v — Δ=%g exceeds the n·ε certificate band %g",
+						i, len(in.Requests), res.Stats["shards"], got, want, diff, certBand)
+				}
+				if diff := math.Abs(got - want); diff > 1e-3*math.Max(1, math.Abs(want)) {
+					t.Fatalf("solve %d (%d requests): sharded welfare %v drifted %g from monolithic %v (> 10⁻³ relative)",
+						i, len(in.Requests), got, got-want, want)
+				}
+				if res.Stats["shards"] > shardPeak {
+					shardPeak = res.Stats["shards"]
+				}
+				solved++
+			}
+			t.Logf("%d solves (peak %v shards), sharded welfare equals monolithic within the certificate band on every one",
+				solved, shardPeak)
+		})
+	}
+}
+
+// TestShardedPresetMatchesMonolithicMetrics pins the registered sharded
+// presets to their monolithic twins at the whole-run level, the same
+// contract as the churn-warm preset test: per-slot tie-breaks may route
+// chunks differently, but run-level welfare must agree closely.
+func TestShardedPresetMatchesMonolithicMetrics(t *testing.T) {
+	for _, name := range []string{"mega-swarm", "sharded-churn"} {
+		shardedSpec, ok := Get(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		boundHeavy(t, &shardedSpec, 300, 5)
+		monoSpec := shardedSpec
+		monoSpec.Sharding = Sharding{}
+		shardedRes, err := shardedSpec.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monoRes, err := monoSpec.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shardedRes.Metrics["grants"] == 0 {
+			t.Fatalf("%s: sharded run scheduled nothing", name)
+		}
+		if shardedRes.Metrics["shards_mean"] <= 1 {
+			t.Errorf("%s: shards_mean = %v — the workload never actually sharded",
+				name, shardedRes.Metrics["shards_mean"])
+		}
+		rel := math.Abs(shardedRes.Metrics["welfare_per_slot"]-monoRes.Metrics["welfare_per_slot"]) /
+			math.Max(1, math.Abs(monoRes.Metrics["welfare_per_slot"]))
+		if rel > 0.05 {
+			t.Fatalf("%s: sharded welfare/slot %v drifted %.1f%% from monolithic %v",
+				name, shardedRes.Metrics["welfare_per_slot"], 100*rel, monoRes.Metrics["welfare_per_slot"])
+		}
+	}
+}
+
+// TestShardingValidation pins the plumbing: sharding composes only with the
+// auction solver and sim scenarios, excludes WarmStart, and is sweepable.
+func TestShardingValidation(t *testing.T) {
+	spec, _ := Get("churn")
+	spec.Sharding = Sharding{Enabled: true, Workers: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("sharded churn should validate: %v", err)
+	}
+	if got := spec.SolverName(); got != "auction-sharded" {
+		t.Fatalf("SolverName = %q, want auction-sharded", got)
+	}
+	both := spec
+	both.WarmStart = true
+	if err := both.Validate(); err == nil {
+		t.Error("sharding + warm start should be rejected (shards already warm-start)")
+	}
+	bad := spec.WithSolver(SolverLocality)
+	if err := bad.Validate(); err == nil {
+		t.Error("sharding with a price-free baseline should be rejected")
+	}
+	transport, _ := Get("assignment")
+	transport.Sharding.Enabled = true
+	if err := transport.Validate(); err == nil {
+		t.Error("sharding on independent transport instances should be rejected")
+	}
+	live, _ := Get("livenet")
+	live.Sharding.Enabled = true
+	if err := live.Validate(); err == nil {
+		t.Error("sharding on the live TCP engine should be rejected")
+	}
+	swept, _ := Get("churn")
+	for _, p := range []struct {
+		key string
+		val float64
+	}{{"sharding", 1}, {"shard-workers", 4}, {"shard-max", 2000}} {
+		if err := ApplyParam(&swept, p.key, p.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !swept.Sharding.Enabled || swept.Sharding.Workers != 4 || swept.Sharding.MaxShardPeers != 2000 {
+		t.Errorf("ApplyParam did not reach the sharding knobs: %+v", swept.Sharding)
+	}
+}

@@ -57,11 +57,7 @@ func TestWarmEqualsColdWelfarePerScenario(t *testing.T) {
 		if spec.Kind != KindSim {
 			continue
 		}
-		if spec.Heavy {
-			if err := ApplyParam(&spec, "peers", 500); err != nil {
-				t.Fatal(err)
-			}
-		}
+		boundHeavy(t, &spec, 500, 10)
 		t.Run(spec.Name, func(t *testing.T) {
 			t.Parallel()
 			cfg := spec.Sim

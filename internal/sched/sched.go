@@ -2,12 +2,14 @@
 // every strategy in the evaluation: the auction (the paper's algorithm, in
 // cold per-slot form as Auction and warm-started incremental form as
 // WarmAuction), the exact min-cost-flow optimum (Exact), the Simple
-// Locality baseline, and the network-agnostic random baseline (both in
-// internal/baseline). A strategy receives one slot's Instance — requests
-// with valuations and deadlines, candidate uploaders with network costs,
-// uploader capacities — and returns the set of grants. The simulator
-// computes welfare, inter-ISP traffic and miss metrics uniformly from the
-// grants, so strategies compete on identical terms.
+// Locality baseline, the network-agnostic random baseline (both in
+// internal/baseline), and the sharded orchestrator (internal/cluster's
+// ShardedAuction, which partitions a slot into independent swarm components
+// and solves them concurrently via Instance.Subset). A strategy receives one
+// slot's Instance — requests with valuations and deadlines, candidate
+// uploaders with network costs, uploader capacities — and returns the set of
+// grants. The simulator computes welfare, inter-ISP traffic and miss metrics
+// uniformly from the grants, so strategies compete on identical terms.
 package sched
 
 import (
@@ -84,6 +86,54 @@ func (in *Instance) Cost(ri int, p isp.PeerID) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Subset carves a sub-instance out of in: the requests and uploaders at the
+// given indices, in the given order. Candidate edges to uploaders outside the
+// subset are dropped (the caller decides whether that loses anything — a
+// connected-component subset drops nothing by construction); a request whose
+// candidate list survives intact shares the original backing array. The
+// returned instance's request i is in.Requests[reqIdx[i]], so callers can map
+// grants back to the parent instance. Duplicate or out-of-range indices are
+// an error.
+func (in *Instance) Subset(reqIdx, upIdx []int) (*Instance, error) {
+	uploaders := make([]Uploader, 0, len(upIdx))
+	keep := make(map[isp.PeerID]bool, len(upIdx))
+	for _, ui := range upIdx {
+		if ui < 0 || ui >= len(in.Uploaders) {
+			return nil, fmt.Errorf("sched: subset references unknown uploader index %d", ui)
+		}
+		u := in.Uploaders[ui]
+		if keep[u.Peer] {
+			return nil, fmt.Errorf("sched: subset lists uploader %d twice", u.Peer)
+		}
+		keep[u.Peer] = true
+		uploaders = append(uploaders, u)
+	}
+	requests := make([]Request, 0, len(reqIdx))
+	for _, ri := range reqIdx {
+		if ri < 0 || ri >= len(in.Requests) {
+			return nil, fmt.Errorf("sched: subset references unknown request index %d", ri)
+		}
+		r := in.Requests[ri]
+		kept := 0
+		for _, c := range r.Candidates {
+			if keep[c.Peer] {
+				kept++
+			}
+		}
+		if kept != len(r.Candidates) {
+			cands := make([]Candidate, 0, kept)
+			for _, c := range r.Candidates {
+				if keep[c.Peer] {
+					cands = append(cands, c)
+				}
+			}
+			r.Candidates = cands
+		}
+		requests = append(requests, r)
+	}
+	return NewInstance(requests, uploaders)
 }
 
 // Grant assigns request index Request to uploader Uploader.

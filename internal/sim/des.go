@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/auction"
+	"repro/internal/cluster"
 	"repro/internal/isp"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -42,6 +43,13 @@ type DESOptions struct {
 	// message-level counterpart of the warm-started centralized solver, so
 	// churn scenarios stop paying cold price re-convergence every slot.
 	WarmStart bool
+	// TrackShards records the slot problem's component partition size
+	// (cluster.PartitionInstance) in Results.Shards each slot — the
+	// message-level view of how the market decomposes into independent
+	// swarms; the distributed protocol exploits that decomposition
+	// implicitly (messages never cross components), so the series is
+	// diagnostics, not behavior.
+	TrackShards bool
 }
 
 // RunDES executes the message-level engine: the same world and slot pipeline
@@ -73,6 +81,7 @@ func RunDES(cfg Config, opts DESOptions) (*Results, error) {
 	res.MissRate.Name = "auction-des/miss-rate"
 	res.Online.Name = "auction-des/online"
 	res.Payments.Name = "auction-des/payments"
+	res.Shards.Name = "auction-des/shards"
 
 	traces := make(map[isp.PeerID]*metrics.Series)
 	nodes := make(map[isp.PeerID]*peer.Node)
@@ -181,6 +190,13 @@ func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		if err != nil {
 			return err
 		}
+		if opts.TrackShards {
+			part, err := cluster.PartitionInstance(in, 0, nil)
+			if err != nil {
+				return err
+			}
+			out.shards = float64(len(part.Shards))
+		}
 		grants, err := desRound(w, j, in, netSched, nodes, opts.WarmStart)
 		if err != nil {
 			return err
@@ -246,12 +262,12 @@ func syncNodes(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 	return nil
 }
 
-// watchersOf lists online watchers of video v (excluding exclude).
+// watchersOf lists online watchers of video v (excluding exclude), via the
+// tracker's by-video shard index rather than a full population scan.
 func watchersOf(w *world, v video.ID, exclude isp.PeerID) []isp.PeerID {
 	var out []isp.PeerID
-	for _, id := range w.order {
-		p := w.peers[id]
-		if id != exclude && !p.seed && p.vid == v {
+	for _, id := range w.track.SwarmPeers(v) {
+		if p := w.peers[id]; id != exclude && p != nil && !p.seed {
 			out = append(out, id)
 		}
 	}

@@ -137,3 +137,32 @@ func TestRunDESWarmStart(t *testing.T) {
 		t.Fatalf("warm DES welfare %v diverges %.1f%% from cold %v", ww, 100*gap, cw)
 	}
 }
+
+// TestRunDESTrackShards exercises the DES engine's shard telemetry: with
+// TrackShards on, every slot must record the component-partition size, and
+// it must be at least the number of watched videos (components never span
+// videos) while never exceeding the catalog.
+func TestRunDESTrackShards(t *testing.T) {
+	cfg := desConfig()
+	res, err := RunDES(cfg, DESOptions{TracePeer: -1, TrackShards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards.Len() != cfg.Slots {
+		t.Fatalf("shard series has %d points, want %d", res.Shards.Len(), cfg.Slots)
+	}
+	for i, p := range res.Shards.Points {
+		if p.V < 1 || p.V > float64(cfg.Catalog.Count) {
+			t.Fatalf("slot %d: %v shards, want within [1, %d]", i, p.V, cfg.Catalog.Count)
+		}
+	}
+	off, err := RunDES(cfg, DESOptions{TracePeer: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range off.Shards.Points {
+		if p.V != 0 {
+			t.Fatal("shard series populated without TrackShards")
+		}
+	}
+}

@@ -25,6 +25,10 @@ type Results struct {
 	// Payments is the λ-weighted sum winners would pay per slot (0 for
 	// price-free strategies); with it, buyer surplus = welfare − payments.
 	Payments metrics.Series
+	// Shards is the per-slot shard count when the slot scheduler partitions
+	// the market (cluster.ShardedAuction; also recorded by the DES engine
+	// under DESOptions.TrackShards). All-zero for monolithic strategies.
+	Shards metrics.Series
 	// PriceTrace samples a representative peer's λ_u over fine-grained
 	// simulated time (Fig. 2; DES engine only, nil otherwise).
 	PriceTrace *metrics.Series
@@ -101,6 +105,13 @@ func (r *Results) finalizeFrom(w *world) {
 	}
 }
 
+// ISPAware is implemented by schedulers that refine their decisions with
+// the world's peer→ISP mapping (cluster.ShardedAuction's ISP-affinity
+// refinement). Run injects the topology lookup before the first slot.
+type ISPAware interface {
+	SetISPLookup(func(isp.PeerID) (isp.ID, bool))
+}
+
 // Run executes the fast engine: cfg's world stepped Slots times, each slot
 // solved by scheduler.
 func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
@@ -111,12 +122,16 @@ func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ia, ok := scheduler.(ISPAware); ok {
+		ia.SetISPLookup(w.ispOf)
+	}
 	res := &Results{Strategy: scheduler.Name()}
 	res.Welfare.Name = scheduler.Name() + "/welfare"
 	res.InterISP.Name = scheduler.Name() + "/inter-isp"
 	res.MissRate.Name = scheduler.Name() + "/miss-rate"
 	res.Online.Name = scheduler.Name() + "/online"
 	res.Payments.Name = scheduler.Name() + "/payments"
+	res.Shards.Name = scheduler.Name() + "/shards"
 
 	for slot := 0; slot < cfg.Slots; slot++ {
 		w.slot = slot
@@ -147,6 +162,9 @@ func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
 			return err
 		}
 		out.addPayments(sr.Grants, sr.Prices)
+		if v, ok := sr.Stats["shards"]; ok {
+			out.shards = v // last bidding round's partition stands for the slot
+		}
 	}
 	w.playback(delivered, &out)
 	if err := recordSlot(w, res, &out); err != nil {
@@ -179,6 +197,9 @@ func recordSlot(w *world, res *Results, out *slotOutcome) error {
 		return err
 	}
 	if err := res.Payments.Add(t, out.payments); err != nil {
+		return err
+	}
+	if err := res.Shards.Add(t, out.shards); err != nil {
 		return err
 	}
 	res.TotalGrants += int64(out.grants)

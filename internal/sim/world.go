@@ -271,6 +271,13 @@ func (w *world) refreshNeighbors() {
 	}
 }
 
+// ispOf adapts the topology to the ISP-lookup signature ISP-aware
+// schedulers take (cluster.ShardedAuction's refinement).
+func (w *world) ispOf(p isp.PeerID) (isp.ID, bool) {
+	id, err := w.topo.Of(p)
+	return id, err == nil
+}
+
 // tauOf returns the in-slot time offset (seconds) of bidding round j.
 func (w *world) tauOf(j int) float64 {
 	return w.cfg.SlotSeconds * float64(j) / float64(w.cfg.BidRoundsPerSlot)
@@ -365,11 +372,14 @@ type slotOutcome struct {
 	// payments is Σ λ_u over granted units: what winners would pay at the
 	// auction's market-clearing prices (the paper models no money transfer,
 	// but the dual prices are exactly the marginal value of bandwidth).
-	payments   float64
-	grants     int
-	interISP   int
-	missed     int64
-	played     int64
+	payments float64
+	grants   int
+	interISP int
+	missed   int64
+	played   int64
+	// shards is the slot's market partition size when the scheduler shards
+	// (0 for monolithic strategies).
+	shards     float64
 	departures []isp.PeerID
 }
 

@@ -1,0 +1,83 @@
+package tracker
+
+import (
+	"sync"
+
+	"repro/internal/isp"
+	"repro/internal/video"
+)
+
+// Concurrent is the lock-guarded facade over Tracker for callers that hit
+// the registry from multiple goroutines — concurrent shard workers
+// refreshing neighbor lists, or a protocol server handling joins while the
+// control loop reads. Mutations take the write lock; lookups (including the
+// allocating Neighbors/SwarmPeers, which return fresh slices) share a read
+// lock, so read-heavy workloads scale.
+type Concurrent struct {
+	mu sync.RWMutex
+	t  *Tracker
+}
+
+// NewConcurrent returns a lock-guarded empty tracker.
+func NewConcurrent() *Concurrent { return &Concurrent{t: New()} }
+
+// Wrap guards an existing tracker. The caller must stop using the bare
+// tracker afterwards — the lock can only protect accesses that go through
+// the facade.
+func Wrap(t *Tracker) *Concurrent { return &Concurrent{t: t} }
+
+// Join registers a peer (see Tracker.Join).
+func (c *Concurrent) Join(e Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Join(e)
+}
+
+// Leave removes a peer (see Tracker.Leave).
+func (c *Concurrent) Leave(p isp.PeerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t.Leave(p)
+}
+
+// UpdatePosition records playback progress (see Tracker.UpdatePosition).
+func (c *Concurrent) UpdatePosition(p isp.PeerID, pos video.ChunkIndex) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t.UpdatePosition(p, pos)
+}
+
+// Online returns the number of registered peers.
+func (c *Concurrent) Online() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Online()
+}
+
+// Lookup returns a peer's entry.
+func (c *Concurrent) Lookup(p isp.PeerID) (Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Lookup(p)
+}
+
+// Watching returns how many peers are on video v.
+func (c *Concurrent) Watching(v video.ID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Watching(v)
+}
+
+// Neighbors builds a bootstrap neighbor list (see Tracker.Neighbors).
+func (c *Concurrent) Neighbors(p isp.PeerID, max int) ([]isp.PeerID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Neighbors(p, max)
+}
+
+// SwarmPeers returns the by-video shard index (see Tracker.SwarmPeers).
+func (c *Concurrent) SwarmPeers(v video.ID) []isp.PeerID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.SwarmPeers(v)
+}

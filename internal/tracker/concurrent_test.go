@@ -1,0 +1,108 @@
+package tracker
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/video"
+)
+
+// TestSwarmPeersIndex pins the by-video index: sorted ids, seeds included,
+// empty swarms nil, and Leave maintenance.
+func TestSwarmPeersIndex(t *testing.T) {
+	tr := New()
+	for _, e := range []Entry{
+		{Peer: 5, Video: 1},
+		{Peer: 2, Video: 1, Seed: true},
+		{Peer: 9, Video: 1},
+		{Peer: 3, Video: 2},
+	} {
+		if err := tr.Join(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := tr.SwarmPeers(1), []isp.PeerID{2, 5, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SwarmPeers(1) = %v, want %v", got, want)
+	}
+	if got := tr.SwarmPeers(42); got != nil {
+		t.Errorf("empty swarm = %v, want nil", got)
+	}
+	tr.Leave(5)
+	if got, want := tr.SwarmPeers(1), []isp.PeerID{2, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("after Leave: %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentTrackerRace hammers the facade from many goroutines — run
+// under -race (the CI does), this is the data-race proof for concurrent
+// Join/Leave/Neighbors/SwarmPeers.
+func TestConcurrentTrackerRace(t *testing.T) {
+	c := NewConcurrent()
+	// A stable seed population so Neighbors always has something to return.
+	for v := 0; v < 3; v++ {
+		if err := c.Join(Entry{Peer: isp.PeerID(1000 + v), Video: video.ID(v), Seed: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := isp.PeerID(10_000 + g*10_000) // clear of the seed ids
+			for i := 0; i < iters; i++ {
+				p := base + isp.PeerID(i)
+				v := video.ID(i % 3)
+				if err := c.Join(Entry{Peer: p, Video: v, Position: video.ChunkIndex(i)}); err != nil {
+					t.Errorf("join %d: %v", p, err)
+					return
+				}
+				c.UpdatePosition(p, video.ChunkIndex(i+1))
+				if _, err := c.Neighbors(p, 10); err != nil {
+					t.Errorf("neighbors %d: %v", p, err)
+					return
+				}
+				_ = c.SwarmPeers(v)
+				_ = c.Watching(v)
+				_, _ = c.Lookup(p)
+				_ = c.Online()
+				if i%2 == 0 {
+					c.Leave(p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Online() < 3 {
+		t.Fatalf("seeds vanished: online = %d", c.Online())
+	}
+	// The facade's state must equal what a sequential replay would hold:
+	// every odd-i peer stayed.
+	want := 3 + goroutines*iters/2
+	if got := c.Online(); got != want {
+		t.Errorf("online = %d, want %d", got, want)
+	}
+}
+
+// TestWrapSharesState checks that Wrap guards the given tracker rather than
+// copying it.
+func TestWrapSharesState(t *testing.T) {
+	tr := New()
+	if err := tr.Join(Entry{Peer: 1, Video: 9}); err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(tr)
+	if c.Watching(9) != 1 {
+		t.Fatal("wrapped facade does not see existing entries")
+	}
+	if err := c.Join(Entry{Peer: 2, Video: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Watching(9) != 2 {
+		t.Fatal("facade writes did not reach the wrapped tracker")
+	}
+}

@@ -21,7 +21,8 @@ type Entry struct {
 }
 
 // Tracker is the registry. It is not safe for concurrent use; the simulation
-// control loop owns it (the live engine wraps it with a lock).
+// control loop owns it. Callers that touch the registry from multiple
+// goroutines (sharded orchestration, protocol servers) wrap it in Concurrent.
 type Tracker struct {
 	entries map[isp.PeerID]*Entry
 	byVideo map[video.ID]map[isp.PeerID]*Entry
@@ -88,6 +89,23 @@ func (t *Tracker) Lookup(p isp.PeerID) (Entry, bool) {
 
 // Watching returns how many peers (including seeds) are on video v.
 func (t *Tracker) Watching(v video.ID) int { return len(t.byVideo[v]) }
+
+// SwarmPeers returns every online peer (seeds included) on video v, sorted
+// by peer id — the by-video shard index: the swarm a cluster shard is keyed
+// on, and the fan-out set the DES engine's seeds broadcast to. Returns nil
+// when nobody is on v.
+func (t *Tracker) SwarmPeers(v video.ID) []isp.PeerID {
+	vm := t.byVideo[v]
+	if len(vm) == 0 {
+		return nil
+	}
+	out := make([]isp.PeerID, 0, len(vm))
+	for p := range vm {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Neighbors builds the bootstrap neighbor list for peer p: all seeds of p's
 // video first, then other watchers ordered by playback-position distance
