@@ -1,0 +1,112 @@
+package repro
+
+// benchmanifest_test.go: the bench-manifest drift guard. BENCH_*.json files
+// record benchmark baselines by function name; if a benchmark is renamed or
+// deleted, its recorded baseline silently stops meaning anything. This test
+// parses every manifest and fails unless each recorded name still matches a
+// declared top-level Benchmark function somewhere in the repository, so
+// baselines rot loudly instead of silently.
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchManifest is the shared shape of the BENCH_*.json files: only the
+// fields the guard needs.
+type benchManifest struct {
+	Name       string `json:"name"`
+	Benchmarks []struct {
+		Name string `json:"name"`
+	} `json:"benchmarks"`
+}
+
+// declaredBenchmarks parses every *_test.go under the repository root and
+// collects the names of top-level Benchmark functions.
+func declaredBenchmarks(t *testing.T) map[string]bool {
+	t.Helper()
+	decls := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS and tool metadata; everything else may hold tests.
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Benchmark") {
+				decls[fn.Name.Name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning test files: %v", err)
+	}
+	if len(decls) == 0 {
+		t.Fatal("found no Benchmark functions at all — the scanner is broken")
+	}
+	return decls
+}
+
+// TestBenchManifestsMatchDeclaredBenchmarks fails when any BENCH_*.json
+// records a benchmark that no longer exists in the code.
+func TestBenchManifestsMatchDeclaredBenchmarks(t *testing.T) {
+	manifests, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) == 0 {
+		t.Skip("no benchmark manifests recorded")
+	}
+	decls := declaredBenchmarks(t)
+	for _, path := range manifests {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m benchManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(m.Benchmarks) == 0 {
+			t.Errorf("%s records no benchmarks — manifest shape drifted?", path)
+			continue
+		}
+		for _, b := range m.Benchmarks {
+			// go-test appends -N (GOMAXPROCS) and /sub names; manifests here
+			// record plain function names, but tolerate both spellings.
+			name := b.Name
+			if i := strings.IndexAny(name, "/-"); i > 0 {
+				name = name[:i]
+			}
+			if !decls[name] {
+				t.Errorf("%s records %q but no such Benchmark function is declared — "+
+					"re-record the manifest or restore the benchmark", path, b.Name)
+			}
+		}
+	}
+}

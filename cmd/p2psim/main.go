@@ -15,6 +15,15 @@
 //	p2psim -scenario churn -seeds 5 -sweep "warmstart=0,1" -csv warm.csv
 //	p2psim -scenario mega-swarm -seeds 3 -sweep "shard-workers=1,2,4,8" -csv scale.csv
 //
+// Inter-ISP economics (see internal/economics):
+//
+//	p2psim -scenario locality-sweep -isp-report       # settlement table + Pareto series
+//	p2psim -scenario isp-peering -isp-report          # peering pairs settle at zero
+//	p2psim -scenario churn -locality 0.9              # ISP-biased neighbor selection
+//	p2psim -scenario churn -cross-cap 5               # hard cross-ISP neighbor cap
+//	p2psim -scenario vodstreaming -cost-model tiered  # volume-discount transit pricing
+//	p2psim -scenario locality-sweep -seeds 5 -sweep "locality=0,0.5,0.9" -csv loc.csv
+//
 // Paper figures and ablations (see internal/experiments):
 //
 //	p2psim -exp fig4 -scale full            # Fig. 4 at the paper's scale
@@ -34,9 +43,11 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/tracker"
 )
 
 func main() {
@@ -63,6 +74,11 @@ func run(args []string) error {
 		shards       = fs.Bool("shards", false, "schedule slots with the sharded swarm orchestrator: partitioned per-swarm warm auctions solved concurrently (requires the auction solver)")
 		shardWorkers = fs.Int("shard-workers", 0, "concurrent shard solves for -shards (0 = sequential; also a sweep parameter)")
 		shardMax     = fs.Int("shard-max", 0, "ISP-affinity refinement threshold for -shards: split components bigger than this many peers (0 = never)")
+		locality     = fs.Float64("locality", -1, "ISP-biased neighbor selection with this same-ISP probability in [0,1] (0 = uniform; unset keeps the scenario's policy; also a sweep parameter)")
+		crossCap     = fs.Int("cross-cap", -1, "hard cap on cross-ISP neighbors per peer, à la Le Blond et al. (unset keeps the scenario's policy; also a sweep parameter)")
+		costModel    = fs.String("cost-model", "", "transit settlement model: flat, tiered or peering (unset keeps the scenario's model)")
+		transitCost  = fs.Float64("transit-cost", 0, "flat transit rate in $/GB (0 keeps the scenario's rate; also a sweep parameter)")
+		ispReport    = fs.Bool("isp-report", false, "print the inter-ISP economics report: per-ISP settlement table, ISP×ISP traffic matrix, and the welfare-vs-transit Pareto series against the baseline schedulers (single sim runs only)")
 		seed         = fs.Uint64("seed", 1, "base seed for scenario runs")
 		seeds        = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
 		workers      = fs.Int("workers", 1, "batch worker pool size")
@@ -82,6 +98,8 @@ func run(args []string) error {
 		return runScenario(scenarioOpts{
 			name: *scenName, solver: *solver, warmStart: *warmStart,
 			shards: *shards, shardWorkers: *shardWorkers, shardMax: *shardMax,
+			locality: *locality, crossCap: *crossCap,
+			costModel: *costModel, transitCost: *transitCost, ispReport: *ispReport,
 			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
 			jsonPath: *jsonPath, csvPath: *csvPath,
 			noChart: *noChart, width: *width, height: *height,
@@ -232,6 +250,11 @@ type scenarioOpts struct {
 	warmStart              bool
 	shards                 bool
 	shardWorkers, shardMax int
+	locality               float64
+	crossCap               int
+	costModel              string
+	transitCost            float64
+	ispReport              bool
 	seed                   uint64
 	seeds, workers         int
 	sweep                  string
@@ -261,12 +284,44 @@ func runScenario(o scenarioOpts) error {
 	if o.shardMax > 0 {
 		spec.Sharding.MaxShardPeers = o.shardMax
 	}
+	if o.locality >= 0 && o.crossCap >= 0 {
+		return fmt.Errorf("-locality and -cross-cap are mutually exclusive neighbor policies")
+	}
+	if o.locality >= 0 {
+		if err := scenario.ApplyParam(&spec, "locality", o.locality); err != nil {
+			return err
+		}
+	}
+	if o.crossCap >= 0 {
+		if err := scenario.ApplyParam(&spec, "cross-cap", float64(o.crossCap)); err != nil {
+			return err
+		}
+	}
+	if o.costModel != "" {
+		spec.Transit.Kind = o.costModel
+		if o.costModel == "flat" {
+			spec.Transit.Tiers = nil // a flat override drops any preset schedule
+		}
+	}
+	if o.transitCost > 0 {
+		if err := scenario.ApplyParam(&spec, "transit-cost", o.transitCost); err != nil {
+			return err
+		}
+	}
 	if o.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)
 	}
 	grids, err := parseSweep(o.sweep)
 	if err != nil {
 		return err
+	}
+	if o.ispReport && (o.seeds > 1 || len(grids) > 0) {
+		return fmt.Errorf("-isp-report applies to single runs; use -sweep \"locality=...\" for grids")
+	}
+	if o.ispReport && spec.Kind != scenario.KindSim {
+		// Fail before the run, not after minutes of a workload that cannot
+		// produce a traffic report.
+		return fmt.Errorf("-isp-report needs a sim scenario, %s is %s", spec.Name, spec.Kind)
 	}
 	if o.seeds > 1 || len(grids) > 0 {
 		return runScenarioBatch(spec, o, grids)
@@ -277,6 +332,11 @@ func runScenario(o scenarioOpts) error {
 	}
 	if err := scenario.Fprint(os.Stdout, res); err != nil {
 		return err
+	}
+	if o.ispReport {
+		if err := printISPReport(spec, res, o.seed); err != nil {
+			return err
+		}
 	}
 	if !o.noChart && len(res.Series) > 0 {
 		fmt.Println("\nper-slot series:")
@@ -304,6 +364,68 @@ func runScenario(o scenarioOpts) error {
 		fmt.Printf("series written to %s\n", o.csvPath)
 	}
 	return nil
+}
+
+// printISPReport renders the inter-ISP economics view of a sim run: the
+// per-ISP settlement table, the ISP×ISP traffic matrix, and the
+// welfare-vs-transit Pareto series comparing the run's scheduler against the
+// baseline schedulers on the same world and seed — the Simple Locality and
+// random baselines under the scenario's neighbor policy, plus the fully
+// ISP-blind legacy baseline (random scheduler, uniform neighbor selection).
+func printISPReport(spec scenario.Spec, res *scenario.Result, seed uint64) error {
+	if spec.Kind != scenario.KindSim {
+		return fmt.Errorf("-isp-report needs a sim scenario, %s is %s", spec.Name, spec.Kind)
+	}
+	if res.Settlement == nil || res.Traffic == nil {
+		return fmt.Errorf("scenario %s recorded no traffic economics", spec.Name)
+	}
+	fmt.Println()
+	if err := res.Settlement.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nISP×ISP chunk transfers (row = uploading ISP, col = downloading ISP):")
+	for i, row := range res.Traffic.Rows() {
+		fmt.Printf("  %3d:", i)
+		for _, v := range row {
+			fmt.Printf(" %8d", v)
+		}
+		fmt.Println()
+	}
+
+	points := []economics.Point{res.ParetoPoint(res.Solver)}
+	baseline := func(label string, mutate func(*scenario.Spec)) error {
+		alt := spec
+		alt.WarmStart = false
+		alt.Sharding = scenario.Sharding{}
+		mutate(&alt)
+		r, err := alt.Run(seed)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", label, err)
+		}
+		points = append(points, r.ParetoPoint(label))
+		return nil
+	}
+	for _, sv := range []scenario.Solver{scenario.SolverLocality, scenario.SolverRandom} {
+		if string(sv) == res.Solver {
+			continue
+		}
+		if err := baseline(string(sv), func(s *scenario.Spec) { s.Solver = sv }); err != nil {
+			return err
+		}
+	}
+	// The fully ISP-blind legacy baseline only differs from the random
+	// baseline above when the scenario runs a non-uniform neighbor policy;
+	// skip the duplicate run (and duplicate Pareto row) otherwise.
+	if spec.Sim.Locality != (tracker.Policy{}) {
+		if err := baseline("random+uniform-neighbors", func(s *scenario.Spec) {
+			s.Solver = scenario.SolverRandom
+			s.Sim.Locality = tracker.Policy{}
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return economics.FprintPareto(os.Stdout, points)
 }
 
 // runScenarioBatch fans the spec over seeds × grid and reports aggregates.

@@ -140,6 +140,49 @@ func TestRunScenarioBatchSweep(t *testing.T) {
 	}
 }
 
+func TestRunScenarioISPReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scenario plus its baselines end-to-end")
+	}
+	// The acceptance path: settlement table + Pareto series against the
+	// baselines (output correctness is pinned in internal/economics and
+	// internal/scenario; this exercises the CLI wiring).
+	if err := run([]string{"-scenario", "locality-sweep", "-isp-report", "-nochart"}); err != nil {
+		t.Fatal(err)
+	}
+	// Economics flags reshape the spec.
+	if err := run([]string{"-scenario", "quickstart", "-locality", "0.5",
+		"-cost-model", "tiered", "-nochart"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", "quickstart", "-cross-cap", "3",
+		"-transit-cost", "2", "-nochart"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISPReportFlagValidation(t *testing.T) {
+	if err := run([]string{"-scenario", "assignment", "-isp-report", "-nochart"}); err == nil {
+		t.Error("-isp-report on a non-sim scenario should error")
+	}
+	if err := run([]string{"-scenario", "locality-sweep", "-isp-report", "-seeds", "2"}); err == nil {
+		t.Error("-isp-report with a batch should error")
+	}
+	if err := run([]string{"-scenario", "churn", "-locality", "0.5", "-cross-cap", "3"}); err == nil {
+		t.Error("-locality with -cross-cap should error")
+	}
+	if err := run([]string{"-scenario", "churn", "-locality", "1.5", "-nochart"}); err == nil {
+		t.Error("out-of-range -locality should error")
+	}
+	if err := run([]string{"-scenario", "churn", "-cost-model", "bogus", "-nochart"}); err == nil {
+		t.Error("unknown -cost-model should error")
+	}
+	if err := run([]string{"-scenario", "churn", "-cost-model", "tiered",
+		"-transit-cost", "2", "-nochart"}); err == nil {
+		t.Error("-transit-cost with a tier schedule should error, not no-op")
+	}
+}
+
 func TestRunScenarioRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-scenario", "no-such"}); err == nil {
 		t.Error("unknown scenario should error")

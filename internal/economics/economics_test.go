@@ -1,0 +1,394 @@
+package economics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/sched"
+)
+
+func mustMatrix(t *testing.T, n int) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("zero-ISP matrix should be rejected")
+	}
+	m := mustMatrix(t, 3)
+	if err := m.Add(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(3, 0, 1); err == nil {
+		t.Error("out-of-range source should be rejected")
+	}
+	if err := m.Add(0, 1, -1); err == nil {
+		t.Error("negative count should be rejected")
+	}
+	if got := m.At(0, 1); got != 5 {
+		t.Errorf("At(0,1) = %d", got)
+	}
+	if m.Total() != 8 || m.Intra() != 2 || m.Inter() != 6 {
+		t.Errorf("total/intra/inter = %d/%d/%d", m.Total(), m.Intra(), m.Inter())
+	}
+	if m.EgressInter(0) != 5 || m.IngressInter(0) != 1 {
+		t.Errorf("ISP 0 egress/ingress = %d/%d", m.EgressInter(0), m.IngressInter(0))
+	}
+	if m.EgressInter(1) != 0 || m.IngressInter(1) != 5 {
+		t.Errorf("ISP 1 egress/ingress = %d/%d", m.EgressInter(1), m.IngressInter(1))
+	}
+	rows := m.Rows()
+	if rows[0][1] != 5 || rows[1][1] != 2 || rows[2][0] != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestMatrixMergeEqualCloneReset(t *testing.T) {
+	a := mustMatrix(t, 2)
+	b := mustMatrix(t, 2)
+	_ = a.Add(0, 1, 3)
+	_ = b.Add(0, 1, 1)
+	_ = b.Add(1, 0, 4)
+	c := a.Clone()
+	if err := c.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 1) != 4 || c.At(1, 0) != 4 {
+		t.Errorf("merged cells: %v", c.Rows())
+	}
+	if a.At(0, 1) != 3 {
+		t.Error("Merge mutated the clone source")
+	}
+	if c.Equal(a) || !c.Equal(c.Clone()) {
+		t.Error("Equal misbehaves")
+	}
+	if err := c.Merge(mustMatrix(t, 3)); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if err := c.Merge(nil); err != nil {
+		t.Errorf("nil merge should no-op: %v", err)
+	}
+	c.Reset()
+	if c.Total() != 0 || c.NumISPs() != 2 {
+		t.Errorf("Reset left %v", c.Rows())
+	}
+}
+
+// TestFromGrantsMergesExactly is the shard-recombination contract at the
+// matrix level: partition a scheduling result into disjoint grant subsets,
+// build each subset's matrix, and the merged ledger equals the ledger of the
+// full grant set exactly.
+func TestFromGrantsMergesExactly(t *testing.T) {
+	// Peers 0..3: ISPs 0,0,1,1. Uploaders 0 and 2; requests from 1 and 3.
+	ispOf := func(p isp.PeerID) (isp.ID, bool) {
+		if p < 0 || p > 3 {
+			return 0, false
+		}
+		return isp.ID(p / 2), true
+	}
+	in, err := sched.NewInstance(
+		[]sched.Request{
+			{Peer: 1, Value: 5, Candidates: []sched.Candidate{{Peer: 0, Cost: 1}, {Peer: 2, Cost: 4}}},
+			{Peer: 3, Value: 5, Candidates: []sched.Candidate{{Peer: 0, Cost: 4}, {Peer: 2, Cost: 1}}},
+			{Peer: 1, Value: 3, Candidates: []sched.Candidate{{Peer: 2, Cost: 4}}},
+		},
+		[]sched.Uploader{{Peer: 0, Capacity: 2}, {Peer: 2, Capacity: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := []sched.Grant{
+		{Request: 0, Uploader: 0}, // intra ISP 0
+		{Request: 1, Uploader: 2}, // intra ISP 1
+		{Request: 2, Uploader: 2}, // cross 1→0
+	}
+	full, err := FromGrants(in, grants, ispOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total() != 3 || full.Inter() != 1 || full.At(1, 0) != 1 {
+		t.Fatalf("full matrix wrong: %v", full.Rows())
+	}
+	partA, err := FromGrants(in, grants[:1], ispOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partB, err := FromGrants(in, grants[1:], ispOf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partA.Merge(partB); err != nil {
+		t.Fatal(err)
+	}
+	if !partA.Equal(full) {
+		t.Fatalf("merged parts %v != full %v", partA.Rows(), full.Rows())
+	}
+
+	if _, err := FromGrants(in, []sched.Grant{{Request: 9, Uploader: 0}}, ispOf, 2); err == nil {
+		t.Error("unknown request should be rejected")
+	}
+	if _, err := FromGrants(in, []sched.Grant{{Request: 2, Uploader: 0}}, ispOf, 2); err == nil {
+		t.Error("non-candidate edge should be rejected")
+	}
+	broken := func(isp.PeerID) (isp.ID, bool) { return 0, false }
+	if _, err := FromGrants(in, grants[:1], broken, 2); err == nil {
+		t.Error("unresolvable ISP should be rejected")
+	}
+}
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m := mustMatrix(t, 3)
+	_ = m.Add(0, 1, 5)
+	_ = m.Add(2, 2, 7)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[[0,5,0],[0,0,0],[0,0,7]]" {
+		t.Fatalf("marshalled %s", data)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatalf("round trip %v != %v", back.Rows(), m.Rows())
+	}
+	for _, bad := range []string{"[]", "[[1,2],[3]]", "[[1],[2]]", "{}"} {
+		var x Matrix
+		if err := json.Unmarshal([]byte(bad), &x); err == nil {
+			t.Errorf("%s should fail to unmarshal", bad)
+		}
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(b)) }
+
+func TestFlatAndTieredPricing(t *testing.T) {
+	f := Flat{USDPerGB: 2}
+	if got := f.CostUSD(0, 1, 3); !approx(got, 6) {
+		t.Errorf("flat cost = %v", got)
+	}
+	tiers := Tiered{Tiers: DefaultTiers()}
+	if err := tiers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 GB entirely in the $2 band.
+	if got := tiers.CostUSD(0, 1, 0.5); !approx(got, 1.0) {
+		t.Errorf("tiered 0.5GB = %v", got)
+	}
+	// 12 GB: 1×$2 + 9×$1 + 2×$0.5 = 12.
+	if got := tiers.CostUSD(0, 1, 12); !approx(got, 12) {
+		t.Errorf("tiered 12GB = %v", got)
+	}
+	// Marginal rates decrease: the average rate at high volume approaches the
+	// tail rate.
+	if got := tiers.CostUSD(0, 1, 1000); !approx(got, 2+9+990*0.5) {
+		t.Errorf("tiered 1000GB = %v", got)
+	}
+	bad := Tiered{Tiers: []Tier{{UpToGB: 5, USDPerGB: 1}, {UpToGB: 2, USDPerGB: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing tier boundaries should be rejected")
+	}
+	if err := (Tiered{}).Validate(); err == nil {
+		t.Error("empty schedule should be rejected")
+	}
+	// Bounded final tier: volume beyond the last boundary bills at its rate.
+	bounded := Tiered{Tiers: []Tier{{UpToGB: 1, USDPerGB: 2}, {UpToGB: 2, USDPerGB: 1}}}
+	if err := bounded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bounded.CostUSD(0, 1, 4); !approx(got, 2+3*1) {
+		t.Errorf("bounded tail 4GB = %v", got)
+	}
+}
+
+func TestPeeringZeroesNamedPairs(t *testing.T) {
+	p, err := NewPeering(Flat{USDPerGB: 1}, [2]isp.ID{0, 1}, [2]isp.ID{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Peered(1, 0) || !p.Peered(2, 3) || p.Peered(0, 2) {
+		t.Error("peering pair lookup wrong")
+	}
+	if got := p.CostUSD(0, 1, 7); got != 0 {
+		t.Errorf("peered cost = %v", got)
+	}
+	if got := p.CostUSD(0, 2, 7); !approx(got, 7) {
+		t.Errorf("unpeered cost = %v", got)
+	}
+	if got := p.Pairs(); len(got) != 2 || got[0] != [2]isp.ID{0, 1} || got[1] != [2]isp.ID{2, 3} {
+		t.Errorf("Pairs() = %v", got)
+	}
+	if _, err := NewPeering(nil); err == nil {
+		t.Error("nil base should be rejected")
+	}
+	if _, err := NewPeering(Flat{USDPerGB: 1}, [2]isp.ID{2, 2}); err == nil {
+		t.Error("self-peering should be rejected")
+	}
+}
+
+func TestTransitSpecBuild(t *testing.T) {
+	m, err := TransitSpec{}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := m.(Flat); !ok || f.USDPerGB != DefaultUSDPerGB {
+		t.Errorf("zero spec built %#v", m)
+	}
+	// An *explicit* flat kind with rate 0 means free transit (the sweep's
+	// zero anchor); only the fully implicit zero spec gets the default.
+	m, err = TransitSpec{Kind: "flat"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := m.(Flat); !ok || f.USDPerGB != 0 {
+		t.Errorf("explicit flat zero spec built %#v, want free transit", m)
+	}
+	m, err = TransitSpec{Kind: "tiered"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(Tiered); !ok {
+		t.Errorf("tiered spec built %#v", m)
+	}
+	m, err = TransitSpec{Kind: "peering", USDPerGB: 2, Peered: [][2]int{{0, 1}}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := m.(*Peering); !ok || !p.Peered(0, 1) {
+		t.Errorf("peering spec built %#v", m)
+	}
+	for _, bad := range []TransitSpec{
+		{Kind: "bogus"},
+		{Kind: "peering"},
+		{USDPerGB: -1},
+		{Kind: "flat", Tiers: DefaultTiers()},
+		{Kind: "tiered", Tiers: []Tier{{UpToGB: -1, USDPerGB: 1}, {UpToGB: 1, USDPerGB: 1}}},
+	} {
+		if _, err := bad.Build(); err == nil {
+			t.Errorf("spec %+v should fail to build", bad)
+		}
+	}
+}
+
+func TestSettle(t *testing.T) {
+	m := mustMatrix(t, 3)
+	_ = m.Add(0, 0, 1000) // intra: free
+	_ = m.Add(0, 1, 1000)
+	_ = m.Add(1, 2, 500)
+	_ = m.Add(2, 0, 250)
+	const chunk = 1e6 // 1 MB chunks: counts read as GB/1000
+	model, err := TransitSpec{Kind: "peering", USDPerGB: 2, Peered: [][2]int{{1, 2}}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Settle(m, chunk, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.CrossGB, 1.75) {
+		t.Errorf("CrossGB = %v", s.CrossGB)
+	}
+	// 0→1 bills 1GB×$2; 1→2 peers free; 2→0 bills 0.25GB×$2.
+	if !approx(s.TransitUSD, 2.5) {
+		t.Errorf("TransitUSD = %v", s.TransitUSD)
+	}
+	a0, a1, a2 := s.Accounts[0], s.Accounts[1], s.Accounts[2]
+	if !approx(a0.EgressGB, 1) || !approx(a0.TransitUSD, 2) || !approx(a0.IngressGB, 0.25) {
+		t.Errorf("account 0 = %+v", a0)
+	}
+	if !approx(a1.TransitUSD, 0) || !approx(a1.PeeredGB, 0.5) {
+		t.Errorf("account 1 = %+v", a1)
+	}
+	if !approx(a2.EgressGB, 0.25) || !approx(a2.IngressGB, 0.5) {
+		t.Errorf("account 2 = %+v", a2)
+	}
+	var sum float64
+	for _, a := range s.Accounts {
+		sum += a.TransitUSD
+	}
+	if !approx(sum, s.TransitUSD) {
+		t.Errorf("account sum %v != total %v", sum, s.TransitUSD)
+	}
+
+	flatAll, err := Settle(m, chunk, Flat{USDPerGB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saving := s.SavingsVs(flatAll); !approx(saving, 1.0) {
+		t.Errorf("peering saving vs flat = %v", saving)
+	}
+
+	var sb strings.Builder
+	if err := s.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"peering+flat", "transit USD", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("settlement table missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := Settle(nil, chunk, model); err == nil {
+		t.Error("nil matrix should be rejected")
+	}
+	if _, err := Settle(m, 0, model); err == nil {
+		t.Error("zero chunk size should be rejected")
+	}
+	if _, err := Settle(m, chunk, nil); err == nil {
+		t.Error("nil model should be rejected")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	auction := Point{Label: "auction", Welfare: 100, TransitUSD: 10}
+	random := Point{Label: "random", Welfare: 90, TransitUSD: 25}
+	locality := Point{Label: "locality", Welfare: 60, TransitUSD: 5}
+	dominated := Point{Label: "bad", Welfare: 50, TransitUSD: 12}
+
+	if !WeaklyDominates(auction, random) || !StrictlyDominates(auction, random) {
+		t.Error("auction should dominate random")
+	}
+	if WeaklyDominates(locality, auction) || WeaklyDominates(auction, locality) {
+		t.Error("auction and locality should be incomparable")
+	}
+	if !WeaklyDominates(auction, auction) || StrictlyDominates(auction, auction) {
+		t.Error("self-dominance should be weak, not strict")
+	}
+
+	front := Frontier([]Point{random, dominated, auction, locality})
+	if len(front) != 2 {
+		t.Fatalf("frontier = %v", front)
+	}
+	if front[0] != locality || front[1] != auction {
+		t.Errorf("frontier order = %v", front)
+	}
+
+	var sb strings.Builder
+	if err := FprintPareto(&sb, []Point{random, dominated, auction, locality}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 on frontier") || !strings.Contains(out, "auction") {
+		t.Errorf("pareto table wrong:\n%s", out)
+	}
+	if err := FprintPareto(&sb, nil); err == nil {
+		t.Error("empty point set should error")
+	}
+}

@@ -1,0 +1,113 @@
+package economics
+
+// pareto.go: the welfare-vs-transit trade-off report. Each scheduling policy
+// (solver × locality policy) evaluated on the same workload yields one Point
+// (welfare achieved, transit bill paid); the Pareto frontier is the set of
+// policies no other policy beats on both axes. The paper's thesis — that the
+// primal-dual optimum is ISP-aware, not just welfare-optimal — shows up here
+// as the auction sitting on the frontier: locality heuristics may pay less
+// transit, but only by giving up welfare.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one policy's outcome on the welfare/transit plane.
+type Point struct {
+	// Label names the policy ("auction", "random", "auction locality=0.8", ...).
+	Label string
+	// Welfare is the run's total social welfare (higher is better).
+	Welfare float64
+	// TransitUSD is the run's total transit bill (lower is better).
+	TransitUSD float64
+}
+
+// WeaklyDominates reports whether a is at least as good as b on both axes:
+// no less welfare and no more transit cost.
+func WeaklyDominates(a, b Point) bool {
+	return a.Welfare >= b.Welfare && a.TransitUSD <= b.TransitUSD
+}
+
+// StrictlyDominates reports whether a weakly dominates b and beats it on at
+// least one axis.
+func StrictlyDominates(a, b Point) bool {
+	return WeaklyDominates(a, b) && (a.Welfare > b.Welfare || a.TransitUSD < b.TransitUSD)
+}
+
+// Frontier returns the Pareto-efficient subset of points — those no other
+// point strictly dominates — sorted by ascending transit cost (ties by
+// descending welfare, then label for determinism). Duplicate outcomes all
+// survive.
+func Frontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && StrictlyDominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sortPoints(out)
+	return out
+}
+
+// sortPoints orders by transit cost asc, welfare desc, label asc.
+func sortPoints(points []Point) {
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].TransitUSD != points[j].TransitUSD {
+			return points[i].TransitUSD < points[j].TransitUSD
+		}
+		if points[i].Welfare != points[j].Welfare {
+			return points[i].Welfare > points[j].Welfare
+		}
+		return points[i].Label < points[j].Label
+	})
+}
+
+// FprintPareto renders the welfare-vs-transit series as a table, every
+// policy one row ordered by transit cost, frontier members marked. This is
+// the "Pareto series" an operator plots: x = transit USD, y = welfare.
+func FprintPareto(w io.Writer, points []Point) error {
+	if len(points) == 0 {
+		return fmt.Errorf("economics: no Pareto points to print")
+	}
+	frontier := Frontier(points)
+	onFrontier := make(map[Point]bool, len(frontier))
+	for _, p := range frontier {
+		onFrontier[p] = true
+	}
+	rows := append([]Point(nil), points...)
+	sortPoints(rows)
+	labelW := len("policy")
+	for _, p := range rows {
+		if len(p.Label) > labelW {
+			labelW = len(p.Label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "welfare-vs-transit Pareto series (%d policies, %d on frontier):\n",
+		len(rows), len(frontier)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-*s  %14s  %14s  %s\n",
+		labelW, "policy", "transit USD", "welfare", "frontier"); err != nil {
+		return err
+	}
+	for _, p := range rows {
+		mark := ""
+		if onFrontier[p] {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s  %14.4f  %14.4f  %s\n",
+			labelW, p.Label, p.TransitUSD, p.Welfare, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package economics
+
+// settlement.go: pricing a traffic matrix under a transit model into the
+// per-ISP bill. Convention (Xu et al.'s eyeball-ISP framing): the *sending*
+// ISP pays transit on its cross-boundary egress — the uploader's access ISP
+// hands the bytes to its transit provider. Ingress is reported too (some
+// contracts bill max(in, out)), but the headline TransitUSD is egress-priced.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isp"
+)
+
+// Account is one ISP's view of the settlement.
+type Account struct {
+	ISP isp.ID
+	// EgressGB/IngressGB are the ISP's cross-boundary volumes (intra-ISP
+	// traffic excluded).
+	EgressGB, IngressGB float64
+	// TransitUSD is what the ISP pays its transit provider for its egress
+	// under the settlement model (peered volume prices at zero).
+	TransitUSD float64
+	// PeeredGB is the share of egress that settled at zero over peering
+	// links (always 0 for non-peering models).
+	PeeredGB float64
+}
+
+// Settlement is the run-level transit bill of a traffic matrix.
+type Settlement struct {
+	// Model names the transit model that priced the matrix.
+	Model string
+	// ChunkBytes is the byte size of one chunk transfer.
+	ChunkBytes float64
+	// Accounts holds one entry per ISP, ordered by ISP id.
+	Accounts []Account
+	// CrossGB is the total cross-ISP volume.
+	CrossGB float64
+	// TransitUSD is the total bill, Σ over accounts.
+	TransitUSD float64
+}
+
+const bytesPerGB = 1e9
+
+// Settle prices matrix m under model, with chunkBytes bytes per recorded
+// chunk transfer.
+func Settle(m *Matrix, chunkBytes float64, model TransitModel) (*Settlement, error) {
+	if m == nil {
+		return nil, fmt.Errorf("economics: nil traffic matrix")
+	}
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("economics: chunk size must be positive, got %v bytes", chunkBytes)
+	}
+	if model == nil {
+		return nil, fmt.Errorf("economics: nil transit model")
+	}
+	peering, _ := model.(*Peering)
+	s := &Settlement{
+		Model:      model.Name(),
+		ChunkBytes: chunkBytes,
+		Accounts:   make([]Account, m.NumISPs()),
+	}
+	for i := range s.Accounts {
+		s.Accounts[i].ISP = isp.ID(i)
+	}
+	for src := 0; src < m.NumISPs(); src++ {
+		for dst := 0; dst < m.NumISPs(); dst++ {
+			if src == dst {
+				continue
+			}
+			gb := float64(m.At(isp.ID(src), isp.ID(dst))) * chunkBytes / bytesPerGB
+			if gb == 0 {
+				continue
+			}
+			cost := model.CostUSD(isp.ID(src), isp.ID(dst), gb)
+			s.Accounts[src].EgressGB += gb
+			s.Accounts[src].TransitUSD += cost
+			s.Accounts[dst].IngressGB += gb
+			if peering != nil && peering.Peered(isp.ID(src), isp.ID(dst)) {
+				s.Accounts[src].PeeredGB += gb
+			}
+			s.CrossGB += gb
+			s.TransitUSD += cost
+		}
+	}
+	return s, nil
+}
+
+// SavingsVs returns how much less this settlement bills than a baseline one
+// (positive = this settlement is cheaper), the per-run transit saving a
+// policy buys.
+func (s *Settlement) SavingsVs(baseline *Settlement) float64 {
+	if baseline == nil {
+		return 0
+	}
+	return baseline.TransitUSD - s.TransitUSD
+}
+
+// Fprint renders the settlement as the per-ISP cost table: one row per ISP
+// with cross-boundary egress/ingress, the peered (free) share, and the
+// transit bill, plus a totals row.
+func (s *Settlement) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "per-ISP transit settlement (model %s, chunk %.0f B):\n",
+		s.Model, s.ChunkBytes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-5s  %12s  %12s  %12s  %12s\n",
+		"isp", "egress GB", "ingress GB", "peered GB", "transit USD"); err != nil {
+		return err
+	}
+	accounts := append([]Account(nil), s.Accounts...)
+	sort.Slice(accounts, func(i, j int) bool { return accounts[i].ISP < accounts[j].ISP })
+	for _, a := range accounts {
+		if _, err := fmt.Fprintf(w, "  %-5d  %12.4f  %12.4f  %12.4f  %12.4f\n",
+			a.ISP, a.EgressGB, a.IngressGB, a.PeeredGB, a.TransitUSD); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-5s  %12.4f  %12.4f  %12s  %12.4f\n",
+		"total", s.CrossGB, s.CrossGB, "", s.TransitUSD)
+	return err
+}

@@ -1,0 +1,258 @@
+package economics
+
+// transit.go: the pluggable transit-cost models. A TransitModel prices the
+// volume one ISP sends another over the run — the reproduction of the
+// settlement structures in "Can P2P Technology Benefit Eyeball ISPs?" (Xu et
+// al.): access ISPs pay their transit providers per cross-boundary GB, with
+// flat, tiered (volume-discount) and peering-aware (named pairs settle at
+// zero) variants.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isp"
+)
+
+// DefaultUSDPerGB is the unit flat transit rate assumed when a spec leaves
+// the rate at zero: $1/GB, the right order of magnitude for the paper's era
+// of IP transit pricing and a convenient normalization (transit_usd then
+// reads as cross-ISP GB).
+const DefaultUSDPerGB = 1.0
+
+// TransitModel prices the traffic one ISP sends another. CostUSD receives
+// the full run volume of one ordered ISP pair at once, so models can apply
+// volume structure (tiers); it must be pure and order-independent across
+// pairs.
+type TransitModel interface {
+	// Name identifies the model in reports and metrics.
+	Name() string
+	// CostUSD prices gb gigabytes sent from src to dst. Intra-ISP volume is
+	// never passed in (it settles internally for free).
+	CostUSD(src, dst isp.ID, gb float64) float64
+}
+
+// Flat charges a single $/GB rate on every cross-ISP byte.
+type Flat struct {
+	USDPerGB float64
+}
+
+// Name implements TransitModel.
+func (f Flat) Name() string { return "flat" }
+
+// CostUSD implements TransitModel.
+func (f Flat) CostUSD(_, _ isp.ID, gb float64) float64 { return gb * f.USDPerGB }
+
+// Tier is one volume band of a Tiered schedule: volume up to UpToGB
+// (cumulative, per ordered ISP pair) is priced at USDPerGB. The final tier
+// may set UpToGB <= 0, meaning unbounded.
+type Tier struct {
+	UpToGB   float64
+	USDPerGB float64
+}
+
+// Tiered charges decreasing (or arbitrary) marginal rates by cumulative
+// volume per ordered ISP pair — the volume-discount contracts transit
+// providers actually sell.
+type Tiered struct {
+	Tiers []Tier
+}
+
+// DefaultTiers returns a representative volume-discount schedule: the first
+// GB at $2/GB, the next 9 GB at $1/GB, everything beyond at $0.5/GB.
+func DefaultTiers() []Tier {
+	return []Tier{
+		{UpToGB: 1, USDPerGB: 2},
+		{UpToGB: 10, USDPerGB: 1},
+		{UpToGB: 0, USDPerGB: 0.5},
+	}
+}
+
+// Validate checks the schedule is usable: non-empty, strictly increasing
+// band boundaries, non-negative rates, unbounded (or positive) final band.
+func (t Tiered) Validate() error {
+	if len(t.Tiers) == 0 {
+		return fmt.Errorf("economics: tiered model needs at least one tier")
+	}
+	prev := 0.0
+	for i, tier := range t.Tiers {
+		if tier.USDPerGB < 0 {
+			return fmt.Errorf("economics: tier %d has negative rate %v", i, tier.USDPerGB)
+		}
+		last := i == len(t.Tiers)-1
+		if tier.UpToGB <= prev && !(last && tier.UpToGB <= 0) {
+			return fmt.Errorf("economics: tier %d boundary %vGB not above previous %vGB",
+				i, tier.UpToGB, prev)
+		}
+		if tier.UpToGB > 0 {
+			prev = tier.UpToGB
+		}
+	}
+	return nil
+}
+
+// Name implements TransitModel.
+func (t Tiered) Name() string { return "tiered" }
+
+// CostUSD implements TransitModel.
+func (t Tiered) CostUSD(_, _ isp.ID, gb float64) float64 {
+	cost, prev := 0.0, 0.0
+	for i, tier := range t.Tiers {
+		band := gb - prev
+		if band <= 0 {
+			break
+		}
+		if tier.UpToGB > 0 && i < len(t.Tiers)-1 {
+			if cap := tier.UpToGB - prev; band > cap {
+				band = cap
+			}
+			prev = tier.UpToGB
+		} else if tier.UpToGB > 0 {
+			// Bounded final tier: volume beyond it still bills at its rate.
+			prev = tier.UpToGB
+		}
+		cost += band * tier.USDPerGB
+		if tier.UpToGB <= 0 {
+			break // unbounded tier consumed the rest
+		}
+	}
+	return cost
+}
+
+// pairKey canonicalizes an unordered ISP pair (peering agreements are
+// symmetric).
+type pairKey struct{ lo, hi isp.ID }
+
+func canonicalPair(a, b isp.ID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{lo: a, hi: b}
+}
+
+// Peering wraps a base model with settlement-free peering: traffic between
+// the named ISP pairs costs zero in either direction (they exchange it over
+// a private interconnect), everything else bills through Base.
+type Peering struct {
+	Base  TransitModel
+	pairs map[pairKey]bool
+}
+
+// NewPeering builds a peering-aware model over base with the given
+// settlement-free pairs (order within a pair is irrelevant).
+func NewPeering(base TransitModel, pairs ...[2]isp.ID) (*Peering, error) {
+	if base == nil {
+		return nil, fmt.Errorf("economics: peering model needs a base model")
+	}
+	p := &Peering{Base: base, pairs: make(map[pairKey]bool, len(pairs))}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			return nil, fmt.Errorf("economics: ISP %d cannot peer with itself", pr[0])
+		}
+		p.pairs[canonicalPair(pr[0], pr[1])] = true
+	}
+	return p, nil
+}
+
+// Peered reports whether a and b settle at zero.
+func (p *Peering) Peered(a, b isp.ID) bool { return p.pairs[canonicalPair(a, b)] }
+
+// Pairs returns the settlement-free pairs in canonical sorted order.
+func (p *Peering) Pairs() [][2]isp.ID {
+	out := make([][2]isp.ID, 0, len(p.pairs))
+	for k := range p.pairs {
+		out = append(out, [2]isp.ID{k.lo, k.hi})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Name implements TransitModel.
+func (p *Peering) Name() string { return "peering+" + p.Base.Name() }
+
+// CostUSD implements TransitModel.
+func (p *Peering) CostUSD(src, dst isp.ID, gb float64) float64 {
+	if p.Peered(src, dst) {
+		return 0
+	}
+	return p.Base.CostUSD(src, dst, gb)
+}
+
+// TransitSpec is the declarative (scenario-embeddable, JSON-friendly) form
+// of a TransitModel. The zero value builds the default flat model.
+type TransitSpec struct {
+	// Kind selects the model: "" or "flat", "tiered", "peering".
+	Kind string
+	// USDPerGB is the flat rate (flat, and peering's base when Tiers is
+	// empty). 0 means DefaultUSDPerGB.
+	USDPerGB float64
+	// Tiers is the tiered schedule (tiered, and peering's base when set).
+	// Empty means DefaultTiers for the tiered kind.
+	Tiers []Tier
+	// Peered lists the settlement-free ISP pairs (peering kind only).
+	Peered [][2]int
+}
+
+// flatRate resolves the spec's flat rate: the package default only when the
+// spec is entirely implicit (no Kind declared), so an explicit
+// Kind "flat"/"peering" with USDPerGB 0 genuinely means free transit — the
+// zero anchor of a welfare-vs-transit sweep.
+func (s TransitSpec) flatRate() float64 {
+	if s.USDPerGB == 0 && s.Kind == "" {
+		return DefaultUSDPerGB
+	}
+	return s.USDPerGB
+}
+
+// Build instantiates the model the spec describes.
+func (s TransitSpec) Build() (TransitModel, error) {
+	if s.USDPerGB < 0 {
+		return nil, fmt.Errorf("economics: negative transit rate %v", s.USDPerGB)
+	}
+	base := func() (TransitModel, error) {
+		if len(s.Tiers) > 0 {
+			t := Tiered{Tiers: s.Tiers}
+			if err := t.Validate(); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+		return Flat{USDPerGB: s.flatRate()}, nil
+	}
+	switch s.Kind {
+	case "", "flat":
+		if len(s.Tiers) > 0 {
+			return nil, fmt.Errorf("economics: flat transit spec carries tiers; set Kind to %q", "tiered")
+		}
+		return Flat{USDPerGB: s.flatRate()}, nil
+	case "tiered":
+		t := Tiered{Tiers: s.Tiers}
+		if len(t.Tiers) == 0 {
+			t.Tiers = DefaultTiers()
+		}
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case "peering":
+		if len(s.Peered) == 0 {
+			return nil, fmt.Errorf("economics: peering transit spec names no peered pairs")
+		}
+		b, err := base()
+		if err != nil {
+			return nil, err
+		}
+		pairs := make([][2]isp.ID, len(s.Peered))
+		for i, pr := range s.Peered {
+			pairs[i] = [2]isp.ID{isp.ID(pr[0]), isp.ID(pr[1])}
+		}
+		return NewPeering(b, pairs...)
+	default:
+		return nil, fmt.Errorf("economics: unknown transit model %q (want flat, tiered or peering)", s.Kind)
+	}
+}

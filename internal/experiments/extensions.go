@@ -164,7 +164,7 @@ func ISPAnalysis(scale Scale) (*Report, error) {
 	}
 	table := &Table{Columns: []string{"strategy", "isp", "egress intra", "egress inter", "miss-rate"}}
 	addRows := func(res *sim.Results) {
-		for i, row := range res.TrafficMatrix {
+		for i, row := range res.TrafficMatrix.Rows() {
 			var intra, inter int64
 			for j, v := range row {
 				if i == j {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/tracker"
 )
 
 // Grid sweeps one named parameter over a list of values; a Batch takes the
@@ -19,11 +20,47 @@ type Grid struct {
 // ApplyParam mutates the spec by one named parameter — the vocabulary of
 // batch sweeps. Keys: peers, slots, neighbors, epsilon, arrival, early-leave,
 // cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart,
-// sharding, shard-workers, shard-max.
+// sharding, shard-workers, shard-max, locality, cross-cap, transit-cost.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
 	case "warmstart":
 		s.WarmStart = v != 0
+	case "locality":
+		// ISP-biased neighbor selection with bias probability v; 0 restores
+		// the uniform (ISP-blind) policy.
+		if v < 0 || v > 1 {
+			return fmt.Errorf("scenario: locality bias %v outside [0,1]", v)
+		}
+		if v == 0 {
+			s.Sim.Locality = tracker.Policy{}
+		} else {
+			s.Sim.Locality = tracker.Policy{Kind: tracker.PolicyISPBias, BiasP: v}
+		}
+	case "cross-cap":
+		// Hard cross-ISP neighbor cap of int(v); negative restores uniform.
+		if v < 0 {
+			s.Sim.Locality = tracker.Policy{}
+		} else {
+			s.Sim.Locality = tracker.Policy{Kind: tracker.PolicyCrossCap, MaxCross: int(v)}
+		}
+	case "transit-cost":
+		// Flat $/GB transit rate (the peering model's base rate when the
+		// spec declares peered pairs); 0 means free transit, the zero anchor
+		// of a welfare-vs-transit sweep. A tier schedule prices by volume
+		// band, not one rate — rejecting the combination beats silently
+		// ignoring the parameter.
+		if v < 0 {
+			return fmt.Errorf("scenario: transit rate %v must be >= 0", v)
+		}
+		if s.Transit.Kind == "tiered" || len(s.Transit.Tiers) > 0 {
+			return fmt.Errorf("scenario: transit-cost sets a flat $/GB rate, but this spec prices transit with a tier schedule; edit Transit.Tiers instead")
+		}
+		s.Transit.USDPerGB = v
+		if s.Transit.Kind == "" {
+			// Pin the kind so the explicit rate survives TransitSpec's
+			// implicit-zero-spec defaulting.
+			s.Transit.Kind = "flat"
+		}
 	case "sharding":
 		s.Sharding.Enabled = v != 0
 	case "shard-workers":
@@ -59,8 +96,8 @@ func ApplyParam(s *Spec, key string, v float64) error {
 	default:
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
-			"videos, window, requests, sinks, warmstart, sharding, shard-workers or "+
-			"shard-max)", key)
+			"videos, window, requests, sinks, warmstart, sharding, shard-workers, "+
+			"shard-max, locality, cross-cap or transit-cost)", key)
 	}
 	return nil
 }

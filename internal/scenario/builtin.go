@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/isp"
 	"repro/internal/sim"
+	"repro/internal/tracker"
 )
 
 // smallSim returns the calibrated reproduction config at the fast evaluation
@@ -224,6 +226,67 @@ func init() {
 		Sharding: Sharding{Enabled: true, Workers: 8},
 		Heavy:    true,
 		Sim:      shardedChurn,
+	})
+
+	// locality-sweep — the inter-ISP economics workbench: the vodstreaming
+	// world under ISP-biased neighbor selection (Le Blond et al.'s biased
+	// tracker) and a flat transit bill. Sweep the locality knob to trace the
+	// welfare-vs-transit trade-off — `-sweep "locality=0,0.5,0.9"` — or
+	// compare solvers at fixed locality with `-isp-report`, which prints the
+	// per-ISP settlement table and the Pareto series against the baselines.
+	locSweep := smallSim()
+	locSweep.StaticPeers = 100
+	locSweep.Slots = 8
+	// Few videos and a tight neighbor cap make swarms (~25 peers) much
+	// larger than the neighbor list: the tracker must *choose* neighbors,
+	// which is the regime where biased selection changes list membership —
+	// with swarms under the cap every policy returns everyone and locality
+	// is a no-op.
+	locSweep.Catalog.Count = 4
+	locSweep.NeighborCount = 8
+	locSweep.Locality = tracker.Policy{Kind: tracker.PolicyISPBias, BiasP: 0.8}
+	MustRegister(Spec{
+		Name:     "locality-sweep",
+		Summary:  "ISP-biased neighbor selection under a flat transit bill (sweep locality=0..1)",
+		Workload: "locality",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
+		Sim:      locSweep,
+	})
+
+	// isp-peering — the settlement-structure workbench: six ISPs with a wide
+	// transit/peering cost spread, a hard cross-ISP neighbor cap (Le Blond's
+	// locality pushed near its limit), and a peering-aware transit model in
+	// which ISPs {0,1} and {2,3} exchange traffic settlement-free while
+	// everyone else pays tiered volume-discount transit — Xu et al.'s
+	// eyeball-ISP economics. ISPs 4 and 5 peer with nobody: their transit
+	// bill is the price of isolation.
+	peering := smallSim()
+	peering.NumISPs = 6
+	peering.StaticPeers = 72
+	peering.Slots = 8
+	peering.Cost = isp.CostModel{
+		IntraMean: 1, IntraStd: 1, IntraMin: 0, IntraMax: 2,
+		InterMean: 8, InterStd: 4, InterMin: 1, InterMax: 20,
+	}
+	// Same sizing rule as locality-sweep: swarms (~18 peers) larger than the
+	// neighbor list, so the cross-ISP cap actually decides membership.
+	peering.Catalog.Count = 4
+	peering.NeighborCount = 10
+	peering.Locality = tracker.Policy{Kind: tracker.PolicyCrossCap, MaxCross: 4}
+	MustRegister(Spec{
+		Name:     "isp-peering",
+		Summary:  "6 ISPs, two settlement-free peering pairs, tiered transit, capped cross-ISP neighbors",
+		Workload: "locality",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit: economics.TransitSpec{
+			Kind:   "peering",
+			Tiers:  economics.DefaultTiers(),
+			Peered: [][2]int{{0, 1}, {2, 3}},
+		},
+		Sim: peering,
 	})
 
 	// assignment — the bare solver on random transportation instances,

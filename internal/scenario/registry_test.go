@@ -40,7 +40,7 @@ func TestRegistryHasBuiltins(t *testing.T) {
 	for _, want := range []string{
 		"quickstart", "vodstreaming", "churn", "livenet", "assignment",
 		"flash-crowd", "diurnal", "asymmetric-cost", "large-scale",
-		"mega-swarm", "sharded-churn",
+		"mega-swarm", "sharded-churn", "locality-sweep", "isp-peering",
 	} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("preset %q missing", want)

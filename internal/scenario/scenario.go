@@ -29,6 +29,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/economics"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/randx"
@@ -214,6 +215,13 @@ type Spec struct {
 	// Heavy marks scenarios too large for routine double-run golden tests;
 	// they are smoke-tested once instead.
 	Heavy bool
+	// Transit selects the inter-ISP settlement model that prices a KindSim
+	// run's traffic matrix (internal/economics). The zero value bills every
+	// cross-ISP GB at the default flat rate; sweep the rate with the
+	// `transit-cost` parameter. The neighbor-selection locality policy that
+	// shapes the traffic itself lives in Sim.Locality (`locality` /
+	// `cross-cap` sweep parameters).
+	Transit economics.TransitSpec
 
 	// Sim configures KindSim (the Seed field is overwritten per run).
 	Sim sim.Config
@@ -260,6 +268,19 @@ func (s Spec) Validate() error {
 		cfg.Seed = 1
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		if _, err := s.Transit.Build(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		// A typo'd peering pair would silently bill full transit (it can
+		// never match a real ISP); reject ids outside the sim's ISP range.
+		for _, pr := range s.Transit.Peered {
+			for _, id := range pr {
+				if id < 0 || id >= s.Sim.NumISPs {
+					return fmt.Errorf("scenario %s: peered ISP %d outside [0,%d)",
+						s.Name, id, s.Sim.NumISPs)
+				}
+			}
 		}
 	case KindTransport:
 		switch s.Solver {
@@ -322,8 +343,23 @@ type Result struct {
 	Solver   string
 	Seed     uint64
 	Metrics  map[string]float64
-	Series   []*metrics.Series `json:"-"`
-	Elapsed  time.Duration     `json:"-"`
+	// Traffic is the run's ISP×ISP chunk-transfer ledger (KindSim only).
+	Traffic *economics.Matrix `json:",omitempty"`
+	// Settlement prices Traffic under the spec's transit model (KindSim
+	// only): the per-ISP cost table behind the transit_usd metric.
+	Settlement *economics.Settlement `json:",omitempty"`
+	Series     []*metrics.Series     `json:"-"`
+	Elapsed    time.Duration         `json:"-"`
+}
+
+// ParetoPoint reduces the run to its welfare-vs-transit coordinates for
+// cross-policy comparison (economics.Frontier).
+func (r *Result) ParetoPoint(label string) economics.Point {
+	return economics.Point{
+		Label:      label,
+		Welfare:    r.Metrics["welfare_total"],
+		TransitUSD: r.Metrics["transit_usd"],
+	}
 }
 
 // MetricNames returns the metric keys in stable (sorted) order.
@@ -376,11 +412,24 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	model, err := s.Transit.Build()
+	if err != nil {
+		return nil, err
+	}
+	settlement, err := economics.Settle(r.TrafficMatrix, cfg.ChunkBytes(), model)
+	if err != nil {
+		return nil, err
+	}
+	welfareSum := 0.0
+	for _, v := range r.Welfare.Values() {
+		welfareSum += v
+	}
 	res := &Result{
 		Solver: s.SolverName(),
 		Metrics: map[string]float64{
 			"welfare_per_slot": r.Welfare.Summarize().Mean,
 			"welfare_final":    r.Welfare.Last(),
+			"welfare_total":    welfareSum,
 			"inter_isp":        r.MeanInterISPFraction(),
 			"miss_rate":        r.MeanMissRate(),
 			"fairness":         r.MissRateFairness(),
@@ -388,8 +437,15 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 			"payments":         r.TotalPayments,
 			"joined":           float64(r.Joined),
 			"departed":         float64(r.Departed),
+			"cross_isp_chunks": float64(r.TotalInterISP),
+			"cross_isp_gb":     settlement.CrossGB,
+			"transit_usd":      settlement.TransitUSD,
 		},
-		Series: []*metrics.Series{&r.Welfare, &r.InterISP, &r.MissRate, &r.Online},
+		Traffic:    r.TrafficMatrix,
+		Settlement: settlement,
+		Series: []*metrics.Series{
+			&r.Welfare, &r.InterISP, &r.MissRate, &r.Online, &r.CrossISPBytes,
+		},
 	}
 	if s.Sharding.Enabled {
 		res.Metrics["shards_mean"] = r.Shards.Summarize().Mean

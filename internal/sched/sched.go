@@ -142,6 +142,24 @@ type Grant struct {
 	Uploader isp.PeerID
 }
 
+// GrantEndpoints resolves a grant to its transfer endpoints: the uploading
+// peer and the requesting (downloading) peer. It validates the grant against
+// the instance — unknown request, unknown uploader, or a non-candidate edge
+// are errors — so accounting layers (economics.FromGrants) can trust the
+// pair without re-running Validate.
+func (in *Instance) GrantEndpoints(g Grant) (up, down isp.PeerID, err error) {
+	if g.Request < 0 || g.Request >= len(in.Requests) {
+		return 0, 0, fmt.Errorf("sched: grant for unknown request %d", g.Request)
+	}
+	if _, ok := in.UploaderIndex(g.Uploader); !ok {
+		return 0, 0, fmt.Errorf("sched: grant to unknown uploader %d", g.Uploader)
+	}
+	if _, ok := in.Cost(g.Request, g.Uploader); !ok {
+		return 0, 0, fmt.Errorf("sched: grant %d→%d is not a candidate edge", g.Request, g.Uploader)
+	}
+	return g.Uploader, in.Requests[g.Request].Peer, nil
+}
+
 // Result is a strategy's answer for the slot.
 type Result struct {
 	Grants []Grant

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/isp"
+	"repro/internal/tracker"
 	"repro/internal/valuation"
 	"repro/internal/video"
 )
@@ -102,6 +103,11 @@ type Config struct {
 	CostScale float64
 	// NeighborCount caps the tracker's neighbor list (paper: 30).
 	NeighborCount int
+	// Locality selects the tracker's neighbor-selection locality policy
+	// (tracker.PolicyUniform — the paper's position-proximity list — by
+	// default; ISP-biased and cross-ISP-capped variants reproduce the
+	// locality literature's baselines; see internal/tracker/policy.go).
+	Locality tracker.Policy
 	// WindowChunks is the prefetch window (paper: 100 chunks = 10 s).
 	WindowChunks int
 	// UploadMinX/UploadMaxX bound peer upload capacity as a multiple of the
@@ -209,6 +215,9 @@ func (c Config) Validate() error {
 	if c.NeighborCount <= 0 {
 		return fmt.Errorf("sim: NeighborCount must be positive, got %d", c.NeighborCount)
 	}
+	if err := c.Locality.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	if c.WindowChunks <= 0 {
 		return fmt.Errorf("sim: WindowChunks must be positive, got %d", c.WindowChunks)
 	}
@@ -292,4 +301,11 @@ func (c Config) ArrivalRate(slot int) float64 {
 // chunksPerSlot returns how many chunks playback consumes per slot.
 func (c Config) chunksPerSlot(cat *video.Catalog) int {
 	return int(math.Round(cat.ChunksPerSecond() * c.SlotSeconds))
+}
+
+// ChunkBytes returns the size of one chunk transfer in bytes — the unit the
+// traffic-economics layer (internal/economics) converts chunk counts to
+// billable volume with.
+func (c Config) ChunkBytes() float64 {
+	return c.Catalog.ChunkSizeKB * 1024
 }

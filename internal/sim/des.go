@@ -76,12 +76,7 @@ func RunDES(cfg Config, opts DESOptions) (*Results, error) {
 	network.SetJitter(opts.Jitter)
 
 	res := &Results{Strategy: "auction-des"}
-	res.Welfare.Name = "auction-des/welfare"
-	res.InterISP.Name = "auction-des/inter-isp"
-	res.MissRate.Name = "auction-des/miss-rate"
-	res.Online.Name = "auction-des/online"
-	res.Payments.Name = "auction-des/payments"
-	res.Shards.Name = "auction-des/shards"
+	res.nameSeries("auction-des")
 
 	traces := make(map[isp.PeerID]*metrics.Series)
 	nodes := make(map[isp.PeerID]*peer.Node)

@@ -45,6 +45,25 @@ func TestRunDESBasics(t *testing.T) {
 			t.Fatalf("negative welfare %v from the distributed auction", p.V)
 		}
 	}
+	// The DES engine rides the same grant-accounting pipeline as the fast
+	// engine: traffic economics must be recorded identically.
+	if res.TrafficMatrix == nil || res.TrafficMatrix.Total() != res.TotalGrants {
+		t.Fatalf("DES traffic matrix out of step with grants: %v vs %d",
+			res.TrafficMatrix, res.TotalGrants)
+	}
+	if len(res.SlotTraffic) != cfg.Slots {
+		t.Fatalf("DES recorded %d slot ledgers for %d slots", len(res.SlotTraffic), cfg.Slots)
+	}
+	if res.CrossISPBytes.Len() != cfg.Slots {
+		t.Fatalf("DES cross-ISP bytes series has %d points", res.CrossISPBytes.Len())
+	}
+	var crossSum float64
+	for _, p := range res.CrossISPBytes.Points {
+		crossSum += p.V
+	}
+	if want := float64(res.TotalInterISP) * cfg.ChunkBytes(); crossSum != want {
+		t.Fatalf("DES cross-ISP bytes %v != %v", crossSum, want)
+	}
 }
 
 func TestRunDESDeterminism(t *testing.T) {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/economics"
 	"repro/internal/isp"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -29,6 +30,12 @@ type Results struct {
 	// the market (cluster.ShardedAuction; also recorded by the DES engine
 	// under DESOptions.TrackShards). All-zero for monolithic strategies.
 	Shards metrics.Series
+	// CrossISPBytes is the absolute cross-ISP traffic volume per slot in
+	// bytes (inter-ISP chunk transfers × chunk size) — unlike the InterISP
+	// *share*, it is additive, so per-shard or per-slot series recombine
+	// exactly via metrics.SumSeries, and the settlement layer
+	// (internal/economics) prices it directly.
+	CrossISPBytes metrics.Series
 	// PriceTrace samples a representative peer's λ_u over fine-grained
 	// simulated time (Fig. 2; DES engine only, nil otherwise).
 	PriceTrace *metrics.Series
@@ -41,10 +48,15 @@ type Results struct {
 	Joined        int64
 	Departed      int64
 
-	// TrafficMatrix[src][dst] counts chunk transfers from ISP src to ISP dst
-	// over the run (diagonal = intra-ISP): the ledger an ISP operator would
-	// audit.
-	TrafficMatrix [][]int64
+	// TrafficMatrix counts chunk transfers from ISP src to ISP dst over the
+	// run (diagonal = intra-ISP): the ledger an ISP operator audits, and
+	// the input the settlement models (internal/economics) price.
+	TrafficMatrix *economics.Matrix
+	// SlotTraffic holds one traffic matrix per slot. The slot ledgers are
+	// disjoint, so merging them (economics.Matrix.Merge) reproduces
+	// TrafficMatrix exactly — the same recombination contract sharded and
+	// partitioned runs rely on.
+	SlotTraffic []*economics.Matrix
 	// PerISPMissRate is each ISP's watchers' aggregate miss rate — the
 	// fairness view across ISPs (content-poor ISPs suffer first).
 	PerISPMissRate []float64
@@ -93,16 +105,24 @@ func (r *Results) MissRateFairness() float64 {
 func (r *Results) finalizeFrom(w *world) {
 	r.Joined = w.joined
 	r.Departed = w.departed
-	r.TrafficMatrix = make([][]int64, len(w.trafficMatrix))
-	for i, row := range w.trafficMatrix {
-		r.TrafficMatrix[i] = append([]int64(nil), row...)
-	}
+	r.TrafficMatrix = w.traffic.Clone()
 	r.PerISPMissRate = make([]float64, len(w.perISPPlayed))
 	for i := range w.perISPPlayed {
 		if w.perISPPlayed[i] > 0 {
 			r.PerISPMissRate[i] = float64(w.perISPMissed[i]) / float64(w.perISPPlayed[i])
 		}
 	}
+}
+
+// nameSeries names every per-slot series after the strategy.
+func (r *Results) nameSeries(strategy string) {
+	r.Welfare.Name = strategy + "/welfare"
+	r.InterISP.Name = strategy + "/inter-isp"
+	r.MissRate.Name = strategy + "/miss-rate"
+	r.Online.Name = strategy + "/online"
+	r.Payments.Name = strategy + "/payments"
+	r.Shards.Name = strategy + "/shards"
+	r.CrossISPBytes.Name = strategy + "/cross-isp-bytes"
 }
 
 // ISPAware is implemented by schedulers that refine their decisions with
@@ -126,12 +146,7 @@ func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
 		ia.SetISPLookup(w.ispOf)
 	}
 	res := &Results{Strategy: scheduler.Name()}
-	res.Welfare.Name = scheduler.Name() + "/welfare"
-	res.InterISP.Name = scheduler.Name() + "/inter-isp"
-	res.MissRate.Name = scheduler.Name() + "/miss-rate"
-	res.Online.Name = scheduler.Name() + "/online"
-	res.Payments.Name = scheduler.Name() + "/payments"
-	res.Shards.Name = scheduler.Name() + "/shards"
+	res.nameSeries(scheduler.Name())
 
 	for slot := 0; slot < cfg.Slots; slot++ {
 		w.slot = slot
@@ -202,6 +217,13 @@ func recordSlot(w *world, res *Results, out *slotOutcome) error {
 	if err := res.Shards.Add(t, out.shards); err != nil {
 		return err
 	}
+	if err := res.CrossISPBytes.Add(t, float64(out.interISP)*w.cfg.ChunkBytes()); err != nil {
+		return err
+	}
+	// Snapshot and reset the slot's traffic ledger; the snapshots partition
+	// the run ledger exactly (TestSlotTrafficRecombines pins it).
+	res.SlotTraffic = append(res.SlotTraffic, w.slotTraffic.Clone())
+	w.slotTraffic.Reset()
 	res.TotalGrants += int64(out.grants)
 	res.TotalPayments += out.payments
 	res.TotalInterISP += int64(out.interISP)

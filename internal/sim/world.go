@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/economics"
 	"repro/internal/isp"
 	"repro/internal/randx"
 	"repro/internal/sched"
@@ -51,6 +52,9 @@ type world struct {
 
 	rngChurn *randx.Source
 	rngPeer  *randx.Source
+	// rngLocality drives the neighbor policy's bias draws (ISP-biased
+	// selection); uniform and capped policies never consume it.
+	rngLocality *randx.Source
 
 	slot          int
 	chunksPerSlot int
@@ -58,9 +62,13 @@ type world struct {
 
 	joined, departed int64
 
-	// trafficMatrix[src][dst] counts chunk transfers from ISP src to ISP dst
-	// over the whole run (diagonal = intra-ISP).
-	trafficMatrix [][]int64
+	// traffic is the run-level ISP×ISP chunk-transfer ledger (diagonal =
+	// intra-ISP); slotTraffic is the current slot's ledger, snapshotted into
+	// Results.SlotTraffic and reset at each slot boundary. Both are fed one
+	// grant at a time by applyGrants, so the fast and DES engines record
+	// identically.
+	traffic     *economics.Matrix
+	slotTraffic *economics.Matrix
 	// perISPMissed/perISPPlayed accumulate playback accounting by the
 	// watcher's ISP, for fairness analysis.
 	perISPMissed, perISPPlayed []int64
@@ -88,14 +96,17 @@ func newWorld(cfg Config) (*world, error) {
 		peers:         make(map[isp.PeerID]*peerRuntime),
 		rngChurn:      root.Derive(2),
 		rngPeer:       root.Derive(3),
+		rngLocality:   root.Derive(4),
 		chunksPerSlot: cfg.chunksPerSlot(catalog),
 	}
 	if w.chunksPerSlot <= 0 {
 		return nil, fmt.Errorf("sim: slot shorter than one chunk playback")
 	}
-	w.trafficMatrix = make([][]int64, cfg.NumISPs)
-	for i := range w.trafficMatrix {
-		w.trafficMatrix[i] = make([]int64, cfg.NumISPs)
+	if w.traffic, err = economics.NewMatrix(cfg.NumISPs); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if w.slotTraffic, err = economics.NewMatrix(cfg.NumISPs); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	w.perISPMissed = make([]int64, cfg.NumISPs)
 	w.perISPPlayed = make([]int64, cfg.NumISPs)
@@ -256,14 +267,24 @@ func (w *world) online() int {
 }
 
 // refreshNeighbors re-bootstraps every watcher's neighbor list from the
-// tracker (the paper's neighbor manager, run each bidding cycle).
+// tracker (the paper's neighbor manager, run each bidding cycle), shaped by
+// the configured locality policy. The uniform policy takes the classic
+// Neighbors path (and consumes no randomness), keeping ISP-blind runs
+// byte-identical to the pre-locality engine.
 func (w *world) refreshNeighbors() {
+	pol := w.cfg.Locality
 	for _, id := range w.order {
 		p := w.peers[id]
 		if p.seed {
 			continue
 		}
-		neighbors, err := w.track.Neighbors(id, w.cfg.NeighborCount)
+		var neighbors []isp.PeerID
+		var err error
+		if pol.Kind == tracker.PolicyUniform {
+			neighbors, err = w.track.Neighbors(id, w.cfg.NeighborCount)
+		} else {
+			neighbors, err = w.track.NeighborsLocal(id, w.cfg.NeighborCount, pol, w.ispOf, w.rngLocality)
+		}
 		if err != nil {
 			continue // freshly departed; next slot heals
 		}
@@ -452,7 +473,12 @@ func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant,
 			if inter {
 				out.interISP++
 			}
-			w.trafficMatrix[up.ispID][down.ispID]++
+			if err := w.traffic.Add(up.ispID, down.ispID, 1); err != nil {
+				return fmt.Errorf("sim: %w", err)
+			}
+			if err := w.slotTraffic.Add(up.ispID, down.ispID, 1); err != nil {
+				return fmt.Errorf("sim: %w", err)
+			}
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/economics"
 	"repro/internal/sched"
 	"repro/internal/video"
 )
@@ -143,11 +144,11 @@ func TestTrafficMatrixConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.TrafficMatrix) != cfg.NumISPs {
-		t.Fatalf("matrix has %d rows", len(res.TrafficMatrix))
+	if res.TrafficMatrix.NumISPs() != cfg.NumISPs {
+		t.Fatalf("matrix has %d rows", res.TrafficMatrix.NumISPs())
 	}
 	var total, diag int64
-	for i, row := range res.TrafficMatrix {
+	for i, row := range res.TrafficMatrix.Rows() {
 		for j, v := range row {
 			if v < 0 {
 				t.Fatalf("negative traffic [%d][%d]", i, j)
@@ -163,6 +164,41 @@ func TestTrafficMatrixConsistency(t *testing.T) {
 	}
 	if total-diag != res.TotalInterISP {
 		t.Fatalf("off-diagonal %d != inter-ISP count %d", total-diag, res.TotalInterISP)
+	}
+}
+
+// TestSlotTrafficRecombines pins the per-slot ledger contract: one matrix
+// per slot, cross-ISP bytes series matching each slot's off-diagonal mass,
+// and the merged slot ledgers equal to the run ledger exactly — the
+// recombination invariant sharded evaluation relies on.
+func TestSlotTrafficRecombines(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlotTraffic) != cfg.Slots {
+		t.Fatalf("%d slot matrices for %d slots", len(res.SlotTraffic), cfg.Slots)
+	}
+	merged, err := economics.NewMatrix(cfg.NumISPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, m := range res.SlotTraffic {
+		if err := merged.Merge(m); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := float64(m.Inter()) * cfg.ChunkBytes()
+		if got := res.CrossISPBytes.Points[si].V; got != wantBytes {
+			t.Fatalf("slot %d cross-ISP bytes %v != matrix %v", si, got, wantBytes)
+		}
+	}
+	if !merged.Equal(res.TrafficMatrix) {
+		t.Fatalf("merged slot ledgers %v != run ledger %v",
+			merged.Rows(), res.TrafficMatrix.Rows())
+	}
+	if res.TrafficMatrix.Inter() != res.TotalInterISP {
+		t.Fatalf("matrix inter %d != counter %d", res.TrafficMatrix.Inter(), res.TotalInterISP)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/isp"
+	"repro/internal/randx"
 	"repro/internal/video"
 )
 
@@ -80,4 +81,15 @@ func (c *Concurrent) SwarmPeers(v video.ID) []isp.PeerID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.t.SwarmPeers(v)
+}
+
+// NeighborsLocal builds a policy-shaped bootstrap neighbor list (see
+// Tracker.NeighborsLocal). The caller owns rng: concurrent callers must not
+// share one random source, or the draw order — and thus the lists — become
+// schedule-dependent.
+func (c *Concurrent) NeighborsLocal(p isp.PeerID, max int, pol Policy,
+	ispOf func(isp.PeerID) (isp.ID, bool), rng *randx.Source) ([]isp.PeerID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.NeighborsLocal(p, max, pol, ispOf, rng)
 }

@@ -1,0 +1,220 @@
+package tracker
+
+// policy.go: pluggable neighbor-selection locality policies. The paper's
+// tracker bootstraps neighbors purely by playback-position proximity
+// (Neighbors); the locality literature shows the tracker is the cheapest
+// place to cut transit — "Pushing BitTorrent Locality to the Limit"
+// (Le Blond et al.) biases and caps the cross-ISP share of the neighbor
+// list and slashes inter-ISP traffic without touching the transfer
+// protocol. NeighborsLocal reproduces that family:
+//
+//   - PolicyUniform: the paper's position-proximity list, ISP-blind;
+//   - PolicyISPBias: each watcher slot is filled from the same-ISP queue
+//     with probability BiasP, otherwise by global position order;
+//   - PolicyCrossCap: at most MaxCross cross-ISP watchers per list — the
+//     hard locality limit Le Blond et al. push to its extreme.
+//
+// Seed peers are exempt: they are the content anchors every swarm needs
+// first (the Neighbors contract), and starving a peer of its only seeds
+// would confound locality with availability.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isp"
+	"repro/internal/randx"
+	"repro/internal/video"
+)
+
+// PolicyKind selects a neighbor-selection locality policy.
+type PolicyKind int
+
+const (
+	// PolicyUniform is the ISP-blind default: seeds first, then watchers by
+	// playback-position proximity (exactly Tracker.Neighbors).
+	PolicyUniform PolicyKind = iota
+	// PolicyISPBias fills each watcher slot from the same-ISP candidates
+	// with probability BiasP, falling back to global position order.
+	PolicyISPBias
+	// PolicyCrossCap admits at most MaxCross cross-ISP watchers per list.
+	PolicyCrossCap
+)
+
+// Policy is a declarative neighbor-selection locality policy. The zero
+// value is PolicyUniform.
+type Policy struct {
+	Kind PolicyKind
+	// BiasP is the same-ISP fill probability for PolicyISPBias, in [0, 1].
+	BiasP float64
+	// MaxCross is the cross-ISP watcher budget for PolicyCrossCap (>= 0).
+	MaxCross int
+}
+
+// Validate checks the policy's parameters.
+func (p Policy) Validate() error {
+	switch p.Kind {
+	case PolicyUniform:
+		return nil
+	case PolicyISPBias:
+		if p.BiasP < 0 || p.BiasP > 1 {
+			return fmt.Errorf("tracker: bias probability %v outside [0,1]", p.BiasP)
+		}
+		return nil
+	case PolicyCrossCap:
+		if p.MaxCross < 0 {
+			return fmt.Errorf("tracker: cross-ISP cap must be >= 0, got %d", p.MaxCross)
+		}
+		return nil
+	default:
+		return fmt.Errorf("tracker: unknown locality policy %d", p.Kind)
+	}
+}
+
+// String names the policy for reports and logs.
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyUniform:
+		return "uniform"
+	case PolicyISPBias:
+		return fmt.Sprintf("isp-bias(p=%g)", p.BiasP)
+	case PolicyCrossCap:
+		return fmt.Sprintf("cross-cap(%d)", p.MaxCross)
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p.Kind))
+	}
+}
+
+// NeighborsLocal builds the bootstrap neighbor list for peer p under a
+// locality policy: all seeds of p's video first (content anchors, never
+// filtered), then watchers chosen per the policy. ispOf resolves peer→ISP;
+// rng drives PolicyISPBias's coin flips (both may be nil for
+// PolicyUniform). With Policy{} (or BiasP 0 / a huge MaxCross) the list is
+// identical to Neighbors.
+func (t *Tracker) NeighborsLocal(p isp.PeerID, max int, pol Policy,
+	ispOf func(isp.PeerID) (isp.ID, bool), rng *randx.Source) ([]isp.PeerID, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if pol.Kind == PolicyUniform {
+		return t.Neighbors(p, max)
+	}
+	if ispOf == nil {
+		return nil, fmt.Errorf("tracker: locality policy %s needs an ISP lookup", pol)
+	}
+	if pol.Kind == PolicyISPBias && rng == nil {
+		return nil, fmt.Errorf("tracker: policy %s needs a random source", pol)
+	}
+	self, ok := t.entries[p]
+	if !ok {
+		return nil, fmt.Errorf("tracker: unknown peer %d", p)
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	selfISP, ok := ispOf(p)
+	if !ok {
+		return nil, fmt.Errorf("tracker: peer %d has no ISP", p)
+	}
+	seeds, watchers := t.splitSwarm(self)
+	out := make([]isp.PeerID, 0, max)
+	for _, e := range seeds {
+		if len(out) == max {
+			return out, nil
+		}
+		out = append(out, e.Peer)
+	}
+	// Partition the position-sorted watchers into same- and cross-ISP queues
+	// (order preserved): the policy decides which queue fills each slot.
+	var same, cross []*Entry
+	for _, e := range watchers {
+		eISP, ok := ispOf(e.Peer)
+		if !ok {
+			return nil, fmt.Errorf("tracker: watcher %d has no ISP", e.Peer)
+		}
+		if eISP == selfISP {
+			same = append(same, e)
+		} else {
+			cross = append(cross, e)
+		}
+	}
+	si, ci := 0, 0
+	// mergedNextIsSame reports which queue holds the globally next watcher
+	// in position order (the uniform ordering).
+	mergedNextIsSame := func() bool {
+		if si >= len(same) {
+			return false
+		}
+		if ci >= len(cross) {
+			return true
+		}
+		return watcherLess(same[si], cross[ci], self.Position)
+	}
+	crossTaken := 0
+	for len(out) < max && (si < len(same) || ci < len(cross)) {
+		var takeSame bool
+		switch pol.Kind {
+		case PolicyISPBias:
+			switch {
+			case si >= len(same):
+				takeSame = false
+			case ci >= len(cross):
+				takeSame = true
+			case rng.Bool(pol.BiasP):
+				takeSame = true
+			default:
+				takeSame = mergedNextIsSame()
+			}
+		case PolicyCrossCap:
+			if crossTaken >= pol.MaxCross {
+				if si >= len(same) {
+					return out, nil // cross budget spent, only cross left
+				}
+				takeSame = true
+			} else {
+				takeSame = mergedNextIsSame()
+			}
+		}
+		if takeSame {
+			out = append(out, same[si].Peer)
+			si++
+		} else {
+			out = append(out, cross[ci].Peer)
+			ci++
+			crossTaken++
+		}
+	}
+	return out, nil
+}
+
+// splitSwarm returns p's swarm split into seeds (sorted by id) and watchers
+// (sorted by position distance to self, ties by id) — the shared ordering
+// of Neighbors and NeighborsLocal.
+func (t *Tracker) splitSwarm(self *Entry) (seeds, watchers []*Entry) {
+	for _, e := range t.byVideo[self.Video] {
+		if e.Peer == self.Peer {
+			continue
+		}
+		if e.Seed {
+			seeds = append(seeds, e)
+		} else {
+			watchers = append(watchers, e)
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Peer < seeds[j].Peer })
+	sort.Slice(watchers, func(i, j int) bool {
+		return watcherLess(watchers[i], watchers[j], self.Position)
+	})
+	return seeds, watchers
+}
+
+// watcherLess is the watcher ordering: position distance to self, ties by
+// peer id.
+func watcherLess(a, b *Entry, selfPos video.ChunkIndex) bool {
+	da := positionDistance(a.Position, selfPos)
+	db := positionDistance(b.Position, selfPos)
+	if da != db {
+		return da < db
+	}
+	return a.Peer < b.Peer
+}

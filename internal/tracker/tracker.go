@@ -118,26 +118,7 @@ func (t *Tracker) Neighbors(p isp.PeerID, max int) ([]isp.PeerID, error) {
 	if max <= 0 {
 		return nil, nil
 	}
-	var seeds, watchers []*Entry
-	for _, e := range t.byVideo[self.Video] {
-		if e.Peer == p {
-			continue
-		}
-		if e.Seed {
-			seeds = append(seeds, e)
-		} else {
-			watchers = append(watchers, e)
-		}
-	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Peer < seeds[j].Peer })
-	sort.Slice(watchers, func(i, j int) bool {
-		di := positionDistance(watchers[i].Position, self.Position)
-		dj := positionDistance(watchers[j].Position, self.Position)
-		if di != dj {
-			return di < dj
-		}
-		return watchers[i].Peer < watchers[j].Peer
-	})
+	seeds, watchers := t.splitSwarm(self)
 	out := make([]isp.PeerID, 0, max)
 	for _, e := range seeds {
 		if len(out) == max {

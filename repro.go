@@ -18,7 +18,12 @@
 //   - one runnable experiment per figure of the paper (Figs. 2–6) plus
 //     ablations and extensions (robustness, strategic bidding, ISP matrix);
 //   - a declarative scenario registry with named workload presets and a
-//     parallel batch runner (internal/scenario, driven by cmd/p2psim).
+//     parallel batch runner (internal/scenario, driven by cmd/p2psim);
+//   - an inter-ISP traffic-economics layer: every run records the ISP×ISP
+//     traffic matrix, prices it under pluggable transit models
+//     (flat/tiered/peering) into per-ISP settlements, and compares
+//     policies on the welfare-vs-transit Pareto plane (internal/economics,
+//     driven by `p2psim -isp-report`).
 //
 // This facade re-exports the stable entry points; the implementation lives
 // under internal/. Start with RunScenario or RunAuction for simulations, or
@@ -31,6 +36,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
@@ -97,6 +103,24 @@ func RunRandom(cfg Config) (*Results, error) {
 // include the representative peer's λ_u price trace (paper Fig. 2).
 func RunDistributed(cfg Config) (*Results, error) {
 	return sim.RunDES(cfg, sim.DESOptions{TracePeer: -1})
+}
+
+// Inter-ISP traffic economics (see internal/economics for field docs).
+type (
+	// TrafficMatrix is the ISP×ISP chunk-transfer ledger a run records
+	// (Results.TrafficMatrix, Results.SlotTraffic).
+	TrafficMatrix = economics.Matrix
+	// TransitModel prices cross-ISP volume (economics.Flat, economics.Tiered,
+	// economics.Peering).
+	TransitModel = economics.TransitModel
+	// Settlement is a run's per-ISP transit bill.
+	Settlement = economics.Settlement
+)
+
+// SettleTraffic prices a run's traffic matrix under a transit model;
+// chunkBytes is Config.ChunkBytes().
+func SettleTraffic(m *TrafficMatrix, chunkBytes float64, model TransitModel) (*Settlement, error) {
+	return economics.Settle(m, chunkBytes, model)
 }
 
 // Experiment reproduction.
