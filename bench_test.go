@@ -28,7 +28,9 @@ import (
 	"repro/internal/cluster/clustertest"
 	"repro/internal/core"
 	"repro/internal/randx"
+	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // reportPair pulls "auction vs locality" numbers out of an experiment table.
@@ -48,6 +50,7 @@ func reportPair(b *testing.B, rep *repro.Report, col int, metric string) {
 
 func runExperiment(b *testing.B, id string) *repro.Report {
 	b.Helper()
+	b.ReportAllocs()
 	var rep *repro.Report
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -168,6 +171,7 @@ func randomInstance(rng *randx.Source, requests, sinks int) *repro.Problem {
 func benchmarkAuctionSolver(b *testing.B, requests, sinks int) {
 	rng := randx.New(42)
 	p := randomInstance(rng, requests, sinks)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.SolveAuction(p, repro.AuctionOptions{Epsilon: 0.01}); err != nil {
@@ -183,6 +187,7 @@ func BenchmarkSolverAuction5000x500(b *testing.B) { benchmarkAuctionSolver(b, 50
 func BenchmarkSolverExact200x40(b *testing.B) {
 	rng := randx.New(42)
 	p := randomInstance(rng, 200, 40)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.SolveExact(p); err != nil {
@@ -199,6 +204,7 @@ func BenchmarkSimulationSlot(b *testing.B) {
 	cfg.Catalog.Count = 12
 	cfg.Catalog.SizeMB = 8
 	cfg.NeighborCount = 15
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.RunAuction(cfg); err != nil {
@@ -379,6 +385,7 @@ func churnSlots(seed uint64, nReq, nSink, nSlots int, frac float64) []churnSlotD
 
 func benchmarkWarmStartCold(b *testing.B, nReq, nSink int) {
 	slots := churnSlots(42, nReq, nSink, benchChurnSlots, benchChurnFrac)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, sl := range slots {
@@ -405,6 +412,7 @@ func benchmarkWarmStartCold(b *testing.B, nReq, nSink int) {
 
 func benchmarkWarmStartWarm(b *testing.B, nReq, nSink int) {
 	slots := churnSlots(42, nReq, nSink, benchChurnSlots, benchChurnFrac)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		solver, err := repro.NewIncrementalSolver(repro.AuctionOptions{Epsilon: 0.01})
@@ -435,6 +443,7 @@ func BenchmarkWarmStartWarmChurn5000x500(b *testing.B) { benchmarkWarmStartWarm(
 // world stepping, instance building and transfer accounting included — so
 // they bound how much of the slot pipeline the solver actually is.
 func BenchmarkWarmStartSimChurnCold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.RunScenario("churn", 1); err != nil {
 			b.Fatal(err)
@@ -443,6 +452,7 @@ func BenchmarkWarmStartSimChurnCold(b *testing.B) {
 }
 
 func BenchmarkWarmStartSimChurnWarm(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.RunScenario("churn-warm", 1); err != nil {
 			b.Fatal(err)
@@ -481,6 +491,7 @@ func shardBenchTrace(b *testing.B, swarms, reqPer, upPer int) []*sched.Instance 
 
 func benchmarkShardMonolithicCold(b *testing.B, swarms, reqPer, upPer int) {
 	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := &sched.Auction{Epsilon: 0.01}
@@ -494,6 +505,7 @@ func benchmarkShardMonolithicCold(b *testing.B, swarms, reqPer, upPer int) {
 
 func benchmarkShardMonolithicWarm(b *testing.B, swarms, reqPer, upPer int) {
 	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := &sched.WarmAuction{Epsilon: 0.01}
@@ -507,6 +519,7 @@ func benchmarkShardMonolithicWarm(b *testing.B, swarms, reqPer, upPer int) {
 
 func benchmarkShardSharded(b *testing.B, swarms, reqPer, upPer, workers int) {
 	slots := shardBenchTrace(b, swarms, reqPer, upPer)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := &cluster.ShardedAuction{Epsilon: 0.01, Workers: workers}
@@ -536,3 +549,87 @@ func BenchmarkShardShardedLarge1(b *testing.B)        { benchmarkShardSharded(b,
 func BenchmarkShardShardedLarge2(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 2) }
 func BenchmarkShardShardedLarge4(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 4) }
 func BenchmarkShardShardedLarge8(b *testing.B)        { benchmarkShardSharded(b, 96, 200, 40, 8) }
+
+// --- Zero-rebuild pipeline benchmarks ---------------------------------------
+//
+// BenchmarkPipeline{Rebuild,Incremental}* isolate the slot pipeline itself:
+// the same scenario, the same scheduler, run once through the from-scratch
+// reference pipeline (sim.RunRebuild — fresh instances, per-slot maps, no
+// deltas; the code every round paid before this PR) and once through the
+// zero-rebuild pipeline (sim.Run — persistent builder instance, carried
+// candidate lists, delta-fed schedulers, scratch-buffer transfers). The
+// results are deep-equal by construction (the scenario package's
+// equivalence goldens); only B/op and allocs/op and ns/op differ. Results
+// are recorded in BENCH_pipeline.json and discussed in
+// docs/PERFORMANCE.md ("The zero-rebuild pipeline headline").
+
+// pipelineScenarioCfg resolves a registered scenario to a sim config and a
+// scheduler factory, optionally shrunk to peers and stretched to slots
+// (steady-state rounds must dominate setup for the pipeline comparison to
+// mean anything — the mega preset ships with 2 slots).
+func pipelineScenarioCfg(b *testing.B, name string, peers, slots int) (sim.Config, func() sched.Scheduler) {
+	b.Helper()
+	spec, ok := scenario.Get(name)
+	if !ok {
+		b.Fatalf("%s not registered", name)
+	}
+	if peers > 0 {
+		if err := scenario.ApplyParam(&spec, "peers", float64(peers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if slots > 0 {
+		if err := scenario.ApplyParam(&spec, "slots", float64(slots)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := spec.Sim
+	cfg.Seed = 1
+	if spec.Sharding.Enabled {
+		return cfg, func() sched.Scheduler {
+			// Mirror scenario.Spec.scheduler's construction so the benchmark
+			// measures the scheduler the preset actually runs.
+			return &cluster.ShardedAuction{
+				Epsilon:       cfg.Epsilon,
+				Workers:       spec.Sharding.Workers,
+				MaxShardPeers: spec.Sharding.MaxShardPeers,
+				Seed:          cfg.Seed,
+			}
+		}
+	}
+	return cfg, func() sched.Scheduler { return &sched.Auction{Epsilon: cfg.Epsilon} }
+}
+
+func benchmarkPipeline(b *testing.B, name string, peers, slots int, incremental bool) {
+	cfg, mk := pipelineScenarioCfg(b, name, peers, slots)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if incremental {
+			_, err = sim.Run(cfg, mk())
+		} else {
+			_, err = sim.RunRebuild(cfg, mk())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The churn pair runs the registered churn scenario under the cold auction
+// — pure pipeline delta (instance building, transfers) with an unchanged
+// solver. The mega-swarm pair runs the 100k-peer preset shrunken to 5k
+// peers (routine-bench scale; the full preset is the nightly lane) under
+// the sharded orchestrator, whose incremental shard membership and
+// identity deltas only engage on the zero-rebuild side.
+func BenchmarkPipelineRebuildChurn(b *testing.B) { benchmarkPipeline(b, "churn", 0, 0, false) }
+func BenchmarkPipelineIncrementalChurn(b *testing.B) {
+	benchmarkPipeline(b, "churn", 0, 0, true)
+}
+func BenchmarkPipelineRebuildMegaSwarm(b *testing.B) {
+	benchmarkPipeline(b, "mega-swarm", 5000, 10, false)
+}
+func BenchmarkPipelineIncrementalMegaSwarm(b *testing.B) {
+	benchmarkPipeline(b, "mega-swarm", 5000, 10, true)
+}

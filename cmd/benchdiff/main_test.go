@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineRebuildChurn         	      10	  66321173 ns/op	56555144 B/op	  504190 allocs/op
+BenchmarkPipelineIncrementalChurn-8   	      10	  51605668 ns/op	27585546 B/op	  246495 allocs/op
+BenchmarkWarmStartSimChurnCold        	      10	  50352981 ns/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	r, ok := got["BenchmarkPipelineIncrementalChurn"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if r.nsPerOp != 51605668 || !r.hasAlloc || r.allocs != 246495 {
+		t.Fatalf("wrong parse: %+v", r)
+	}
+	if got["BenchmarkWarmStartSimChurnCold"].hasAlloc {
+		t.Fatal("memory columns invented for a line without them")
+	}
+}
+
+func TestCompareAgainstManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(manifest, []byte(`{
+		"name": "test", "date": "2026-01-01",
+		"benchmarks": [
+			{"name": "BenchmarkPipelineRebuildChurn", "ns_per_op": 132642346},
+			{"name": "BenchmarkNotRun", "ns_per_op": 1}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	current := map[string]result{
+		"BenchmarkPipelineRebuildChurn": {nsPerOp: 66321173},
+	}
+	if err := compare(out, manifest, current); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if want := "2.00x"; !contains(s, want) {
+		t.Fatalf("ratio %q missing from report:\n%s", want, s)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -38,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +57,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p2psim:", err)
 		os.Exit(1)
 	}
+}
+
+// profilingActive guards the profile-wrapping re-entry of run (the wrapped
+// call re-parses the same args).
+var profilingActive bool
+
+// withProfiles brackets fn with the pprof collectors: a CPU profile over
+// the whole run when cpuPath is set, and a heap snapshot on completion
+// when memPath is set (after a GC, so the profile shows live memory, not
+// collectible garbage) — `go tool pprof <binary|”> <path>` reads both.
+// See docs/PERFORMANCE.md ("Profiling a run") for the workflow.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "memory profile written to %s\n", memPath)
+	}
+	return nil
 }
 
 func run(args []string) error {
@@ -84,9 +125,15 @@ func run(args []string) error {
 		workers      = fs.Int("workers", 1, "batch worker pool size")
 		sweep        = fs.String("sweep", "", `parameter grid, e.g. "neighbors=5,15,30" or "peers=40,80;epsilon=0.01,0.1"`)
 		jsonPath     = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, live objects) to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*cpuProfile != "" || *memProfile != "") && !profilingActive {
+		profilingActive = true
+		return withProfiles(*cpuProfile, *memProfile, func() error { return run(args) })
 	}
 	if (*list || *scenName != "") && *expID != "" {
 		return fmt.Errorf("-exp cannot be combined with -list/-scenario")

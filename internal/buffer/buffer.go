@@ -89,19 +89,26 @@ func (s *Set) AddRange(from, to video.ChunkIndex) int {
 // MissingIn returns the uncached chunk indices in [from, to) (clamped),
 // in ascending order — the window of interest R_t(d).
 func (s *Set) MissingIn(from, to video.ChunkIndex) []video.ChunkIndex {
+	return s.AppendMissingIn(nil, from, to)
+}
+
+// AppendMissingIn appends the uncached chunk indices in [from, to)
+// (clamped), ascending, to dst and returns the extended slice — the
+// allocation-free variant for callers that scan windows every bidding round
+// and reuse one scratch buffer (internal/sim's instance builder).
+func (s *Set) AppendMissingIn(dst []video.ChunkIndex, from, to video.ChunkIndex) []video.ChunkIndex {
 	if from < 0 {
 		from = 0
 	}
 	if int(to) > s.chunks {
 		to = video.ChunkIndex(s.chunks)
 	}
-	var missing []video.ChunkIndex
 	for i := from; i < to; i++ {
 		if !s.Has(i) {
-			missing = append(missing, i)
+			dst = append(dst, i)
 		}
 	}
-	return missing
+	return dst
 }
 
 // Bitmap serializes the set as a byte bitmap (bit i ⇔ chunk i), the payload
@@ -136,4 +143,10 @@ func FromBitmap(bitmap []byte, chunks int) (*Set, error) {
 // cached, clamped to the end of the video.
 func (s *Set) Window(pos video.ChunkIndex, windowSize int) []video.ChunkIndex {
 	return s.MissingIn(pos+1, pos+1+video.ChunkIndex(windowSize))
+}
+
+// AppendWindow is Window's allocation-free variant: the window is appended
+// to dst and the extended slice returned.
+func (s *Set) AppendWindow(dst []video.ChunkIndex, pos video.ChunkIndex, windowSize int) []video.ChunkIndex {
+	return s.AppendMissingIn(dst, pos+1, pos+1+video.ChunkIndex(windowSize))
 }

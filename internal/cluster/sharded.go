@@ -36,6 +36,11 @@ type Stats struct {
 	// than the slot before (the churn path: a peer's swarm component
 	// changed).
 	Migrations int64
+	// PartitionIncremental / PartitionRebuilds count how many slots carried
+	// shard membership incrementally (producer delta consumed, only dirty
+	// shards re-found) versus re-partitioned the whole graph (first slot,
+	// no delta, refinement active, or an inconsistent delta).
+	PartitionIncremental, PartitionRebuilds int64
 	// CutEdges totals candidate edges dropped by ISP-affinity refinement.
 	CutEdges int64
 	// MaxShardRequests is the largest per-shard request count seen.
@@ -79,6 +84,7 @@ type ShardedAuction struct {
 	SelfCheck bool
 
 	ispOf       func(isp.PeerID) (isp.ID, bool)
+	inc         incrementalPartitioner
 	shards      map[Key]*shardState
 	lastShardOf map[isp.PeerID]Key
 	curShardOf  map[isp.PeerID]Key
@@ -91,6 +97,7 @@ type ShardedAuction struct {
 }
 
 var _ sched.Scheduler = (*ShardedAuction)(nil)
+var _ sched.DeltaScheduler = (*ShardedAuction)(nil)
 
 // Name implements sched.Scheduler.
 func (a *ShardedAuction) Name() string { return "auction-sharded" }
@@ -130,16 +137,47 @@ func (a *ShardedAuction) ttl() int {
 // Schedule implements sched.Scheduler: partition, solve shards on the pool,
 // merge, advance the lifecycle.
 func (a *ShardedAuction) Schedule(in *sched.Instance) (*sched.Result, error) {
+	return a.schedule(in, nil)
+}
+
+// ScheduleDelta implements sched.DeltaScheduler: with a producer-supplied
+// slot-to-slot delta, shard membership is maintained incrementally (only
+// components the churn touched are re-found) and shards whose membership
+// and edges did not move at all hand their solvers an identity delta — the
+// steady-state slot then costs O(churn), not O(graph). A nil delta behaves
+// exactly like Schedule.
+func (a *ShardedAuction) ScheduleDelta(in *sched.Instance, d *sched.InstanceDelta) (*sched.Result, error) {
+	return a.schedule(in, d)
+}
+
+// identityDelta is the shared marker handed to clean shards' solvers.
+var identityDelta = &sched.InstanceDelta{Identity: true}
+
+func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*sched.Result, error) {
 	if a.shards == nil {
 		a.shards = make(map[Key]*shardState)
 		a.lastShardOf = make(map[isp.PeerID]Key)
 		a.curShardOf = make(map[isp.PeerID]Key)
 		a.root = randx.New(a.Seed)
 	}
-	part, err := PartitionInstance(in, a.MaxShardPeers, a.ispOf)
+	var part *Partition
+	var clean []bool
+	var err error
+	if a.MaxShardPeers > 0 && a.ispOf != nil {
+		// ISP-affinity refinement re-slices oversized shards by a global
+		// cost heuristic; membership is not locally maintainable, so this
+		// configuration keeps the full per-slot partition.
+		a.inc.invalidate()
+		a.inc.rebuilds++
+		part, err = PartitionInstance(in, a.MaxShardPeers, a.ispOf)
+	} else {
+		part, clean, err = a.inc.update(in, d)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sharded auction: %w", err)
 	}
+	a.stats.PartitionIncremental = a.inc.incremental
+	a.stats.PartitionRebuilds = a.inc.rebuilds
 
 	states := make([]*shardState, len(part.Shards))
 	for i := range part.Shards {
@@ -177,7 +215,19 @@ func (a *ShardedAuction) Schedule(in *sched.Instance) (*sched.Result, error) {
 			results[i] = solved{err: err}
 			return
 		}
-		res, err := states[i].solver.Schedule(sub)
+		var res *sched.Result
+		if ds, ok := states[i].solver.(sched.DeltaScheduler); ok {
+			// A clean shard saw the identical membership and edges last
+			// slot — its solver diffs values and capacities only; every
+			// other shard re-diffs its sub-instance by key (nil delta).
+			var sd *sched.InstanceDelta
+			if clean != nil && clean[i] {
+				sd = identityDelta
+			}
+			res, err = ds.ScheduleDelta(sub, sd)
+		} else {
+			res, err = states[i].solver.Schedule(sub)
+		}
 		if err != nil {
 			results[i] = solved{err: err}
 			return

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -183,24 +182,78 @@ type acceptedBid struct {
 
 // bidHeap is a min-heap on bid value (ties: higher RequestID closer to the
 // top, so the most recent equal bid is evicted first — deterministic).
+//
+// The heap operations are hand-rolled rather than going through
+// container/heap: Push/Pop sit on the auction's hottest path, and the
+// standard interface boxes every acceptedBid through an `any` (one
+// allocation per accepted bid). The sift implementations mirror
+// container/heap's up/down exactly, so the array layout — and with it every
+// downstream iteration order — is bit-identical to the boxed version.
 type bidHeap []acceptedBid
 
 func (h bidHeap) Len() int { return len(h) }
-func (h bidHeap) Less(i, j int) bool {
+func (h bidHeap) less(i, j int) bool {
 	if h[i].bid != h[j].bid {
 		return h[i].bid < h[j].bid
 	}
 	return h[i].req > h[j].req
 }
-func (h bidHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *bidHeap) Push(x any)   { *h = append(*h, x.(acceptedBid)) }
-func (h *bidHeap) Pop() any {
+
+func (h bidHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h bidHeap) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return i > i0
+}
+
+// push inserts one accepted bid (heap.Push without the interface boxing).
+func (h *bidHeap) push(ab acceptedBid) {
+	*h = append(*h, ab)
+	h.up(len(*h) - 1)
+}
+
+// popMin removes and returns the lowest accepted bid (heap.Pop unboxed).
+func (h *bidHeap) popMin() acceptedBid {
 	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	v := old[n]
+	*h = old[:n]
 	return v
 }
+
+// fix re-establishes the heap order after element i changed (heap.Fix).
+func (h bidHeap) fix(i int) {
+	if !h.down(i, len(h)) {
+		h.up(i)
+	}
+}
+
 func (h bidHeap) peekMin() acceptedBid { return h[0] }
 
 // auctioneer is the per-sink state of Alg. 1's "Bandwidth Allocation at
@@ -222,13 +275,9 @@ func (u *auctioneer) offer(r RequestID, b float64) (accepted bool, evicted Reque
 		return false, evicted
 	}
 	if u.full() {
-		lowest, ok := heap.Pop(&u.accepted).(acceptedBid)
-		if !ok {
-			panic("core: bid heap corrupted")
-		}
-		evicted = lowest.req
+		evicted = u.accepted.popMin().req
 	}
-	heap.Push(&u.accepted, acceptedBid{req: r, bid: b})
+	u.accepted.push(acceptedBid{req: r, bid: b})
 	if u.full() {
 		u.price = u.accepted.peekMin().bid
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -94,14 +93,42 @@ type Solver struct {
 	waveCap     []int32
 	waveFill    []int32
 	waveSinks   []SinkID
-	allSinks    []SinkID
 	workScratch []SinkID
+	// edgePool recycles removed requests' edge arrays for later additions
+	// (bounded; see maxEdgePool).
+	edgePool [][]Edge
+	// Sweep hints: prices move down only in grabOffers and the reserve
+	// clamp, and a uniform value shift can sink an assigned request under
+	// the 0-floor only when negative — those are the only two events that
+	// can break ε-CS conditions 2/3 for a request nobody re-bid (see
+	// sweepEpsilonCS). dropped/inDropped track price-dropped sinks,
+	// recheck the flagged shifts; fullSweep forces the O(E) whole-graph
+	// sweep (initial state, SetEpsilon, cold restarts, Compact).
+	dropped   []SinkID
+	inDropped []bool
+	recheck   []RequestID
+	fullSweep bool
+	// surrendered marks that this Solve already gave up the thrashing
+	// sinks' reserves (the first escalation stage; see Solve).
+	surrendered bool
+	// appliedBuf / resultBuf / assignBuf / priceBuf back the shared-buffer
+	// variants (ApplyUnchecked, SolveShared): per-round callers reuse the
+	// same arrays instead of re-materializing churn- and problem-sized
+	// copies every solve.
+	appliedBuf AppliedDelta
+	resultBuf  AuctionResult
+	assignBuf  Assignment
+	priceBuf   []float64
 	// maxW is the cached monotone ceiling on live edge weights (see
 	// weightCeiling).
 	maxW float64
 
 	aliveReqs, aliveSinks int
 }
+
+// maxEdgePool bounds how many dead edge arrays the solver hoards for
+// reuse (beyond it, the garbage collector takes them).
+const maxEdgePool = 8192
 
 // NewSolver returns an empty incremental solver. Only Gauss–Seidel bidding
 // is supported (warm bidding is inherently sequential); opts.Mode may be
@@ -117,7 +144,7 @@ func NewSolver(opts AuctionOptions) (*Solver, error) {
 	if opts.Epsilon < 0 || math.IsNaN(opts.Epsilon) || math.IsInf(opts.Epsilon, 0) {
 		return nil, fmt.Errorf("core: invalid epsilon %v", opts.Epsilon)
 	}
-	return &Solver{opts: opts}, nil
+	return &Solver{opts: opts, fullSweep: true}, nil
 }
 
 // Epsilon returns the current bid increment.
@@ -133,6 +160,9 @@ func (s *Solver) SetEpsilon(eps float64) error {
 		return fmt.Errorf("core: invalid epsilon %v", eps)
 	}
 	s.opts.Epsilon = eps
+	// The n·ε bound must be re-established at the new ε over everything
+	// carried, not just what moved since the last Solve.
+	s.fullSweep = true
 	return nil
 }
 
@@ -156,13 +186,36 @@ func (s *Solver) Apply(d ProblemDelta) (*AppliedDelta, error) {
 	if err := s.validate(&d); err != nil {
 		return nil, err
 	}
-	out := &AppliedDelta{}
+	return s.applyOps(&d, &AppliedDelta{}), nil
+}
+
+// ApplyUnchecked applies a delta without the validation pass — for
+// producers that derive deltas programmatically from state the solver
+// already vouched for (sched.WarmAuction's diff paths), where re-checking
+// every operation is pure overhead on the hot slot loop. A malformed delta
+// corrupts the solver; when in doubt, use Apply. The returned AppliedDelta
+// aliases a solver-owned buffer, valid until the next Apply of either
+// flavor.
+func (s *Solver) ApplyUnchecked(d ProblemDelta) *AppliedDelta {
+	s.appliedBuf.Sinks = s.appliedBuf.Sinks[:0]
+	s.appliedBuf.Requests = s.appliedBuf.Requests[:0]
+	return s.applyOps(&d, &s.appliedBuf)
+}
+
+// applyOps applies a validated (or trusted) delta into out.
+func (s *Solver) applyOps(d *ProblemDelta, out *AppliedDelta) *AppliedDelta {
 	for _, r := range d.RemoveRequests {
 		s.unassign(r)
 		if s.inQueue[r] {
 			s.inQueue[r] = false // lazily skipped when popped
 		}
 		s.numEdges -= len(s.adj[r])
+		if cap(s.adj[r]) > 0 && len(s.edgePool) < maxEdgePool {
+			// Recycle the dead request's edge storage: request ids are
+			// never reused, but their arrays are — churn workloads add a
+			// request for every one they remove.
+			s.edgePool = append(s.edgePool, s.adj[r][:0])
+		}
 		s.adj[r] = nil
 		s.reqAlive[r] = false
 		s.aliveReqs--
@@ -187,6 +240,17 @@ func (s *Solver) Apply(d ProblemDelta) (*AppliedDelta, error) {
 		}
 		if s.assignment[v.Request] != Unassigned {
 			s.wOf[v.Request] += v.Delta
+			if v.Delta < 0 {
+				// A lowered value can sink the request under the 0-floor
+				// (CS2's stay-unassigned option); flag it for the sweep.
+				s.recheck = append(s.recheck, v.Request)
+			}
+		} else if v.Delta > 0 {
+			// A raised value can break CS3 for an unassigned request (its
+			// best option may now clear ε). Re-bidding it eagerly costs the
+			// same computeBid the closing sweep would spend discovering it,
+			// and lets steady value-drift slots finish in one sweep pass.
+			s.enqueue(v.Request)
 		}
 	}
 	for _, t := range d.RemoveSinks {
@@ -215,7 +279,11 @@ func (s *Solver) Apply(d ProblemDelta) (*AppliedDelta, error) {
 		out.Sinks = append(out.Sinks, SinkID(len(s.caps)-1))
 	}
 	for _, edges := range d.AddRequests {
-		s.adj = append(s.adj, append([]Edge(nil), edges...)) // solver owns its copy
+		var dst []Edge
+		if n := len(s.edgePool); n > 0 {
+			dst, s.edgePool = s.edgePool[n-1], s.edgePool[:n-1]
+		}
+		s.adj = append(s.adj, append(dst, edges...)) // solver owns its copy
 		s.numEdges += len(edges)
 		s.reqAlive = append(s.reqAlive, true)
 		s.assignment = append(s.assignment, Unassigned)
@@ -229,7 +297,7 @@ func (s *Solver) Apply(d ProblemDelta) (*AppliedDelta, error) {
 		s.enqueue(r)
 		out.Requests = append(out.Requests, r)
 	}
-	return out, nil
+	return out
 }
 
 // adjustSinkSlices grows the per-sink state by n slots.
@@ -239,6 +307,7 @@ func (s *Solver) adjustSinkSlices(n int) {
 		s.accepted = append(s.accepted, nil)
 		s.radj = append(s.radj, nil)
 		s.inWork = append(s.inWork, false)
+		s.inDropped = append(s.inDropped, false)
 		s.dupStamp = append(s.dupStamp, 0)
 	}
 }
@@ -279,12 +348,17 @@ func (s *Solver) rebuildRadj() {
 // current load evicts the lowest accepted bids back into the queue; if the
 // set is still full afterwards the price rises to the new lowest accepted
 // bid (a price rise is always ε-CS-safe — it only worsens the evictees'
-// alternatives).
+// alternatives). A 0→positive transition re-opens the sink as an option
+// for every adjacent request (the sim's per-round capacity metering does
+// this constantly), which the sweep must re-check.
 func (s *Solver) setCapacity(t SinkID, capacity int) {
+	if s.caps[t] == 0 && capacity > 0 {
+		s.noteDrop(t)
+	}
 	s.caps[t] = capacity
 	h := &s.accepted[t]
 	for h.Len() > capacity {
-		lowest, _ := heap.Pop(h).(acceptedBid)
+		lowest := h.popMin()
 		s.assignment[lowest.req] = Unassigned
 		s.bidOf[lowest.req] = 0
 		s.wOf[lowest.req] = 0
@@ -293,6 +367,8 @@ func (s *Solver) setCapacity(t SinkID, capacity int) {
 	if capacity > 0 && h.Len() == capacity {
 		s.lambda[t] = (*h)[0].bid
 	}
+	// Growth can expose unsold units at a positive price (CS1-dirty).
+	s.pushWork(t)
 }
 
 // validate checks every operation of d against the current state without
@@ -446,7 +522,7 @@ func (s *Solver) unassign(r RequestID) {
 			(*h)[i] = (*h)[last]
 			*h = (*h)[:last]
 			if i < last {
-				heap.Fix(h, i) // O(log n), vs a full O(n) re-Init
+				h.fix(i) // O(log n), vs a full O(n) re-Init
 			}
 			break
 		}
@@ -454,6 +530,9 @@ func (s *Solver) unassign(r RequestID) {
 	s.assignment[r] = Unassigned
 	s.bidOf[r] = 0
 	s.wOf[r] = 0
+	// The freed unit may leave t CS1-dirty (λ > 0, unsold); queue its
+	// vacancy event so no repair depends on a later whole-graph scan.
+	s.pushWork(t)
 }
 
 // pushWork queues a vacancy event for sink t once.
@@ -462,6 +541,30 @@ func (s *Solver) pushWork(t SinkID) {
 		s.work = append(s.work, t)
 		s.inWork[t] = true
 	}
+}
+
+// noteDrop records that sink t became more attractive as an option: its
+// price fell (grabOffers, the reserve clamp), or it re-entered the option
+// set entirely (a capacity 0→positive transition — zero-capacity sinks are
+// excluded from bidding and certificates). These are the only events that
+// can make a previously certified request prefer to move; the next sweep
+// re-checks the sink's adjacent requests.
+func (s *Solver) noteDrop(t SinkID) {
+	if !s.inDropped[t] {
+		s.dropped = append(s.dropped, t)
+		s.inDropped[t] = true
+	}
+}
+
+// clearSweepHints resets the incremental-sweep bookkeeping after a sweep
+// certified the full state clean.
+func (s *Solver) clearSweepHints() {
+	for _, t := range s.dropped {
+		s.inDropped[t] = false
+	}
+	s.dropped = s.dropped[:0]
+	s.recheck = s.recheck[:0]
+	s.fullSweep = false
 }
 
 // noteWeight folds one live edge weight into the cached weight ceiling.
@@ -516,13 +619,9 @@ func (s *Solver) offer(t SinkID, r RequestID, bid float64) (accepted bool, evict
 	}
 	h := &s.accepted[t]
 	if h.Len() >= s.caps[t] {
-		lowest, ok := heap.Pop(h).(acceptedBid)
-		if !ok {
-			panic("core: bid heap corrupted")
-		}
-		evicted = lowest.req
+		evicted = h.popMin().req
 	}
-	heap.Push(h, acceptedBid{req: r, bid: bid})
+	h.push(acceptedBid{req: r, bid: bid})
 	if h.Len() >= s.caps[t] {
 		s.lambda[t] = (*h)[0].bid
 	}
@@ -746,6 +845,7 @@ func (s *Solver) grabOffers(t SinkID, unsold int, cand []reverseOffer) {
 	}
 	if price < s.lambda[t] {
 		s.lambda[t] = price
+		s.noteDrop(t)
 	}
 	for i := 0; i < take; i++ {
 		r := cand[i].req
@@ -756,7 +856,12 @@ func (s *Solver) grabOffers(t SinkID, unsold int, cand []reverseOffer) {
 		s.assignment[r] = t
 		s.bidOf[r] = s.lambda[t]
 		s.wOf[r] = cand[i].weight
-		heap.Push(&s.accepted[t], acceptedBid{req: r, bid: s.lambda[t]})
+		s.accepted[t].push(acceptedBid{req: r, bid: s.lambda[t]})
+		// A grab guarantees strict improvement, not CS2 — the grabbed
+		// request's best option elsewhere may still beat this sink by more
+		// than ε; flag it for the closing sweep (the whole-graph sweep
+		// used to catch this implicitly).
+		s.recheck = append(s.recheck, r)
 	}
 }
 
@@ -794,15 +899,20 @@ func (s *Solver) storedProfit(r RequestID) float64 {
 	return s.wOf[r] - s.bidOf[r]
 }
 
-// sweepEpsilonCS is the closing sweep of a Solve: one O(E) pass checking the
-// full ε-CS certificate over the live subproblem. CS1 violations (unsold
-// reserves) queue vacancy events; CS2/CS3 violations (a request that would
-// gain more than ε by moving — possible when its own sink's price rose
-// after a repair invitation was declined) are unassigned back into the
-// queue. Returns true when the state is certificate-clean; otherwise the
-// caller re-runs the auction. Every mover strictly improves by more than ε,
-// so repeated sweeps converge (a bounded pass count cold-restarts as the
-// last resort).
+// sweepEpsilonCS is the closing sweep of a Solve: it re-establishes the
+// full ε-CS certificate. CS1 (unsold reserves) is always checked by a
+// cheap O(sinks) scan — the belt that catches any vacancy the event
+// bookkeeping missed. CS2/CS3 are checked over the whole graph only when
+// something invalidated everything (fullSweep: initial state, SetEpsilon,
+// a cold restart, Compact); otherwise only where they can possibly have
+// broken — requests adjacent to a sink whose price *fell* (grabOffers and
+// the reserve clamp, the only downward price moves; upward moves keep the
+// classic auction monotonicity argument intact) and requests whose value
+// fell while assigned (the 0-floor flag set by Apply). Violations are
+// unassigned back into the queue; returns true when certificate-clean,
+// otherwise the caller re-runs the auction. Every mover strictly improves
+// by more than ε, so repeated sweeps converge (a bounded pass count
+// cold-restarts as the last resort).
 func (s *Solver) sweepEpsilonCS() (clean bool) {
 	clean = true
 	for t := range s.caps {
@@ -811,42 +921,95 @@ func (s *Solver) sweepEpsilonCS() (clean bool) {
 			clean = false
 		}
 	}
-	for r := range s.adj {
-		if !s.reqAlive[r] || s.inQueue[r] {
-			continue
+	if s.fullSweep {
+		for r := range s.adj {
+			if !s.checkRequestCS(RequestID(r)) {
+				clean = false
+			}
 		}
-		own := s.assignment[r]
-		cur := s.utility(RequestID(r))
-		// The stay-unassigned option is part of CS2: a carried assignment
-		// more than ε under water (possible after SetEpsilon tightened the
-		// slack it was accepted with) must let go.
-		if own != Unassigned && cur < -s.opts.Epsilon-1e-9 {
-			s.unassign(RequestID(r))
-			s.pushWork(own)
-			s.enqueue(RequestID(r))
+		return clean
+	}
+	for _, rr := range s.recheck {
+		if !s.checkRequestCS(rr) {
 			clean = false
+		}
+	}
+	s.reqRound++ // dedup marker across the dropped sinks' adjacency lists
+	for _, t := range s.dropped {
+		if !s.sinkAlive[t] {
 			continue
 		}
-		for _, e := range s.adj[r] {
-			if e.Sink == own || !s.sinkAlive[e.Sink] || s.caps[e.Sink] == 0 {
+		for _, r := range s.radj[t] {
+			if !s.reqAlive[r] || s.reqStamp[r] == s.reqRound {
 				continue
 			}
-			// The slack mirrors VerifyEpsilonCS's float tolerance: the
-			// forward bid rule leaves losers *exactly* ε behind in exact
-			// arithmetic, so an exact comparison would re-enqueue on one ulp
-			// of rounding noise and sweep forever.
-			if e.Weight-s.lambda[e.Sink] > cur+s.opts.Epsilon+1e-9 {
-				if own != Unassigned {
-					s.unassign(RequestID(r))
-					s.pushWork(own)
-				}
-				s.enqueue(RequestID(r))
+			s.reqStamp[r] = s.reqRound
+			if !s.checkRequestCS(r) {
 				clean = false
-				break
 			}
 		}
 	}
 	return clean
+}
+
+// checkRequestCS re-checks one request's CS2/CS3 against current prices,
+// unassigning and re-enqueueing it on violation. Reports whether the
+// request was clean. Dead or already-queued requests are trivially clean
+// (the queue drain re-certifies them).
+func (s *Solver) checkRequestCS(r RequestID) (clean bool) {
+	if !s.reqAlive[r] || s.inQueue[r] {
+		return true
+	}
+	own := s.assignment[r]
+	cur := s.utility(r)
+	// The stay-unassigned option is part of CS2: a carried assignment
+	// more than ε under water (possible after SetEpsilon tightened the
+	// slack it was accepted with, or after a negative value shift) must
+	// let go.
+	if own != Unassigned && cur < -s.opts.Epsilon-1e-9 {
+		s.unassign(r)
+		s.enqueue(r)
+		return false
+	}
+	for _, e := range s.adj[r] {
+		if e.Sink == own || !s.sinkAlive[e.Sink] || s.caps[e.Sink] == 0 {
+			continue
+		}
+		// The slack mirrors VerifyEpsilonCS's float tolerance: the
+		// forward bid rule leaves losers *exactly* ε behind in exact
+		// arithmetic, so an exact comparison would re-enqueue on one ulp
+		// of rounding noise and sweep forever.
+		if e.Weight-s.lambda[e.Sink] > cur+s.opts.Epsilon+1e-9 {
+			if own != Unassigned {
+				s.unassign(r)
+			}
+			s.enqueue(r)
+			return false
+		}
+	}
+	return true
+}
+
+// surrenderReserves zeroes the price of every CS1-dirty sink — the first
+// escalation stage of a sweep loop that will not settle. A vacant sink at
+// price zero is trivially CS1-clean and its price can only rise again
+// through forward bids, which restores the cold auction's monotone
+// termination argument locally; everything else keeps its warm state. The
+// zeroed sinks become strictly more attractive, so their neighborhoods are
+// flagged for the next sweep.
+func (s *Solver) surrenderReserves() {
+	s.surrendered = true
+	for t := range s.caps {
+		if s.dirty(SinkID(t)) {
+			s.lambda[t] = 0
+			s.noteDrop(SinkID(t))
+		}
+	}
+	// The knot's vacancy events are moot at price zero.
+	for _, t := range s.work {
+		s.inWork[t] = false
+	}
+	s.work = s.work[:0]
 }
 
 // coldReset drops all carried state: prices to 0, assignment sets emptied,
@@ -870,6 +1033,7 @@ func (s *Solver) coldReset() {
 			s.enqueue(RequestID(r))
 		}
 	}
+	s.fullSweep = true
 }
 
 // Solve re-optimizes after the deltas applied since the previous Solve and
@@ -878,17 +1042,32 @@ func (s *Solver) coldReset() {
 // NumRequests·ε of optimal for ε > 0; Stalled semantics at ε = 0). The
 // first Solve is a cold solve.
 func (s *Solver) Solve() (*AuctionResult, error) {
+	res := &AuctionResult{}
+	maxW, err := s.solveCore(res)
+	if err != nil {
+		return nil, err
+	}
+	res.Assignment = &Assignment{SinkOf: append([]SinkID(nil), s.assignment...)}
+	res.Prices = s.certifiedPrices(make([]float64, len(s.caps)), maxW)
+	return res, nil
+}
+
+// solveCore runs the warm re-optimization (drain, repair chains, closing
+// sweep with staged escalation), leaving the solver certificate-clean and
+// the diagnostics in res; the caller materializes the assignment/prices.
+func (s *Solver) solveCore(res *AuctionResult) (maxW float64, err error) {
 	maxIterations := s.opts.MaxIterations
 	if maxIterations == 0 {
 		maxIterations = 1_000_000 + 100*s.aliveReqs
 	}
-	maxW := s.weightCeiling()
+	maxW = s.weightCeiling()
 	// ε-rescaling guard: a reserve above every live weight can never sell —
 	// it would only queue a pointless vacancy event — so stale reserves are
 	// clamped to the current weight ceiling up front.
 	for t := range s.caps {
 		if s.sinkAlive[t] && s.lambda[t] > maxW {
 			s.lambda[t] = maxW
+			s.noteDrop(SinkID(t))
 		}
 	}
 
@@ -902,54 +1081,88 @@ func (s *Solver) Solve() (*AuctionResult, error) {
 	if s.radjSize > 2*s.numEdges+64 {
 		s.rebuildRadj()
 	}
-	res := &AuctionResult{}
 	if err := s.runOrRestart(res, maxIterations); err != nil {
-		return nil, err
+		return 0, err
 	}
-	if !res.Stalled {
-		s.allSinks = s.allSinks[:0]
-		for t := range s.caps {
-			s.allSinks = append(s.allSinks, SinkID(t))
-		}
-		s.batchRepair(s.allSinks, res)
-		if err := s.runOrRestart(res, maxIterations); err != nil {
-			return nil, err
-		}
-	}
-	// Sweep passes are cheap (O(E) plus the re-bids they trigger) compared
-	// to the cold restart they guard, so the budget is generous: profile
-	// data shows 1–3 passes typical, with occasional 5–7 pass tails when a
-	// wave cuts many prices at once.
+	// Vacancy events are queued at every site that can leave a sink
+	// CS1-dirty (unassign, capacity changes), so the drain above already
+	// walked every repair chain — no whole-sink pass needed before the
+	// closing sweep. Sweep passes are cheap (incremental over price drops,
+	// or O(E) when everything was invalidated) compared to the escalations
+	// they guard, so the budget is generous: profile data shows 1–3 passes
+	// typical. A handful of requests and vacant sinks can ping-pong
+	// between repair price cuts and forward re-bids far longer than that
+	// (measured on the churn scenarios: a 2-request knot burning the whole
+	// budget); escalation is staged — first surrender just the knot's
+	// reserves (zero the still-dirty sinks' prices: the market has
+	// rejected them a budget's worth of times, and from zero the local
+	// prices are rise-only again, which is the cold auction's termination
+	// argument), and only if a fresh budget still cannot stabilize fall
+	// back to the full cold restart.
+	lastEscalation := 0
 	for pass := 0; !res.Stalled; pass++ {
 		if s.sweepEpsilonCS() {
+			s.clearSweepHints()
 			break
 		}
-		if pass >= 10 {
-			if res.Restarted {
-				return nil, fmt.Errorf("core: incremental auction cannot restore ε-CS (ε=%v)", s.opts.Epsilon)
+		if pass-lastEscalation >= 10 {
+			lastEscalation = pass
+			switch {
+			case !s.surrendered:
+				s.surrenderReserves()
+			case !res.Restarted:
+				res.Restarted = true
+				s.coldReset()
+			default:
+				return 0, fmt.Errorf("core: incremental auction cannot restore ε-CS (ε=%v)", s.opts.Epsilon)
 			}
-			res.Restarted = true
-			s.coldReset()
 		}
 		if err := s.runAuction(res, res.Iterations+maxIterations); err != nil {
-			return nil, err
+			return 0, err
 		}
 	}
+	s.surrendered = false
+	return maxW, nil
+}
 
-	res.Assignment = &Assignment{SinkOf: append([]SinkID(nil), s.assignment...)}
-	res.Prices = make([]float64, len(s.caps))
+// certifiedPrices fills dst (len == len(s.caps)) with the complete dual
+// certificate: live sinks' λ, with zero-capacity sinks priced out at the
+// weight ceiling exactly as SolveAuction emits them.
+func (s *Solver) certifiedPrices(dst []float64, maxW float64) []float64 {
 	for t := range s.caps {
 		switch {
 		case !s.sinkAlive[t]:
-			res.Prices[t] = 0
+			dst[t] = 0
 		case s.caps[t] == 0:
 			// Same complete-certificate convention as SolveAuction: an
 			// unsellable sink prices itself out of every edge for free.
-			res.Prices[t] = maxW
+			dst[t] = maxW
 		default:
-			res.Prices[t] = s.lambda[t]
+			dst[t] = s.lambda[t]
 		}
 	}
+	return dst
+}
+
+// SolveShared is Solve with solver-owned result storage: the returned
+// AuctionResult (and its Assignment and Prices) alias reused buffers that
+// are valid only until the next Apply or Solve of either flavor — the
+// allocation-free variant for callers that consume the result before
+// touching the solver again (sched.WarmAuction's per-round loop).
+func (s *Solver) SolveShared() (*AuctionResult, error) {
+	res := &s.resultBuf
+	*res = AuctionResult{}
+	maxW, err := s.solveCore(res)
+	if err != nil {
+		return nil, err
+	}
+	s.assignBuf.SinkOf = append(s.assignBuf.SinkOf[:0], s.assignment...)
+	res.Assignment = &s.assignBuf
+	if cap(s.priceBuf) < len(s.caps) {
+		s.priceBuf = make([]float64, len(s.caps))
+	}
+	s.priceBuf = s.priceBuf[:len(s.caps)]
+	res.Prices = s.certifiedPrices(s.priceBuf, maxW)
 	return res, nil
 }
 
@@ -1120,5 +1333,10 @@ func (s *Solver) Compact() (requests map[RequestID]RequestID, sinks map[SinkID]S
 	s.reqStamp = make([]uint64, len(adj))
 	s.reqRound = 0
 	s.waveStart, s.waveCap, s.waveFill = nil, nil, nil
+	s.edgePool = nil
+	s.dropped = s.dropped[:0]
+	s.inDropped = make([]bool, len(caps))
+	s.recheck = s.recheck[:0]
+	s.fullSweep = true
 	return requests, sinks
 }

@@ -28,7 +28,9 @@ func (r *recordingScheduler) Schedule(in *sched.Instance) (*sched.Result, error)
 	if err != nil {
 		return nil, err
 	}
-	r.instances = append(r.instances, in)
+	// Clone: the simulator's builder recycles instance storage two rounds
+	// later, and this recorder keeps them for the whole run.
+	r.instances = append(r.instances, in.Clone())
 	r.welfare = append(r.welfare, w)
 	return res, nil
 }

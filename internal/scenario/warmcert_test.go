@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// certScheduler wraps a WarmAuction and machine-checks the carried
+// ε-CS certificate after every single solve.
+type certScheduler struct {
+	inner  *sched.WarmAuction
+	t      *testing.T
+	solves int
+}
+
+func (c *certScheduler) Name() string { return c.inner.Name() }
+func (c *certScheduler) Schedule(in *sched.Instance) (*sched.Result, error) {
+	res, err := c.inner.Schedule(in)
+	if err == nil {
+		if verr := c.inner.VerifyState(1e-9); verr != nil {
+			c.t.Fatalf("solve %d: %v", c.solves, verr)
+		}
+	}
+	c.solves++
+	return res, err
+}
+
+func (c *certScheduler) ScheduleDelta(in *sched.Instance, d *sched.InstanceDelta) (*sched.Result, error) {
+	res, err := c.inner.ScheduleDelta(in, d)
+	if err == nil {
+		if verr := c.inner.VerifyState(1e-9); verr != nil {
+			c.t.Fatalf("solve %d (delta path): %v", c.solves, verr)
+		}
+	}
+	c.solves++
+	return res, err
+}
+
+// TestWarmSimCertificatesPerSolve replays full sim scenarios through the
+// warm auction with the solver's certificate checker run after every solve
+// — the end-to-end belt for the incremental ε-CS sweep: real windows,
+// per-round capacity metering (including the capacity-0 reopen case),
+// value drift, arrivals and departures. Both the delta path (sim.Run) and
+// the key-matching fallback (sim.RunRebuild) are covered.
+func TestWarmSimCertificatesPerSolve(t *testing.T) {
+	for _, name := range []string{"diurnal", "churn", "flash-crowd"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			cfg := spec.Sim
+			cfg.Seed = 42
+			chk := &certScheduler{inner: &sched.WarmAuction{Epsilon: cfg.Epsilon}, t: t}
+			if _, err := sim.Run(cfg, chk); err != nil {
+				t.Fatal(err)
+			}
+			if chk.solves == 0 {
+				t.Fatal("no solves happened")
+			}
+			ref := &certScheduler{inner: &sched.WarmAuction{Epsilon: cfg.Epsilon}, t: t}
+			if _, err := sim.RunRebuild(cfg, ref); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

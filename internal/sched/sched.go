@@ -42,11 +42,25 @@ type Uploader struct {
 }
 
 // Instance is one slot's complete scheduling problem.
+//
+// Instances come from two producers: NewInstance copies nothing and indexes
+// the uploaders in a per-instance map (the general path: tests, Subset,
+// hand-built problems), while Builder maintains one persistent instance
+// across rounds, reusing every backing array and keeping a stable
+// peer→slot index so steady-state rounds allocate nothing (see builder.go).
+// A builder-produced instance is valid until the builder's next Build.
 type Instance struct {
 	Requests  []Request
 	Uploaders []Uploader
 
+	// uploaderIdx is NewInstance's per-instance index.
 	uploaderIdx map[isp.PeerID]int
+	// slotOf/slotRow are the Builder's two-level index: a persistent
+	// peer→slot map (touched only by uploader churn) plus a per-round
+	// slot→row array, so rebuilding the index each round is a linear int32
+	// pass instead of len(Uploaders) map inserts.
+	slotOf  map[isp.PeerID]int32
+	slotRow []int32
 }
 
 // NewInstance builds an instance and indexes the uploaders. Duplicate
@@ -74,8 +88,16 @@ func NewInstance(requests []Request, uploaders []Uploader) (*Instance, error) {
 
 // UploaderIndex returns the dense index of uploader p.
 func (in *Instance) UploaderIndex(p isp.PeerID) (int, bool) {
-	i, ok := in.uploaderIdx[p]
-	return i, ok
+	if in.uploaderIdx != nil {
+		i, ok := in.uploaderIdx[p]
+		return i, ok
+	}
+	if s, ok := in.slotOf[p]; ok && int(s) < len(in.slotRow) {
+		if r := in.slotRow[s]; r >= 0 {
+			return int(r), true
+		}
+	}
+	return 0, false
 }
 
 // Cost returns the network cost of serving request ri from uploader p.
@@ -134,6 +156,26 @@ func (in *Instance) Subset(reqIdx, upIdx []int) (*Instance, error) {
 		requests = append(requests, r)
 	}
 	return NewInstance(requests, uploaders)
+}
+
+// Clone returns a deep, self-contained copy of the instance: its own
+// request, candidate and uploader arrays and a fresh uploader index. Use it
+// when retaining an instance beyond its producer's validity window —
+// Builder-produced instances reuse their backing arrays and are recycled
+// two Builds later.
+func (in *Instance) Clone() *Instance {
+	ups := append([]Uploader(nil), in.Uploaders...)
+	reqs := make([]Request, len(in.Requests))
+	copy(reqs, in.Requests)
+	for i := range reqs {
+		reqs[i].Candidates = append([]Candidate(nil), reqs[i].Candidates...)
+	}
+	out, err := NewInstance(reqs, ups)
+	if err != nil {
+		// The source instance upheld the same invariants.
+		panic(fmt.Sprintf("sched: cloning a valid instance failed: %v", err))
+	}
+	return out
 }
 
 // Grant assigns request index Request to uploader Uploader.

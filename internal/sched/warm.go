@@ -20,7 +20,7 @@ type reqKey struct {
 type reqState struct {
 	id    core.RequestID
 	value float64
-	cands []Candidate // owned by the last Instance; read-only
+	cands []Candidate // interned copy in the WarmAuction's own arena
 	stamp uint64
 }
 
@@ -46,6 +46,16 @@ type sinkState struct {
 // rewrite (changed neighbor set). Uploaders diff into capacity changes and
 // arrivals/departures.
 //
+// Two diff paths feed the solver. Schedule re-derives the diff itself by
+// key-matching every request through the persistent (peer, chunk) map — the
+// fallback that accepts arbitrary instances. ScheduleDelta skips the
+// re-derivation: a producer that already knows the slot-to-slot delta (a
+// Builder-driven simulation, the sharded orchestrator's clean shards) hands
+// it over and the diff costs O(churn) row lookups instead of O(requests)
+// hash probes — with InstanceDelta.Identity collapsing further to a pure
+// value/capacity sweep. Both paths emit the identical core.ProblemDelta
+// operation sequences, so which one ran is unobservable in the schedule.
+//
 // A WarmAuction carries state across Schedule calls and is therefore bound
 // to one simulation run: create a fresh value per run (as scenario.Spec.Run
 // does) and do not share it across goroutines.
@@ -57,21 +67,55 @@ type WarmAuction struct {
 	reqs   map[reqKey]*reqState
 	sinks  map[isp.PeerID]*sinkState
 	// prevReqKeys / prevSinkPeers list the previous instance's keys in
-	// instance order, for deterministic removal detection.
+	// instance order, for deterministic removal detection (and, on the
+	// delta path, for O(1) row→key resolution of removals).
 	prevReqKeys   []reqKey
 	prevSinkPeers []isp.PeerID
 	stamp         uint64
 	// Reused scratch buffers: an edge arena for delta construction (Apply
 	// copies, so the arena is free to be recycled next round), the key
-	// double-buffer, and per-row state caches aligned with the current
-	// instance so the grant/price loops skip the key maps entirely.
-	edgeBuf []core.Edge
-	keyBuf  []reqKey
-	reqRow  []*reqState
-	sinkRow []*sinkState
+	// double-buffer, per-row state caches aligned with the current instance
+	// (double-buffered so the delta path can read the previous round's rows
+	// while writing this round's), the solver-delta op lists, and the
+	// added-entity staging arrays.
+	edgeBuf    []core.Edge
+	keyBuf     []reqKey
+	reqRow     []*reqState
+	reqRowBuf  []*reqState
+	sinkRow    []*sinkState
+	sinkRowBuf []*sinkState
+	opsBuf     core.ProblemDelta
+	addedKeys  []reqKey
+	addedReqs  []*Request
+	addedRows  []int
+	addedEdges [][]core.Edge
+	addedPeers []isp.PeerID
+	// removedStates stages the round's departed requests: their solver ids
+	// (and state objects) are recycled for this round's additions instead
+	// of minting fresh ids — see emitRequestChurn. stateFree holds dead
+	// state objects beyond the pairing for later rounds.
+	removedStates []*reqState
+	stateFree     []*reqState
+	// candArena/candArenaPrev double-buffer the interned candidate lists:
+	// instances may come from a reusing Builder whose arrays are recycled
+	// two rounds later, so everything the WarmAuction keeps across calls is
+	// copied into its own arena (the previous round's copies — what the
+	// next diff compares against — live in the spare half).
+	candArena     []Candidate
+	candArenaPrev []Candidate
+	// sinkPeer maps solver sink ids back to uploader peers (dense; solver
+	// ids are small ints), so grant translation is an array load instead of
+	// a per-candidate map probe.
+	sinkPeer []isp.PeerID
+	// reqsStale marks the request key map out of date: the delta path
+	// resolves everything by row and skips the per-request map churn, so
+	// the map is rebuilt (from prevReqKeys + reqRow, which stay exact) only
+	// if a key-matching fallback round ever follows.
+	reqsStale bool
 }
 
 var _ Scheduler = (*WarmAuction)(nil)
+var _ DeltaScheduler = (*WarmAuction)(nil)
 
 // Name implements Scheduler.
 func (a *WarmAuction) Name() string { return "auction-warm" }
@@ -82,29 +126,66 @@ func (a *WarmAuction) Name() string { return "auction-warm" }
 // per-slot churn that creates the garbage).
 const compactThreshold = 8192
 
+// ensureSolver lazily creates the persistent solver state.
+func (a *WarmAuction) ensureSolver() error {
+	if a.solver != nil {
+		return nil
+	}
+	solver, err := core.NewSolver(core.AuctionOptions{Epsilon: a.Epsilon})
+	if err != nil {
+		return err
+	}
+	a.solver = solver
+	a.reqs = make(map[reqKey]*reqState)
+	a.sinks = make(map[isp.PeerID]*sinkState)
+	return nil
+}
+
 // Schedule implements Scheduler: diff the instance against the previous
-// slot's, apply the delta to the persistent solver, and re-optimize warm.
+// slot's by key-matching, apply the delta to the persistent solver, and
+// re-optimize warm.
 func (a *WarmAuction) Schedule(in *Instance) (*Result, error) {
-	if a.solver == nil {
-		solver, err := core.NewSolver(core.AuctionOptions{Epsilon: a.Epsilon})
-		if err != nil {
-			return nil, fmt.Errorf("warm auction: %w", err)
-		}
-		a.solver = solver
-		a.reqs = make(map[reqKey]*reqState)
-		a.sinks = make(map[isp.PeerID]*sinkState)
+	if err := a.ensureSolver(); err != nil {
+		return nil, fmt.Errorf("warm auction: %w", err)
 	}
 	a.maybeCompact()
-
 	carried, err := a.applyDiff(in)
 	if err != nil {
 		return nil, fmt.Errorf("warm auction: %w", err)
 	}
-	res, err := a.solver.Solve()
+	return a.finish(in, carried)
+}
+
+// ScheduleDelta implements DeltaScheduler: the producer already knows how
+// this instance evolved from the previous call's, so the diff is consumed
+// in O(churn) instead of re-derived by key-matching. A nil delta (or a
+// first call, which has nothing to be incremental against) falls back to
+// Schedule.
+func (a *WarmAuction) ScheduleDelta(in *Instance, d *InstanceDelta) (*Result, error) {
+	if d == nil || a.solver == nil {
+		return a.Schedule(in)
+	}
+	a.maybeCompact()
+	var carried int
+	var err error
+	if d.Identity {
+		carried, err = a.applyIdentity(in)
+	} else {
+		carried, err = a.applyKnownDelta(in, d)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("warm auction: %w", err)
 	}
+	return a.finish(in, carried)
+}
 
+// finish runs the warm solve and translates the solver's assignment back to
+// grants and prices — the shared tail of every diff path.
+func (a *WarmAuction) finish(in *Instance, carried int) (*Result, error) {
+	res, err := a.solver.SolveShared()
+	if err != nil {
+		return nil, fmt.Errorf("warm auction: %w", err)
+	}
 	out := &Result{
 		Prices: make(map[isp.PeerID]float64, len(in.Uploaders)),
 		Stats: map[string]float64{
@@ -123,21 +204,28 @@ func (a *WarmAuction) Schedule(in *Instance) (*Result, error) {
 	}
 	for ri := range in.Requests {
 		if s := res.Assignment.SinkOf[a.reqRow[ri].id]; s != core.Unassigned {
-			out.Grants = append(out.Grants, Grant{Request: ri, Uploader: a.grantUploader(&in.Requests[ri], s)})
+			out.Grants = append(out.Grants, Grant{Request: ri, Uploader: a.grantUploader(s)})
 		}
 	}
 	return out, nil
 }
 
-// grantUploader maps a granted solver sink back to the uploader peer via the
-// request's own candidate list (bounded by the candidate degree).
-func (a *WarmAuction) grantUploader(r *Request, s core.SinkID) isp.PeerID {
-	for _, c := range r.Candidates {
-		if st, ok := a.sinks[c.Peer]; ok && st.id == s {
-			return c.Peer
+// noteSinkPeer records the sink→peer mapping for grant translation.
+func (a *WarmAuction) noteSinkPeer(id core.SinkID, p isp.PeerID) {
+	for int(id) >= len(a.sinkPeer) {
+		a.sinkPeer = append(a.sinkPeer, -1)
+	}
+	a.sinkPeer[id] = p
+}
+
+// grantUploader maps a granted solver sink back to the uploader peer.
+func (a *WarmAuction) grantUploader(s core.SinkID) isp.PeerID {
+	if int(s) < len(a.sinkPeer) {
+		if p := a.sinkPeer[s]; p >= 0 {
+			return p
 		}
 	}
-	panic(fmt.Sprintf("sched: solver sink %d is not a candidate of request (%d, %v)", s, r.Peer, r.Chunk))
+	panic(fmt.Sprintf("sched: solver sink %d has no uploader mapping", s))
 }
 
 func key(r *Request) reqKey { return reqKey{peer: r.Peer, chunk: r.Chunk} }
@@ -157,26 +245,299 @@ func sameCandidates(prev []Candidate, cur []Candidate) bool {
 	return true
 }
 
+// internCands copies a candidate list into the WarmAuction's own arena —
+// the only memory of the instance it is allowed to keep across calls.
+func (a *WarmAuction) internCands(c []Candidate) []Candidate {
+	start := len(a.candArena)
+	a.candArena = append(a.candArena, c...)
+	return a.candArena[start:len(a.candArena):len(a.candArena)]
+}
+
+// swapCandArena rotates the candidate arenas at the start of a diff: the
+// previous round's interned lists (the comparison baseline) move to the
+// spare half, and the current half restarts empty.
+func (a *WarmAuction) swapCandArena() {
+	a.candArena, a.candArenaPrev = a.candArenaPrev[:0], a.candArena
+}
+
+// resetOps recycles the solver-delta op lists (Apply consumes the ops by
+// value and copies every edge list, so the backing arrays are free to be
+// reused the moment it returns).
+func (a *WarmAuction) resetOps() *core.ProblemDelta {
+	d := &a.opsBuf
+	d.AddRequests = d.AddRequests[:0]
+	d.RemoveRequests = d.RemoveRequests[:0]
+	d.UpdateRequests = d.UpdateRequests[:0]
+	d.ShiftValues = d.ShiftValues[:0]
+	d.AddSinks = d.AddSinks[:0]
+	d.RemoveSinks = d.RemoveSinks[:0]
+	d.SetCapacities = d.SetCapacities[:0]
+	return d
+}
+
+// applyIdentity is ScheduleDelta's fast path for InstanceDelta.Identity:
+// the instance has the same rows as last round — only values and capacities
+// may have moved — so the diff is a single comparison sweep with no key or
+// row bookkeeping at all. Value shifts and capacity changes commute inside
+// one solver delta (shifts touch weights, capacities touch books), so both
+// sides ship in one Apply.
+func (a *WarmAuction) applyIdentity(in *Instance) (carried int, err error) {
+	if len(a.sinkRow) != len(in.Uploaders) || len(a.reqRow) != len(in.Requests) {
+		return 0, fmt.Errorf("identity delta shape mismatch: %d uploaders over %d rows, %d requests over %d rows",
+			len(in.Uploaders), len(a.sinkRow), len(in.Requests), len(a.reqRow))
+	}
+	d := a.resetOps()
+	for i := range in.Uploaders {
+		u := &in.Uploaders[i]
+		st := a.sinkRow[i]
+		if st.capacity != u.Capacity {
+			d.SetCapacities = append(d.SetCapacities,
+				core.SinkCapacity{Sink: st.id, Capacity: u.Capacity})
+			st.capacity = u.Capacity
+		}
+	}
+	for ri := range in.Requests {
+		r := &in.Requests[ri]
+		st := a.reqRow[ri]
+		if r.Value != st.value {
+			d.ShiftValues = append(d.ShiftValues,
+				core.ValueShift{Request: st.id, Delta: r.Value - st.value})
+			st.value = r.Value
+		}
+		// Identity promises the candidate lists equal the interned copies
+		// already held, so the arenas stay untouched: st.cands keep
+		// pointing into the current arena half, which the next
+		// non-identity round's swap turns into the comparison baseline.
+	}
+	a.solver.ApplyUnchecked(*d)
+	return len(in.Requests), nil
+}
+
+// applyKnownDelta consumes a producer-supplied general delta: removals and
+// carried rows resolve through the previous round's row caches (no key
+// hashing), and only new or edge-rewritten requests pay edge construction.
+// The emitted solver-delta operation lists match applyDiff's entry for
+// entry, so the two paths leave the solver in identical states.
+func (a *WarmAuction) applyKnownDelta(in *Instance, d *InstanceDelta) (carried int, err error) {
+	if len(d.PrevUp) != len(in.Uploaders) || len(d.PrevReq) != len(in.Requests) ||
+		len(d.SameCands) != len(in.Requests) {
+		return 0, fmt.Errorf("delta shape mismatch: %d uploader rows for %d uploaders, %d request rows for %d requests",
+			len(d.PrevUp), len(in.Uploaders), len(d.PrevReq), len(in.Requests))
+	}
+	prevSinks, prevReqs := a.sinkRow, a.reqRow
+	a.swapCandArena()
+
+	// Sink side.
+	sinkDelta := a.resetOps()
+	for _, pr := range d.RemovedUps {
+		if int(pr) >= len(prevSinks) || prevSinks[pr] == nil {
+			return 0, fmt.Errorf("delta removes unknown uploader row %d", pr)
+		}
+		sinkDelta.RemoveSinks = append(sinkDelta.RemoveSinks, prevSinks[pr].id)
+		delete(a.sinks, a.prevSinkPeers[pr])
+	}
+	newSinkRow := a.sinkRowBuf[:0]
+	a.addedPeers = a.addedPeers[:0]
+	a.addedRows = a.addedRows[:0]
+	carriedUps := 0
+	for i := range in.Uploaders {
+		u := &in.Uploaders[i]
+		pr := d.PrevUp[i]
+		if pr >= 0 {
+			if int(pr) >= len(prevSinks) || prevSinks[pr] == nil {
+				return 0, fmt.Errorf("delta carries unknown uploader row %d", pr)
+			}
+			st := prevSinks[pr]
+			newSinkRow = append(newSinkRow, st)
+			carriedUps++
+			if st.capacity != u.Capacity {
+				sinkDelta.SetCapacities = append(sinkDelta.SetCapacities,
+					core.SinkCapacity{Sink: st.id, Capacity: u.Capacity})
+				st.capacity = u.Capacity
+			}
+			continue
+		}
+		sinkDelta.AddSinks = append(sinkDelta.AddSinks, u.Capacity)
+		a.addedPeers = append(a.addedPeers, u.Peer)
+		a.addedRows = append(a.addedRows, i)
+		newSinkRow = append(newSinkRow, nil)
+	}
+	if carriedUps+len(d.RemovedUps) != len(prevSinks) {
+		return 0, fmt.Errorf("uploader delta does not cover the previous instance: %d carried + %d removed != %d rows",
+			carriedUps, len(d.RemovedUps), len(prevSinks))
+	}
+	applied := a.solver.ApplyUnchecked(*sinkDelta)
+	for i, s := range applied.Sinks {
+		row := a.addedRows[i]
+		st := &sinkState{id: s, stamp: a.stamp, capacity: in.Uploaders[row].Capacity}
+		a.sinks[a.addedPeers[i]] = st
+		a.noteSinkPeer(s, a.addedPeers[i])
+		newSinkRow[row] = st
+	}
+	a.sinkRow, a.sinkRowBuf = newSinkRow, prevSinks[:0]
+	a.prevSinkPeers = a.prevSinkPeers[:0]
+	for i := range in.Uploaders {
+		a.prevSinkPeers = append(a.prevSinkPeers, in.Uploaders[i].Peer)
+	}
+
+	// Request side.
+	a.edgeBuf = a.edgeBuf[:0]
+	reqDelta := a.resetOps()
+	a.reqsStale = true // rows are authoritative below; the map rebuilds lazily
+	a.removedStates = a.removedStates[:0]
+	for _, pr := range d.RemovedReqs {
+		if int(pr) >= len(prevReqs) || prevReqs[pr] == nil {
+			return 0, fmt.Errorf("delta removes unknown request row %d", pr)
+		}
+		a.removedStates = append(a.removedStates, prevReqs[pr])
+	}
+	newReqRow := a.reqRowBuf[:0]
+	curKeys := a.keyBuf[:0]
+	a.addedReqs = a.addedReqs[:0]
+	a.addedRows = a.addedRows[:0]
+	a.addedEdges = a.addedEdges[:0]
+	carriedRows := 0
+	for ri := range in.Requests {
+		r := &in.Requests[ri]
+		curKeys = append(curKeys, key(r))
+		pr := d.PrevReq[ri]
+		if pr < 0 {
+			edges, err := a.edgesOf(r)
+			if err != nil {
+				return 0, err
+			}
+			a.addedEdges = append(a.addedEdges, edges)
+			a.addedReqs = append(a.addedReqs, r)
+			a.addedRows = append(a.addedRows, ri)
+			newReqRow = append(newReqRow, nil)
+			continue
+		}
+		if int(pr) >= len(prevReqs) || prevReqs[pr] == nil {
+			return 0, fmt.Errorf("delta carries unknown request row %d", pr)
+		}
+		st := prevReqs[pr]
+		newReqRow = append(newReqRow, st)
+		carriedRows++
+		if d.SameCands[ri] {
+			if r.Value != st.value {
+				reqDelta.ShiftValues = append(reqDelta.ShiftValues,
+					core.ValueShift{Request: st.id, Delta: r.Value - st.value})
+				st.value = r.Value
+			}
+			st.cands = a.internCands(r.Candidates)
+			carried++
+			continue
+		}
+		edges, err := a.edgesOf(r)
+		if err != nil {
+			return 0, err
+		}
+		reqDelta.UpdateRequests = append(reqDelta.UpdateRequests,
+			core.RequestEdges{Request: st.id, Edges: edges})
+		st.value, st.cands = r.Value, a.internCands(r.Candidates)
+	}
+	if carriedRows+len(d.RemovedReqs) != len(prevReqs) {
+		return 0, fmt.Errorf("request delta does not cover the previous instance: %d carried + %d removed != %d rows",
+			carriedRows, len(d.RemovedReqs), len(prevReqs))
+	}
+	a.emitRequestChurn(reqDelta)
+	applied = a.solver.ApplyUnchecked(*reqDelta)
+	a.bindChurnedRequests(applied, newReqRow, false)
+	a.keyBuf = a.prevReqKeys // swap buffers
+	a.prevReqKeys = curKeys
+	a.reqRow, a.reqRowBuf = newReqRow, prevReqs[:0]
+	return carried, nil
+}
+
+// emitRequestChurn turns the staged removals and additions into solver
+// ops, pairing them one-to-one into id-recycling UpdateRequests first: an
+// update is exactly a removal plus an addition (vacate, new edge set,
+// re-enqueue) minus the id mint, and the sim's sliding windows retire and
+// create hundreds of requests per round — without recycling the solver's
+// per-id state grows by the cumulative request count of the whole run.
+// Only the excess on either side becomes plain RemoveRequests/AddRequests.
+func (a *WarmAuction) emitRequestChurn(reqDelta *core.ProblemDelta) {
+	n := len(a.removedStates)
+	if len(a.addedEdges) < n {
+		n = len(a.addedEdges)
+	}
+	for i := 0; i < n; i++ {
+		reqDelta.UpdateRequests = append(reqDelta.UpdateRequests,
+			core.RequestEdges{Request: a.removedStates[i].id, Edges: a.addedEdges[i]})
+	}
+	for _, st := range a.removedStates[n:] {
+		reqDelta.RemoveRequests = append(reqDelta.RemoveRequests, st.id)
+		if len(a.stateFree) < 4096 {
+			a.stateFree = append(a.stateFree, st) // dead object, reusable
+		}
+	}
+	for _, e := range a.addedEdges[n:] {
+		reqDelta.AddRequests = append(reqDelta.AddRequests, e)
+	}
+}
+
+// bindChurnedRequests wires this round's additions to their states after
+// the solver applied the churn: the first pairs recycle the departed
+// requests' state objects (same solver id, new identity), the rest bind
+// freshly minted ids. withMap also registers the new keys in the request
+// map (the fallback path keeps it current; the delta path leaves it stale).
+func (a *WarmAuction) bindChurnedRequests(applied *core.AppliedDelta, rows []*reqState, withMap bool) {
+	n := len(a.removedStates)
+	if len(a.addedEdges) < n {
+		n = len(a.addedEdges)
+	}
+	for i := 0; i < n; i++ {
+		st := a.removedStates[i]
+		st.stamp = a.stamp
+		st.value = a.addedReqs[i].Value
+		st.cands = a.internCands(a.addedReqs[i].Candidates)
+		rows[a.addedRows[i]] = st
+		if withMap {
+			a.reqs[a.addedKeys[i]] = st
+		}
+	}
+	for j, id := range applied.Requests {
+		i := n + j
+		var st *reqState
+		if k := len(a.stateFree); k > 0 {
+			st, a.stateFree = a.stateFree[k-1], a.stateFree[:k-1]
+		} else {
+			st = &reqState{}
+		}
+		*st = reqState{
+			id: id, stamp: a.stamp,
+			value: a.addedReqs[i].Value, cands: a.internCands(a.addedReqs[i].Candidates),
+		}
+		rows[a.addedRows[i]] = st
+		if withMap {
+			a.reqs[a.addedKeys[i]] = st
+		}
+	}
+}
+
 // applyDiff turns the instance-over-instance change into solver deltas (two
 // phases: sink-side first so request edges can reference freshly minted
 // sinks) and returns how many requests were carried — kept or value-shifted
-// without re-deriving their assignment.
+// without re-deriving their assignment. This is the full key-matching diff:
+// every request pays one hash probe into the persistent (peer, chunk) map.
 func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
+	a.syncReqs()
 	a.stamp++
+	a.swapCandArena()
 
 	// Sink side.
 	a.sinkRow = a.sinkRow[:0]
-	var sinkDelta core.ProblemDelta
-	var addedPeers []isp.PeerID
-	var addedRows []int
+	sinkDelta := a.resetOps()
+	a.addedPeers = a.addedPeers[:0]
+	a.addedRows = a.addedRows[:0]
 	for i := range in.Uploaders {
 		u := &in.Uploaders[i]
 		st, known := a.sinks[u.Peer]
 		a.sinkRow = append(a.sinkRow, st)
 		if !known {
 			sinkDelta.AddSinks = append(sinkDelta.AddSinks, u.Capacity)
-			addedPeers = append(addedPeers, u.Peer)
-			addedRows = append(addedRows, i)
+			a.addedPeers = append(a.addedPeers, u.Peer)
+			a.addedRows = append(a.addedRows, i)
 			continue
 		}
 		st.stamp = a.stamp
@@ -192,14 +553,15 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 			delete(a.sinks, p)
 		}
 	}
-	applied, err := a.solver.Apply(sinkDelta)
+	applied, err := a.solver.Apply(*sinkDelta)
 	if err != nil {
 		return 0, err
 	}
 	for i, s := range applied.Sinks {
-		row := addedRows[i]
+		row := a.addedRows[i]
 		st := &sinkState{id: s, stamp: a.stamp, capacity: in.Uploaders[row].Capacity}
-		a.sinks[addedPeers[i]] = st
+		a.sinks[a.addedPeers[i]] = st
+		a.noteSinkPeer(s, a.addedPeers[i])
 		a.sinkRow[row] = st
 	}
 	a.prevSinkPeers = a.prevSinkPeers[:0]
@@ -212,10 +574,12 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 	a.edgeBuf = a.edgeBuf[:0]
 	a.reqRow = a.reqRow[:0]
 	curKeys := a.keyBuf[:0]
-	var reqDelta core.ProblemDelta
-	var addedKeys []reqKey
-	var addedReqs []*Request
-	var addedReqRows []int
+	reqDelta := a.resetOps()
+	a.addedKeys = a.addedKeys[:0]
+	a.addedReqs = a.addedReqs[:0]
+	a.addedRows = a.addedRows[:0]
+	a.addedEdges = a.addedEdges[:0]
+	a.removedStates = a.removedStates[:0]
 	for ri := range in.Requests {
 		r := &in.Requests[ri]
 		k := key(r)
@@ -233,7 +597,7 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 						core.ValueShift{Request: st.id, Delta: r.Value - st.value})
 					st.value = r.Value
 				}
-				st.cands = r.Candidates
+				st.cands = a.internCands(r.Candidates)
 				carried++
 				continue
 			}
@@ -243,36 +607,30 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 			}
 			reqDelta.UpdateRequests = append(reqDelta.UpdateRequests,
 				core.RequestEdges{Request: st.id, Edges: edges})
-			st.value, st.cands = r.Value, r.Candidates
+			st.value, st.cands = r.Value, a.internCands(r.Candidates)
 			continue
 		}
 		edges, err := a.edgesOf(r)
 		if err != nil {
 			return 0, err
 		}
-		reqDelta.AddRequests = append(reqDelta.AddRequests, edges)
-		addedKeys = append(addedKeys, k)
-		addedReqs = append(addedReqs, r)
-		addedReqRows = append(addedReqRows, ri)
+		a.addedEdges = append(a.addedEdges, edges)
+		a.addedKeys = append(a.addedKeys, k)
+		a.addedReqs = append(a.addedReqs, r)
+		a.addedRows = append(a.addedRows, ri)
 	}
 	for _, k := range a.prevReqKeys {
 		if st, ok := a.reqs[k]; ok && st.stamp != a.stamp {
-			reqDelta.RemoveRequests = append(reqDelta.RemoveRequests, st.id)
+			a.removedStates = append(a.removedStates, st)
 			delete(a.reqs, k)
 		}
 	}
-	applied, err = a.solver.Apply(reqDelta)
+	a.emitRequestChurn(reqDelta)
+	applied, err = a.solver.Apply(*reqDelta)
 	if err != nil {
 		return 0, err
 	}
-	for i, id := range applied.Requests {
-		st := &reqState{
-			id: id, stamp: a.stamp,
-			value: addedReqs[i].Value, cands: addedReqs[i].Candidates,
-		}
-		a.reqs[addedKeys[i]] = st
-		a.reqRow[addedReqRows[i]] = st
-	}
+	a.bindChurnedRequests(applied, a.reqRow, true)
 	a.keyBuf = a.prevReqKeys // swap buffers
 	a.prevReqKeys = curKeys
 	return carried, nil
@@ -296,8 +654,36 @@ func (a *WarmAuction) edgesOf(r *Request) ([]core.Edge, error) {
 	return a.edgeBuf[start:len(a.edgeBuf):len(a.edgeBuf)], nil
 }
 
+// syncReqs rebuilds the request key map from the authoritative per-row
+// state after delta rounds left it stale (they never touch it).
+func (a *WarmAuction) syncReqs() {
+	if !a.reqsStale {
+		return
+	}
+	for k := range a.reqs {
+		delete(a.reqs, k)
+	}
+	for i, st := range a.reqRow {
+		a.reqs[a.prevReqKeys[i]] = st
+	}
+	a.reqsStale = false
+}
+
+// VerifyState machine-checks the persistent solver's carried certificate
+// (core.Solver.VerifyState): primal feasibility plus ε-complementary
+// slackness of the carried (assignment, prices) over the live subproblem.
+// Valid after a Schedule/ScheduleDelta that did not stall; a testing hook —
+// production paths never need it.
+func (a *WarmAuction) VerifyState(tol float64) error {
+	if a.solver == nil {
+		return nil
+	}
+	return a.solver.VerifyState(tol)
+}
+
 // maybeCompact reclaims dead solver slots once they dominate, rewriting the
-// peer/chunk handle maps to the compacted ids.
+// peer/chunk handle maps to the compacted ids (the per-row caches hold the
+// same state pointers, so they stay coherent through the rewrite).
 func (a *WarmAuction) maybeCompact() {
 	deadReqs, deadSinks := a.solver.Dead()
 	if deadReqs+deadSinks <= compactThreshold ||
@@ -305,10 +691,14 @@ func (a *WarmAuction) maybeCompact() {
 		return
 	}
 	reqMap, sinkMap := a.solver.Compact()
-	for _, st := range a.reqs {
+	// reqRow is the authoritative live-request set (the key map may be
+	// stale after delta rounds).
+	for _, st := range a.reqRow {
 		st.id = reqMap[st.id]
 	}
-	for _, st := range a.sinks {
+	a.sinkPeer = a.sinkPeer[:0]
+	for p, st := range a.sinks {
 		st.id = sinkMap[st.id]
+		a.noteSinkPeer(st.id, p)
 	}
 }

@@ -179,9 +179,9 @@ func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 	}
 
 	var out slotOutcome
-	delivered := make(map[isp.PeerID]map[video.ChunkIndex]float64)
+	out.departures = w.departScratch[:0]
 	for j := 0; j < w.cfg.BidRoundsPerSlot; j++ {
-		in, err := w.buildInstance(j)
+		in, _, err := w.buildInstance(j) // the protocol nodes diff nothing
 		if err != nil {
 			return err
 		}
@@ -196,7 +196,7 @@ func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		if err != nil {
 			return err
 		}
-		if err := w.applyGrants(j, in, grants, &out, delivered); err != nil {
+		if err := w.applyGrants(j, in, grants, &out); err != nil {
 			return err
 		}
 		prices := make(map[isp.PeerID]float64, len(nodes))
@@ -205,11 +205,14 @@ func desSlot(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		}
 		out.addPayments(grants, prices)
 	}
-	w.playback(delivered, &out)
+	w.playback(&out)
+	w.clearDelivered()
 	if err := recordSlot(w, res, &out); err != nil {
 		return err
 	}
-	return finishSlot(w, &out)
+	err := finishSlot(w, &out)
+	w.departScratch = out.departures[:0]
+	return err
 }
 
 // syncNodes reconciles the node set with the world's population and pushes
@@ -224,6 +227,9 @@ func syncNodes(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		}
 	}
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		if _, ok := nodes[id]; ok {
 			continue
 		}
@@ -243,6 +249,9 @@ func syncNodes(w *world, netSched *netsim.Scheduler, network *netsim.Network,
 		nodes[id] = node
 	}
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		p := w.peers[id]
 		if p.seed {
 			// Seeds never bid, but they broadcast price updates to the
@@ -310,6 +319,9 @@ func desRound(w *world, j int, in *sched.Instance,
 	// sold-out reserve) with the round's capacity share; bidders fire their
 	// initial bids.
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		node := nodes[id]
 		capacity := roundCapacity(w.peers[id].capacity, j, w.cfg.BidRoundsPerSlot)
 		var err error
@@ -330,6 +342,9 @@ func desRound(w *world, j int, in *sched.Instance,
 	// Read the books.
 	var grants []sched.Grant
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		for _, win := range nodes[id].Winners() {
 			ri, ok := reqIdx[reqKey{peer: isp.PeerID(win.Bidder), chunk: win.Chunk}]
 			if !ok {

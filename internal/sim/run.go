@@ -7,7 +7,6 @@ import (
 	"repro/internal/isp"
 	"repro/internal/metrics"
 	"repro/internal/sched"
-	"repro/internal/video"
 )
 
 // Results carries a run's evaluation output: the per-slot series behind the
@@ -160,20 +159,29 @@ func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
 
 // stepSlot runs one slot of the shared pipeline: neighbor refresh, the
 // slot's bidding rounds (schedule + transfers each), playback/misses, churn.
+// Schedulers that consume slot-to-slot deltas (sched.DeltaScheduler) get the
+// builder's delta alongside each instance; everyone else sees the classic
+// Schedule call on the identical instance.
 func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
 	w.refreshNeighbors()
 	var out slotOutcome
-	delivered := make(map[isp.PeerID]map[video.ChunkIndex]float64)
+	out.departures = w.departScratch[:0]
+	ds, wantsDelta := scheduler.(sched.DeltaScheduler)
 	for j := 0; j < w.cfg.BidRoundsPerSlot; j++ {
-		in, err := w.buildInstance(j)
+		in, delta, err := w.buildInstance(j)
 		if err != nil {
 			return err
 		}
-		sr, err := scheduler.Schedule(in)
+		var sr *sched.Result
+		if wantsDelta {
+			sr, err = ds.ScheduleDelta(in, delta)
+		} else {
+			sr, err = scheduler.Schedule(in)
+		}
 		if err != nil {
 			return err
 		}
-		if err := w.applyGrants(j, in, sr.Grants, &out, delivered); err != nil {
+		if err := w.applyGrants(j, in, sr.Grants, &out); err != nil {
 			return err
 		}
 		out.addPayments(sr.Grants, sr.Prices)
@@ -181,11 +189,14 @@ func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
 			out.shards = v // last bidding round's partition stands for the slot
 		}
 	}
-	w.playback(delivered, &out)
+	w.playback(&out)
+	w.clearDelivered()
 	if err := recordSlot(w, res, &out); err != nil {
 		return err
 	}
-	return finishSlot(w, &out)
+	err := finishSlot(w, &out)
+	w.departScratch = out.departures[:0]
+	return err
 }
 
 // recordSlot appends the slot's metrics.

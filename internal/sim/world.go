@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/buffer"
 	"repro/internal/economics"
@@ -12,6 +12,15 @@ import (
 	"repro/internal/tracker"
 	"repro/internal/video"
 )
+
+// deliveredChunk is one in-slot delivery record: chunk idx arrived at `at`
+// seconds from slot start. Per-peer append lists replace the old per-slot
+// map-of-maps; a slot delivers at most a window's worth of chunks per peer,
+// so the playback loop's linear scan is cheaper than the hashing was.
+type deliveredChunk struct {
+	idx video.ChunkIndex
+	at  float64
+}
 
 // peerRuntime is the simulator's view of one node (watcher or seed).
 type peerRuntime struct {
@@ -33,12 +42,18 @@ type peerRuntime struct {
 	earlyLeaveSlot int
 	// misses/played accumulate lifetime playback accounting.
 	misses, played int64
+	// delivered collects this slot's deliveries (reset every slot; peers
+	// with entries are tracked in world.deliveredPeers).
+	delivered []deliveredChunk
 }
 
 // started reports whether playback is running at the given slot.
 func (p *peerRuntime) started(slot int) bool {
 	return !p.seed && slot >= p.startSlot
 }
+
+// noPeer is the tombstone marker in world.order (peer ids are non-negative).
+const noPeer = isp.PeerID(-1)
 
 // world owns all mutable simulation state shared by both engines.
 type world struct {
@@ -48,7 +63,13 @@ type world struct {
 	track   *tracker.Tracker
 
 	peers map[isp.PeerID]*peerRuntime
-	order []isp.PeerID // deterministic iteration order (sorted ids)
+	// order is the deterministic iteration order: ascending peer ids
+	// (AddPeer mints them monotonically), with departures tombstoned as
+	// noPeer instead of slice-deleted — O(1) removal via orderIdx, relative
+	// order untouched, compacted when tombstones dominate.
+	order      []isp.PeerID
+	orderIdx   map[isp.PeerID]int32
+	tombstones int
 
 	rngChurn *randx.Source
 	rngPeer  *randx.Source
@@ -72,6 +93,58 @@ type world struct {
 	// perISPMissed/perISPPlayed accumulate playback accounting by the
 	// watcher's ISP, for fairness analysis.
 	perISPMissed, perISPPlayed []int64
+
+	// Incremental instance machinery (the zero-rebuild pipeline; the
+	// from-scratch reference lives in rebuild.go):
+	//
+	// builder maintains the persistent slot instance; winBuf is the reused
+	// per-peer window scratch; dirty[v][idx] stamps the build round a chunk
+	// was last delivered in, so unchanged candidate lists are carried
+	// instead of re-scanned (a delivery can add the receiving peer as a
+	// candidate for other watchers of that chunk — nothing else moves
+	// within a slot); forceRebuild disables carrying for the first round
+	// after a neighbor refresh or any population change.
+	builder      *sched.Builder
+	winBuf       []video.ChunkIndex
+	dirty        [][]uint64
+	buildRound   uint64
+	forceRebuild bool
+
+	// Transfer/playback scratch (reused across slots): grant sort indices,
+	// the peers holding delivery records this slot, and the departure list.
+	grantIdx       []int32
+	deliveredPeers []isp.PeerID
+	departScratch  []isp.PeerID
+
+	// costCache memoizes topo.MustCost per unordered peer pair: the draw is
+	// a pure function of (seed, pair) but burns a PRNG derivation plus
+	// truncated-normal rejection sampling, and the candidate scans ask for
+	// the same pairs every neighbor refresh — uncached, this was a quarter
+	// of a churn run's CPU. The world is single-threaded, so a plain map
+	// suffices; bounded by an epoch reset.
+	costCache map[uint64]float64
+}
+
+// maxCostCache bounds the memoized cost-pair set (~50 B/entry; at the cap
+// the cache clears and rebuilds from the live working set).
+const maxCostCache = 1 << 20
+
+// costOf returns the network cost of nb→id transfers, memoized.
+func (w *world) costOf(nb, id isp.PeerID) float64 {
+	lo, hi := nb, id
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | uint64(uint32(hi))
+	if c, ok := w.costCache[key]; ok {
+		return c
+	}
+	c := w.topo.MustCost(nb, id)
+	if len(w.costCache) >= maxCostCache {
+		clear(w.costCache)
+	}
+	w.costCache[key] = c
+	return c
 }
 
 // newWorld builds the initial population (seeds + static peers if any).
@@ -94,14 +167,19 @@ func newWorld(cfg Config) (*world, error) {
 		catalog:       catalog,
 		track:         tracker.New(),
 		peers:         make(map[isp.PeerID]*peerRuntime),
+		orderIdx:      make(map[isp.PeerID]int32),
 		rngChurn:      root.Derive(2),
 		rngPeer:       root.Derive(3),
 		rngLocality:   root.Derive(4),
 		chunksPerSlot: cfg.chunksPerSlot(catalog),
+		builder:       sched.NewBuilder(),
+		forceRebuild:  true,
+		costCache:     make(map[uint64]float64),
 	}
 	if w.chunksPerSlot <= 0 {
 		return nil, fmt.Errorf("sim: slot shorter than one chunk playback")
 	}
+	w.dirty = make([][]uint64, catalog.Count())
 	if w.traffic, err = economics.NewMatrix(cfg.NumISPs); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -149,6 +227,13 @@ func (w *world) placeSeeds() error {
 	return nil
 }
 
+// appendOrder registers a freshly minted peer at the end of the iteration
+// order (AddPeer ids are monotone, so the order stays ascending).
+func (w *world) appendOrder(id isp.PeerID) {
+	w.orderIdx[id] = int32(len(w.order))
+	w.order = append(w.order, id)
+}
+
 func (w *world) addSeed(v video.ID, m isp.ID, capacity int) error {
 	id, err := w.topo.AddPeer(m)
 	if err != nil {
@@ -163,7 +248,7 @@ func (w *world) addSeed(v video.ID, m isp.ID, capacity int) error {
 		capacity: capacity, cache: cache, earlyLeaveSlot: -1,
 	}
 	w.peers[id] = p
-	w.order = append(w.order, id)
+	w.appendOrder(id)
 	w.joined++
 	if err := w.track.Join(tracker.Entry{Peer: id, Video: v, Seed: true}); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -231,7 +316,7 @@ func (w *world) addWatcher(vid video.ID, m isp.ID, pos, startSlot, earlyLeaveSlo
 		pos: pos, startSlot: startSlot, earlyLeaveSlot: earlyLeaveSlot,
 	}
 	w.peers[id] = p
-	w.order = append(w.order, id)
+	w.appendOrder(id)
 	w.joined++
 	if err := w.track.Join(tracker.Entry{Peer: id, Video: vid, Position: video.ChunkIndex(pos)}); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -239,20 +324,39 @@ func (w *world) addWatcher(vid video.ID, m isp.ID, pos, startSlot, earlyLeaveSlo
 	return nil
 }
 
-// removePeer deletes a departed watcher.
+// removePeer deletes a departed watcher: O(1) via the order index, leaving
+// an order-preserving tombstone (quadratic slice deletes under heavy churn
+// were the old cost). The order compacts once tombstones outnumber live
+// entries; compaction preserves relative order, so iteration — and with it
+// every downstream instance and schedule — is identical to the slice-delete
+// scheme (pinned by TestRemovalSchemeGolden).
 func (w *world) removePeer(id isp.PeerID) {
-	if _, ok := w.peers[id]; !ok {
+	i, ok := w.orderIdx[id]
+	if !ok {
 		return
 	}
 	delete(w.peers, id)
 	w.track.Leave(id)
-	for i, p := range w.order {
-		if p == id {
-			w.order = append(w.order[:i], w.order[i+1:]...)
-			break
+	delete(w.orderIdx, id)
+	w.order[i] = noPeer
+	w.tombstones++
+	w.departed++
+	if w.tombstones*2 > len(w.order) {
+		w.compactOrder()
+	}
+}
+
+// compactOrder squeezes the tombstones out of the iteration order.
+func (w *world) compactOrder() {
+	kept := w.order[:0]
+	for _, id := range w.order {
+		if id != noPeer {
+			w.orderIdx[id] = int32(len(kept))
+			kept = append(kept, id)
 		}
 	}
-	w.departed++
+	w.order = kept
+	w.tombstones = 0
 }
 
 // online returns the number of online watchers (seeds excluded).
@@ -270,10 +374,14 @@ func (w *world) online() int {
 // tracker (the paper's neighbor manager, run each bidding cycle), shaped by
 // the configured locality policy. The uniform policy takes the classic
 // Neighbors path (and consumes no randomness), keeping ISP-blind runs
-// byte-identical to the pre-locality engine.
+// byte-identical to the pre-locality engine. Fresh neighbor lists invalidate
+// every carried candidate list, so the next instance build re-scans.
 func (w *world) refreshNeighbors() {
 	pol := w.cfg.Locality
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		p := w.peers[id]
 		if p.seed {
 			continue
@@ -281,7 +389,9 @@ func (w *world) refreshNeighbors() {
 		var neighbors []isp.PeerID
 		var err error
 		if pol.Kind == tracker.PolicyUniform {
-			neighbors, err = w.track.Neighbors(id, w.cfg.NeighborCount)
+			// Recycle the peer's previous list (consumers copy what they
+			// keep: candidate scans read in place, DES nodes copy).
+			neighbors, err = w.track.AppendNeighbors(p.neighbors[:0], id, w.cfg.NeighborCount)
 		} else {
 			neighbors, err = w.track.NeighborsLocal(id, w.cfg.NeighborCount, pol, w.ispOf, w.rngLocality)
 		}
@@ -290,6 +400,7 @@ func (w *world) refreshNeighbors() {
 		}
 		p.neighbors = neighbors
 	}
+	w.forceRebuild = true
 }
 
 // ispOf adapts the topology to the ISP-lookup signature ISP-aware
@@ -324,67 +435,100 @@ func (w *world) deadline(p *peerRuntime, idx video.ChunkIndex, j int) float64 {
 	return lead + float64(idx)/rate - tau
 }
 
-// windowOf returns the window of interest R_t(d) for watcher p at bidding
-// round j: the next WindowChunks missing chunks ahead of the playback front,
-// which slides within the slot as rounds progress — the paper's peers bid
-// continuously, re-valuing chunks as deadlines tighten.
+// windowOf fills the reused window scratch with the window of interest
+// R_t(d) for watcher p at bidding round j: the next WindowChunks missing
+// chunks ahead of the playback front, which slides within the slot as
+// rounds progress — the paper's peers bid continuously, re-valuing chunks
+// as deadlines tighten. The returned slice is valid until the next call.
 func (w *world) windowOf(p *peerRuntime, j int) []video.ChunkIndex {
 	if p.seed {
 		return nil
 	}
+	w.winBuf = w.winBuf[:0]
 	if p.started(w.slot) {
 		front := p.pos + int(w.tauOf(j)*w.catalog.ChunksPerSecond())
-		return p.cache.Window(video.ChunkIndex(front), w.cfg.WindowChunks)
+		w.winBuf = p.cache.AppendWindow(w.winBuf, video.ChunkIndex(front), w.cfg.WindowChunks)
+	} else {
+		// Pre-playback: fill the initial window.
+		w.winBuf = p.cache.AppendMissingIn(w.winBuf, 0, video.ChunkIndex(w.cfg.WindowChunks))
 	}
-	// Pre-playback: fill the initial window.
-	return p.cache.MissingIn(0, video.ChunkIndex(w.cfg.WindowChunks))
+	return w.winBuf
 }
 
-// buildInstance assembles the scheduling problem of bidding round j: every
-// watcher's window requests with round-j valuations/deadlines, and every
-// online node as an uploader with its round-j capacity share.
-func (w *world) buildInstance(j int) (*sched.Instance, error) {
-	rounds := w.cfg.BidRoundsPerSlot
-	uploaders := make([]sched.Uploader, 0, len(w.order))
-	for _, id := range w.order {
-		uploaders = append(uploaders, sched.Uploader{
-			Peer:     id,
-			Capacity: roundCapacity(w.peers[id].capacity, j, rounds),
-		})
+// markDelivered stamps chunk idx of video v as delivered in the current
+// build round: the receiving peer's cache grew, so candidate lists for that
+// chunk must be re-scanned next round instead of carried.
+func (w *world) markDelivered(v video.ID, idx video.ChunkIndex) {
+	arr := w.dirty[v]
+	if arr == nil {
+		arr = make([]uint64, w.catalog.Chunks())
+		w.dirty[v] = arr
 	}
-	var requests []sched.Request
+	arr[idx] = w.buildRound
+}
+
+// chunkClean reports whether no delivery of (v, idx) happened during the
+// previous build round — the condition under which a carried request's
+// candidate list is provably unchanged within the slot (neighbor lists and
+// capacities are fixed between refreshes; only caches move).
+func (w *world) chunkClean(v video.ID, idx video.ChunkIndex) bool {
+	arr := w.dirty[v]
+	return arr == nil || arr[idx]+1 != w.buildRound
+}
+
+// buildInstance assembles the scheduling problem of bidding round j through
+// the persistent builder: every watcher's window requests with round-j
+// valuations/deadlines, and every online node as an uploader with its
+// round-j capacity share. In steady state nothing is reallocated — the
+// builder reuses its arrays, unchanged candidate lists are carried from the
+// previous round (dirty-chunk tracking proves them unchanged), and the
+// returned delta hands warm schedulers the slot-to-slot churn for free. The
+// instance content is byte-identical to the from-scratch reference build
+// (rebuild.go; pinned per scenario by TestIncrementalInstanceEqualsRebuilt).
+func (w *world) buildInstance(j int) (*sched.Instance, *sched.InstanceDelta, error) {
+	rounds := w.cfg.BidRoundsPerSlot
+	w.buildRound++
+	b := w.builder
+	b.Begin()
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
+		if err := b.AddUploader(id, roundCapacity(w.peers[id].capacity, j, rounds)); err != nil {
+			return nil, nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		p := w.peers[id]
 		for _, idx := range w.windowOf(p, j) {
 			d := w.deadline(p, idx, j)
 			if d < 0 {
 				continue // unplayable; do not waste bandwidth
 			}
-			chunk := video.ChunkID{Video: p.vid, Index: idx}
-			var cands []sched.Candidate
+			b.StartRequest(id, video.ChunkID{Video: p.vid, Index: idx}, w.cfg.Valuation.Value(d), d)
+			if !w.forceRebuild && w.chunkClean(p.vid, idx) && b.CarryCandidates() {
+				b.EndRequest()
+				continue
+			}
 			for _, nb := range p.neighbors {
 				up, ok := w.peers[nb]
 				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
 					continue
 				}
-				cands = append(cands, sched.Candidate{
-					Peer: nb,
-					Cost: w.cfg.CostScale * w.topo.MustCost(nb, id),
-				})
+				b.AddCandidate(nb, w.cfg.CostScale*w.costOf(nb, id))
 			}
-			if len(cands) == 0 {
-				continue // nobody can serve it; miss accounting handles it
-			}
-			requests = append(requests, sched.Request{
-				Peer:       id,
-				Chunk:      chunk,
-				Value:      w.cfg.Valuation.Value(d),
-				Deadline:   d,
-				Candidates: cands,
-			})
+			b.EndRequest()
 		}
 	}
-	return sched.NewInstance(requests, uploaders)
+	w.forceRebuild = false
+	in, delta, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
+	return in, delta, nil
 }
 
 // slotOutcome aggregates one slot's effects for the metrics.
@@ -416,54 +560,62 @@ func (out *slotOutcome) addPayments(grants []sched.Grant, prices map[isp.PeerID]
 
 // applyGrants turns bidding round j's grants into serialized chunk
 // deliveries: caches update, the traffic ledger advances and per-peer
-// absolute delivery times (seconds from slot start) accumulate into delivered
-// for miss accounting.
-func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant,
-	out *slotOutcome, delivered map[isp.PeerID]map[video.ChunkIndex]float64) error {
+// absolute delivery times (seconds from slot start) accumulate into the
+// peers' delivery lists for miss accounting. One index sort groups the
+// grants by (uploader, deadline, request) — the exact order the old
+// per-uploader map grouping produced — with no per-slot maps or slices.
+func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant, out *slotOutcome) error {
 	if err := in.Validate(grants); err != nil {
 		return fmt.Errorf("sim: scheduler produced invalid grants: %w", err)
 	}
-	// Group grants per uploader to serialize each uplink.
-	byUploader := make(map[isp.PeerID][]sched.Grant)
-	for _, g := range grants {
-		byUploader[g.Uploader] = append(byUploader[g.Uploader], g)
+	idx := w.grantIdx[:0]
+	for i := range grants {
+		idx = append(idx, int32(i))
 	}
-	uploaderIDs := make([]isp.PeerID, 0, len(byUploader))
-	for u := range byUploader {
-		uploaderIDs = append(uploaderIDs, u)
-	}
-	sort.Slice(uploaderIDs, func(a, b int) bool { return uploaderIDs[a] < uploaderIDs[b] })
+	slices.SortFunc(idx, func(a, b int32) int {
+		ga, gb := &grants[a], &grants[b]
+		if ga.Uploader != gb.Uploader {
+			return int(ga.Uploader - gb.Uploader)
+		}
+		// Most urgent first on the uplink.
+		da, db := in.Requests[ga.Request].Deadline, in.Requests[gb.Request].Deadline
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		}
+		return ga.Request - gb.Request
+	})
+	w.grantIdx = idx
 
 	tau := w.tauOf(j)
-	for _, u := range uploaderIDs {
-		gs := byUploader[u]
-		// Most urgent first on the uplink.
-		sort.Slice(gs, func(a, b int) bool {
-			da := in.Requests[gs[a].Request].Deadline
-			db := in.Requests[gs[b].Request].Deadline
-			if da != db {
-				return da < db
-			}
-			return gs[a].Request < gs[b].Request
-		})
+	for s := 0; s < len(idx); {
+		u := grants[idx[s]].Uploader
+		e := s
+		for e < len(idx) && grants[idx[e]].Uploader == u {
+			e++
+		}
 		up := w.peers[u]
 		if up == nil {
 			return fmt.Errorf("sim: grant from unknown uploader %d", u)
 		}
 		// The uplink serves at B(u)/slot chunks per second throughout.
 		perChunk := w.cfg.SlotSeconds / float64(up.capacity)
-		for k, g := range gs {
-			req := in.Requests[g.Request]
+		for k, n := range idx[s:e] {
+			g := grants[n]
+			req := &in.Requests[g.Request]
 			at := tau + float64(k+1)*perChunk
 			down := w.peers[req.Peer]
 			if down == nil {
 				continue // receiver departed mid-slot (possible under churn)
 			}
 			down.cache.Add(req.Chunk.Index)
-			if delivered[req.Peer] == nil {
-				delivered[req.Peer] = make(map[video.ChunkIndex]float64)
+			w.markDelivered(req.Chunk.Video, req.Chunk.Index)
+			if len(down.delivered) == 0 {
+				w.deliveredPeers = append(w.deliveredPeers, req.Peer)
 			}
-			delivered[req.Peer][req.Chunk.Index] = at
+			down.delivered = append(down.delivered, deliveredChunk{idx: req.Chunk.Index, at: at})
 			out.welfare += req.Value - mustCost(in, g)
 			out.grants++
 			inter, err := w.topo.IsInter(u, req.Peer)
@@ -480,6 +632,7 @@ func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant,
 				return fmt.Errorf("sim: %w", err)
 			}
 		}
+		s = e
 	}
 	return nil
 }
@@ -493,12 +646,38 @@ func mustCost(in *sched.Instance, g sched.Grant) float64 {
 	return c
 }
 
+// deliveredAt scans p's slot deliveries for chunk idx, returning the latest
+// recorded arrival (mirroring the old map's overwrite semantics; deliveries
+// are unique per slot in practice).
+func deliveredAt(p *peerRuntime, idx video.ChunkIndex) (float64, bool) {
+	at, found := 0.0, false
+	for _, dc := range p.delivered {
+		if dc.idx == idx {
+			at, found = dc.at, true
+		}
+	}
+	return at, found
+}
+
+// clearDelivered resets the slot's delivery records (called once per slot
+// after playback; only peers that actually received chunks are touched).
+func (w *world) clearDelivered() {
+	for _, id := range w.deliveredPeers {
+		if p := w.peers[id]; p != nil {
+			p.delivered = p.delivered[:0]
+		}
+	}
+	w.deliveredPeers = w.deliveredPeers[:0]
+}
+
 // playback advances every watcher by one slot of playback, counting deadline
 // misses, and collects departures (finished or early-leaving watchers).
-func (w *world) playback(delivered map[isp.PeerID]map[video.ChunkIndex]float64,
-	out *slotOutcome) {
+func (w *world) playback(out *slotOutcome) {
 	rate := w.catalog.ChunksPerSecond()
 	for _, id := range w.order {
+		if id == noPeer {
+			continue
+		}
 		p := w.peers[id]
 		if p.seed {
 			continue
@@ -513,7 +692,7 @@ func (w *world) playback(delivered map[isp.PeerID]map[video.ChunkIndex]float64,
 				deadlineAt := float64(i) / rate
 				miss := !p.cache.Has(idx)
 				if !miss {
-					if at, ok := delivered[id][idx]; ok && at > deadlineAt {
+					if at, ok := deliveredAt(p, idx); ok && at > deadlineAt {
 						miss = true // arrived, but after its playback moment
 					}
 				}

@@ -11,9 +11,11 @@ import (
 // Concurrent is the lock-guarded facade over Tracker for callers that hit
 // the registry from multiple goroutines — concurrent shard workers
 // refreshing neighbor lists, or a protocol server handling joins while the
-// control loop reads. Mutations take the write lock; lookups (including the
-// allocating Neighbors/SwarmPeers, which return fresh slices) share a read
-// lock, so read-heavy workloads scale.
+// control loop reads. Mutations take the write lock; pure lookups share a
+// read lock. Neighbors and NeighborsLocal also take the write lock: they
+// serve from the tracker's lazily rebuilt positional index and shared
+// gather scratch (the machinery that makes a whole-network refresh sort
+// each swarm once), which makes them writers under the hood.
 type Concurrent struct {
 	mu sync.RWMutex
 	t  *Tracker
@@ -71,8 +73,8 @@ func (c *Concurrent) Watching(v video.ID) int {
 
 // Neighbors builds a bootstrap neighbor list (see Tracker.Neighbors).
 func (c *Concurrent) Neighbors(p isp.PeerID, max int) ([]isp.PeerID, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.t.Neighbors(p, max)
 }
 
@@ -89,7 +91,7 @@ func (c *Concurrent) SwarmPeers(v video.ID) []isp.PeerID {
 // schedule-dependent.
 func (c *Concurrent) NeighborsLocal(p isp.PeerID, max int, pol Policy,
 	ispOf func(isp.PeerID) (isp.ID, bool), rng *randx.Source) ([]isp.PeerID, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.t.NeighborsLocal(p, max, pol, ispOf, rng)
 }

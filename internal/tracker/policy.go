@@ -20,6 +20,7 @@ package tracker
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/isp"
@@ -189,22 +190,54 @@ func (t *Tracker) NeighborsLocal(p isp.PeerID, max int, pol Policy,
 
 // splitSwarm returns p's swarm split into seeds (sorted by id) and watchers
 // (sorted by position distance to self, ties by id) — the shared ordering
-// of Neighbors and NeighborsLocal.
+// of Neighbors and NeighborsLocal. Served from the cached positional
+// index: the distance ordering falls out of one outward walk with each
+// equal-distance group id-sorted in place, so a policy-shaped refresh pass
+// costs O(swarm) per member instead of a whole-swarm sort per member.
 func (t *Tracker) splitSwarm(self *Entry) (seeds, watchers []*Entry) {
-	for _, e := range t.byVideo[self.Video] {
-		if e.Peer == self.Peer {
-			continue
-		}
-		if e.Seed {
+	idx := t.swarm(self.Video)
+	seeds = make([]*Entry, 0, len(idx.seeds))
+	for _, e := range idx.seeds {
+		if e.Peer != self.Peer {
 			seeds = append(seeds, e)
-		} else {
-			watchers = append(watchers, e)
 		}
 	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Peer < seeds[j].Peer })
-	sort.Slice(watchers, func(i, j int) bool {
-		return watcherLess(watchers[i], watchers[j], self.Position)
-	})
+	w := idx.watchers
+	watchers = make([]*Entry, 0, len(w))
+	r := sort.Search(len(w), func(i int) bool { return w[i].Position >= self.Position })
+	l := r - 1
+	for l >= 0 || r < len(w) {
+		// The next distance is the nearer of the two frontiers; consume the
+		// whole equal-distance group from both sides, then order it by id —
+		// reproducing the global (distance, id) sort group by group.
+		var d video.ChunkIndex
+		switch {
+		case l < 0:
+			d = positionDistance(w[r].Position, self.Position)
+		case r >= len(w):
+			d = positionDistance(w[l].Position, self.Position)
+		default:
+			d = positionDistance(w[l].Position, self.Position)
+			if dr := positionDistance(w[r].Position, self.Position); dr < d {
+				d = dr
+			}
+		}
+		grpStart := len(watchers)
+		for l >= 0 && positionDistance(w[l].Position, self.Position) == d {
+			if w[l].Peer != self.Peer {
+				watchers = append(watchers, w[l])
+			}
+			l--
+		}
+		for r < len(w) && positionDistance(w[r].Position, self.Position) == d {
+			if w[r].Peer != self.Peer {
+				watchers = append(watchers, w[r])
+			}
+			r++
+		}
+		grp := watchers[grpStart:]
+		slices.SortFunc(grp, func(a, b *Entry) int { return int(a.Peer - b.Peer) })
+	}
 	return seeds, watchers
 }
 
