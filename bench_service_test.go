@@ -1,0 +1,68 @@
+// bench_service_test.go: benchmarks for the live scheduler daemon, one per
+// recorded load-test profile. Each iteration boots an in-process daemon
+// (manual clock) behind httptest, runs a miniature version of the profile
+// through internal/loadtest, and reports the profile's headline numbers
+// (req/sec, p50/p99 latency, error rate) via b.ReportMetric. These are the
+// functions BENCH_loadtest.json pins its profiles to — the manifest drift
+// guard (benchmanifest_test.go) fails if they are renamed without
+// re-recording. Full-length recorded runs come from `go run ./cmd/loadgen`;
+// CI smoke runs these at -benchtime 1x.
+package repro_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/loadtest"
+	"repro/internal/service"
+)
+
+// benchmarkServiceProfile runs one miniature profile per iteration against a
+// fresh daemon and reports the averaged headline metrics.
+func benchmarkServiceProfile(b *testing.B, name string) {
+	b.Helper()
+	b.ReportAllocs()
+	// Miniature scale: long enough for every profile branch (spike's middle
+	// third, stress's ramp stages, soak's early/late heap comparison) to
+	// engage, short enough for routine `go test -bench` runs.
+	prof, err := loadtest.ProfileByName(name, 400*time.Millisecond, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof.TickInterval = 10 * time.Millisecond
+	var reqPerSec, p50, p99, errRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := service.DefaultOptions()
+		opts.SlotInterval = 0 // the load generator drives /v1/tick
+		d, err := service.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(d.Handler())
+		res, err := loadtest.Run(srv.URL, prof)
+		srv.Close()
+		d.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed {
+			b.Fatalf("profile %s failed: %s", name, res.Reason)
+		}
+		reqPerSec += res.ReqPerSec
+		p50 += res.P50Ms
+		p99 += res.P99Ms
+		errRate += res.ErrorRate
+	}
+	n := float64(b.N)
+	b.ReportMetric(reqPerSec/n, "req/sec")
+	b.ReportMetric(p50/n, "p50-ms")
+	b.ReportMetric(p99/n, "p99-ms")
+	b.ReportMetric(errRate/n, "error-rate")
+}
+
+func BenchmarkServiceBaseline(b *testing.B) { benchmarkServiceProfile(b, "baseline") }
+func BenchmarkServiceSpike(b *testing.B)    { benchmarkServiceProfile(b, "spike") }
+func BenchmarkServiceStress(b *testing.B)   { benchmarkServiceProfile(b, "stress") }
+func BenchmarkServiceSoak(b *testing.B)     { benchmarkServiceProfile(b, "soak") }

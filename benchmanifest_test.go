@@ -20,12 +20,18 @@ import (
 )
 
 // benchManifest is the shared shape of the BENCH_*.json files: only the
-// fields the guard needs.
+// fields the guard needs. Solver manifests record per-benchmark entries
+// under "benchmarks"; the load-test manifest records per-profile entries
+// under "profiles", each naming the BenchmarkService* func that replays it.
 type benchManifest struct {
 	Name       string `json:"name"`
 	Benchmarks []struct {
 		Name string `json:"name"`
 	} `json:"benchmarks"`
+	Profiles []struct {
+		Name      string `json:"name"`
+		Benchmark string `json:"benchmark"`
+	} `json:"profiles"`
 }
 
 // declaredBenchmarks parses every *_test.go under the repository root and
@@ -92,21 +98,31 @@ func TestBenchManifestsMatchDeclaredBenchmarks(t *testing.T) {
 		if err := json.Unmarshal(data, &m); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
-		if len(m.Benchmarks) == 0 {
-			t.Errorf("%s records no benchmarks — manifest shape drifted?", path)
+		if len(m.Benchmarks) == 0 && len(m.Profiles) == 0 {
+			t.Errorf("%s records no benchmarks or profiles — manifest shape drifted?", path)
 			continue
 		}
-		for _, b := range m.Benchmarks {
+		check := func(recorded string) {
 			// go-test appends -N (GOMAXPROCS) and /sub names; manifests here
 			// record plain function names, but tolerate both spellings.
-			name := b.Name
+			name := recorded
 			if i := strings.IndexAny(name, "/-"); i > 0 {
 				name = name[:i]
 			}
 			if !decls[name] {
 				t.Errorf("%s records %q but no such Benchmark function is declared — "+
-					"re-record the manifest or restore the benchmark", path, b.Name)
+					"re-record the manifest or restore the benchmark", path, recorded)
 			}
+		}
+		for _, b := range m.Benchmarks {
+			check(b.Name)
+		}
+		for _, p := range m.Profiles {
+			if p.Benchmark == "" {
+				t.Errorf("%s: profile %q names no benchmark", path, p.Name)
+				continue
+			}
+			check(p.Benchmark)
 		}
 	}
 }

@@ -1,0 +1,151 @@
+// Command loadgen drives the recorded load-test suite against a schedulerd
+// endpoint (internal/loadtest): baseline, spike, stress and soak profiles,
+// each emitting req/sec, exact p50/p95/p99 latency and error rate.
+//
+//	loadgen -profile baseline -duration 30s        # CI smoke: self-hosted daemon
+//	loadgen -profile all -duration 60s -workers 32 # the full recorded suite
+//	loadgen -target http://10.0.0.5:8844 -profile stress
+//	loadgen -profile all -out BENCH_loadtest.json  # record the manifest
+//
+// With no -target, loadgen self-hosts an in-process manual-tick daemon per
+// profile (fresh solver state each, so soak memstats are unpolluted) and
+// advances slots itself. Against a remote -target, set -tick 0 if the
+// daemon runs its own slot clock.
+//
+// Exit status is non-zero when any profile fails its own bound (soak leak)
+// or the error rate crosses -max-error-rate — the CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/loadtest"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		target       = fs.String("target", "", "schedulerd base URL (empty = self-host an in-process daemon)")
+		profile      = fs.String("profile", "baseline", "profile to run: baseline, spike, stress, soak or all")
+		duration     = fs.Duration("duration", 30*time.Second, "base profile duration (soak runs 2x)")
+		workers      = fs.Int("workers", 16, "initial synthetic-peer population")
+		tick         = fs.Duration("tick", 25*time.Millisecond, "slot tick period driven by the generator (0 = target runs its own clock)")
+		outPath      = fs.String("out", "", "write BENCH_loadtest.json-style manifest to this path")
+		maxErrorRate = fs.Float64("max-error-rate", 0.05, "fail when a profile's error rate crosses this")
+		epsilon      = fs.Float64("epsilon", 0.01, "epsilon for the self-hosted daemon")
+		sharded      = fs.Bool("sharded", false, "self-hosted daemon uses the sharded orchestrator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var profiles []loadtest.Profile
+	if *profile == "all" {
+		profiles = loadtest.DefaultProfiles(*duration, *workers)
+	} else {
+		p, err := loadtest.ProfileByName(*profile, *duration, *workers)
+		if err != nil {
+			return err
+		}
+		profiles = []loadtest.Profile{p}
+	}
+
+	var results []loadtest.Result
+	failed := false
+	for _, p := range profiles {
+		p.TickInterval = *tick
+		url := *target
+		var stop func()
+		if url == "" {
+			var err error
+			url, stop, err = selfHost(*epsilon, *sharded)
+			if err != nil {
+				return err
+			}
+			if p.TickInterval <= 0 {
+				return fmt.Errorf("self-hosted daemon is manual-tick; -tick must be positive")
+			}
+		}
+		fmt.Fprintf(out, "loadgen: %s for %v against %s (%d workers)\n", p.Name, p.Duration, url, p.Workers)
+		res, err := loadtest.Run(url, p)
+		if stop != nil {
+			stop()
+		}
+		if err != nil {
+			return fmt.Errorf("profile %s: %w", p.Name, err)
+		}
+		printResult(out, res)
+		if res.Failed {
+			failed = true
+		}
+		if res.ErrorRate > *maxErrorRate {
+			failed = true
+			fmt.Fprintf(out, "loadgen: %s error rate %.4f exceeds gate %.4f\n", res.Name, res.ErrorRate, *maxErrorRate)
+		}
+		results = append(results, res)
+	}
+
+	if *outPath != "" {
+		m := loadtest.NewManifest("go run ./cmd/loadgen "+strings.Join(args, " "), results)
+		if err := m.Write(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: wrote %s\n", *outPath)
+	}
+	if failed {
+		return fmt.Errorf("one or more profiles failed their bounds")
+	}
+	return nil
+}
+
+// selfHost starts an in-process manual-tick daemon on a loopback port.
+func selfHost(epsilon float64, sharded bool) (url string, stop func(), err error) {
+	d, err := service.New(service.Options{Epsilon: epsilon, Sharded: sharded})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	stop = func() {
+		_ = srv.Close()
+		d.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func printResult(out *os.File, r loadtest.Result) {
+	status := "ok"
+	if r.Failed {
+		status = "FAILED: " + r.Reason
+	}
+	fmt.Fprintf(out, "  %-8s %8.1f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  err %.4f  ticks %d  grants %d  [%s]\n",
+		r.Name, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.ErrorRate, r.Ticks, r.Grants, status)
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "           %s = %.3f\n", k, r.Extra[k])
+	}
+}

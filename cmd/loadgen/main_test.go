@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBaselineSelfHosted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_loadtest.json")
+	err := run([]string{
+		"-profile", "baseline",
+		"-duration", "400ms",
+		"-workers", "3",
+		"-tick", "10ms",
+		"-out", out,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m struct {
+		Name     string `json:"name"`
+		Profiles []struct {
+			Name      string  `json:"name"`
+			Benchmark string  `json:"benchmark"`
+			Requests  int64   `json:"requests"`
+			ReqPerSec float64 `json:"req_per_sec"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if m.Name != "loadtest" || len(m.Profiles) != 1 {
+		t.Fatalf("manifest shape: %+v", m)
+	}
+	p := m.Profiles[0]
+	if p.Name != "baseline" || p.Benchmark != "BenchmarkServiceBaseline" || p.Requests == 0 || p.ReqPerSec <= 0 {
+		t.Fatalf("profile record: %+v", p)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-profile", "warp"}, os.Stdout); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+	if err := run([]string{"-profile", "baseline", "-tick", "0"}, os.Stdout); err == nil {
+		t.Fatal("self-host with -tick 0 should fail (nobody would advance slots)")
+	}
+	if err := run([]string{"-no-such-flag"}, os.Stdout); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+	// Unreachable remote target: setup error, not a hang.
+	if err := run([]string{"-target", "http://127.0.0.1:1", "-profile", "baseline", "-duration", "200ms"}, os.Stdout); err == nil {
+		t.Fatal("unreachable target should fail")
+	}
+}

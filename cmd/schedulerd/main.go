@@ -1,0 +1,115 @@
+// Command schedulerd runs the live scheduler daemon: the persistent warm
+// auction (or the sharded orchestrator) behind an HTTP/JSON API. Peers
+// register, post bandwidth offers and chunk bids, and poll their grants;
+// slots tick on a wall clock; warm solver state carries across rounds.
+//
+//	schedulerd                                    # 1s slots on 127.0.0.1:8844
+//	schedulerd -addr :9000 -slot 500ms            # faster clock, all interfaces
+//	schedulerd -slot 0                            # manual slots (POST /v1/tick)
+//	schedulerd -sharded -shard-workers 4          # sharded swarm orchestrator
+//	schedulerd -snapshot /var/lib/schedulerd.json # drain/restore state image
+//
+// SIGTERM or SIGINT drains gracefully: the slot clock stops, outstanding
+// bids solve in one final slot, the state snapshot is written (when
+// configured), and in-flight HTTP requests finish within -drain-timeout.
+//
+// Observability: GET /metrics (Prometheus text format), /v1/stats (JSON),
+// /healthz. See docs/OPERATIONS.md for the full API and metric reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "schedulerd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the context is cancelled by a
+// signal (or by the test harness through stop). ready, when non-nil,
+// receives the bound address once the listener is up.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("schedulerd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8844", "listen address")
+		slot          = fs.Duration("slot", time.Second, "slot clock period (0 = manual ticks via POST /v1/tick)")
+		epsilon       = fs.Float64("epsilon", 0.01, "auction bid increment (epsilon)")
+		sharded       = fs.Bool("sharded", false, "use the sharded swarm orchestrator")
+		shardWorkers  = fs.Int("shard-workers", 0, "concurrent shard solves (0 = sequential)")
+		maxShardPeers = fs.Int("max-shard-peers", 0, "refine shards above this peer count (0 = exact partition)")
+		snapshot      = fs.String("snapshot", "", "state snapshot path (drain writes, start restores)")
+		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := service.New(service.Options{
+		Epsilon:       *epsilon,
+		SlotInterval:  *slot,
+		Sharded:       *sharded,
+		ShardWorkers:  *shardWorkers,
+		MaxShardPeers: *maxShardPeers,
+		SnapshotPath:  *snapshot,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	fmt.Printf("schedulerd: %s solver, %v slots, listening on %s\n",
+		d.SchedulerName(), *slot, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		d.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: final solve + snapshot first (the books stop moving
+	// once the clock is down), then let in-flight requests finish.
+	fmt.Println("schedulerd: draining")
+	drainErr := d.Drain()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	st := d.Stats()
+	fmt.Printf("schedulerd: drained after %d slots, %d grants, welfare %.3f\n",
+		st.Slot, st.Totals.Grants, st.Totals.Welfare)
+	return drainErr
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, exercises
+// the API end to end, then delivers SIGTERM and expects a clean drain with
+// a written snapshot.
+func TestRunServesAndDrains(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-slot", "20ms",
+			"-snapshot", snap,
+		}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Wait for the wall clock to tick at least once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		var st struct {
+			Slot int64 `json:"slot"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Slot > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot clock never ticked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SIGTERM → graceful drain. run() installs the handler via
+	// signal.NotifyContext, so the process-wide signal reaches it.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written on drain: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-epsilon", "0", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("zero epsilon should fail startup")
+	}
+	if err := run([]string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+	// An unbindable address must fail fast, not hang.
+	if err := run([]string{"-addr", "256.0.0.1:99999"}, nil); err == nil {
+		t.Fatal("bad listen address should fail")
+	}
+}

@@ -1,0 +1,145 @@
+package live
+
+// hammer_test.go: concurrency hammers for the hub, meant to run under
+// -race (CI does). They pin two properties the protocol demo must keep:
+// the hub survives concurrent Dial/Bid/Close storms without data races,
+// and Hub.Close never hangs — not even with connections that connected
+// but never completed the Join handshake (the accept-loop leak this PR
+// fixed: such conns were invisible to the shutdown sweep).
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/video"
+)
+
+// closeHub closes h in a watchdog so a regression hangs the test with a
+// message instead of timing out the whole package.
+func closeHub(t *testing.T, h *Hub) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- h.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("hub close: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Hub.Close hung (accept-loop goroutine leak?)")
+	}
+}
+
+func TestHubHammerConcurrentPeers(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHub(t, hub)
+
+	const peers = 24
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, peers)
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(id int32) {
+			defer wg.Done()
+			// Every peer sells one unit and bids against its ring
+			// neighbors, so bids, results and evictions all fly at once.
+			p, err := Dial(hub.Addr(), id, 0.01, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			left := (id-1+peers-1)%peers + 1
+			right := id%peers + 1
+			p.SetNeighbors([]int32{left, right})
+			for r := 0; r < rounds; r++ {
+				err := p.Bid([]auction.Request{{
+					Chunk: video.ChunkID{Video: 0, Index: video.ChunkIndex(r)},
+					Value: float64(id%7) + 1,
+					Candidates: []auction.Candidate{
+						{Peer: auction.PeerRef(left), Cost: 0.5},
+						{Peer: auction.PeerRef(right), Cost: 0.5},
+					},
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			// Some peers slam the door mid-auction, some linger over the
+			// traffic first — both must be safe. The short timeout is
+			// deliberate: convergence is not this test's business.
+			if id%3 != 0 {
+				_ = p.WaitQuiescent(20*time.Millisecond, time.Second)
+			}
+			if err := p.Close(); err != nil {
+				errs <- err
+			}
+		}(int32(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("peer: %v", err)
+	}
+}
+
+func TestHubCloseWithPreJoinConns(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw TCP connections that never send a Join frame: before the fix
+	// these were untracked, their serve goroutines blocked forever on the
+	// first read, and Close hung on wg.Wait.
+	var conns []net.Conn
+	for i := 0; i < 8; i++ {
+		c, err := net.Dial("tcp", hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	// Let the accept loop pick them up.
+	time.Sleep(50 * time.Millisecond)
+
+	closeHub(t, hub)
+
+	// Closing again is a no-op.
+	if err := hub.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestHubCloseRacesWithDial(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int32) {
+			defer wg.Done()
+			p, err := Dial(hub.Addr(), id, 0.01, 1)
+			if err != nil {
+				return // hub may already be gone; that's the point
+			}
+			_ = p.Close()
+		}(int32(i + 1))
+	}
+	closeHub(t, hub)
+	wg.Wait()
+}

@@ -68,6 +68,12 @@ type Hub struct {
 
 	mu    sync.Mutex
 	conns map[int32]net.Conn
+	// all tracks every accepted connection from the moment of accept —
+	// including those still waiting for their Join frame, which conns does
+	// not yet know about. Close closes everything in all, so a serve
+	// goroutine blocked on a pre-Join read cannot outlive the hub.
+	all     map[net.Conn]struct{}
+	closing bool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -79,7 +85,12 @@ func NewHub() (*Hub, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: listen: %w", err)
 	}
-	h := &Hub{ln: ln, conns: make(map[int32]net.Conn), closed: make(chan struct{})}
+	h := &Hub{
+		ln:     ln,
+		conns:  make(map[int32]net.Conn),
+		all:    make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
 	h.wg.Add(1)
 	go h.acceptLoop()
 	return h, nil
@@ -95,7 +106,17 @@ func (h *Hub) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		h.mu.Lock()
+		if h.closing {
+			// Lost the race with Close: this conn would never be closed by
+			// the shutdown sweep, so reject it here.
+			h.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		h.all[conn] = struct{}{}
 		h.wg.Add(1)
+		h.mu.Unlock()
 		go h.serve(conn)
 	}
 }
@@ -104,14 +125,18 @@ func (h *Hub) acceptLoop() {
 // envelopes are routed.
 func (h *Hub) serve(conn net.Conn) {
 	defer h.wg.Done()
+	defer func() {
+		h.mu.Lock()
+		delete(h.all, conn)
+		h.mu.Unlock()
+		_ = conn.Close()
+	}()
 	from, _, msg, err := readEnvelope(conn)
 	if err != nil {
-		_ = conn.Close()
 		return
 	}
 	join, ok := msg.(protocol.Join)
 	if !ok || join.Peer != from {
-		_ = conn.Close()
 		return
 	}
 	h.mu.Lock()
@@ -127,7 +152,6 @@ func (h *Hub) serve(conn net.Conn) {
 			delete(h.conns, from)
 		}
 		h.mu.Unlock()
-		_ = conn.Close()
 	}()
 	for {
 		src, dst, m, err := readEnvelope(conn)
@@ -159,9 +183,12 @@ func (h *Hub) Close() error {
 	default:
 		close(h.closed)
 	}
-	err := h.ln.Close()
 	h.mu.Lock()
-	for _, c := range h.conns {
+	h.closing = true
+	err := h.ln.Close()
+	// Sweep every accepted connection, joined or not; serve goroutines
+	// blocked on a read wake up with an error and exit.
+	for c := range h.all {
 		_ = c.Close()
 	}
 	h.mu.Unlock()
@@ -285,6 +312,17 @@ func (p *Peer) WaitQuiescent(idle, timeout time.Duration) error {
 		last := p.lastRecv
 		unresolved := p.bidder.Unresolved()
 		p.mu.Unlock()
+		select {
+		case <-p.done:
+			// The reader has exited (peer closed or connection lost): no
+			// further traffic can arrive, so resolve now instead of burning
+			// the idle window.
+			if unresolved == 0 {
+				return nil
+			}
+			return errors.New("live: peer closed with unresolved bids")
+		default:
+		}
 		idleLongEnough := last.IsZero() || time.Since(last) >= idle
 		if unresolved == 0 && idleLongEnough {
 			return nil

@@ -1,0 +1,120 @@
+package live
+
+// quiescent_test.go: golden pins for WaitQuiescent's contract — the live
+// engine's only convergence signal. Three clauses: it returns once the peer
+// is idle with nothing unresolved; it errors when quiescence is not reached
+// within the timeout (an unresolvable bid keeps the bidder pending forever);
+// and after Peer.Close it resolves promptly — never hanging and never
+// waiting out the full timeout — because a closed reader can receive
+// nothing further.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/video"
+)
+
+func TestWaitQuiescentReturnsOnIdle(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHub(t, hub)
+	p, err := Dial(hub.Addr(), 1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// No traffic, nothing unresolved: quiescent immediately.
+	start := time.Now()
+	if err := p.WaitQuiescent(20*time.Millisecond, 10*time.Second); err != nil {
+		t.Fatalf("idle peer not quiescent: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("idle detection took %v", elapsed)
+	}
+}
+
+func TestWaitQuiescentTimesOutOnUnresolvedBid(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHub(t, hub)
+	p, err := Dial(hub.Addr(), 1, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Bid at a peer that does not exist: the hub drops the frame (like the
+	// real network), no BidResult ever arrives, the bid stays unresolved.
+	err = p.Bid([]auction.Request{{
+		Chunk:      video.ChunkID{Video: 0, Index: 1},
+		Value:      5,
+		Candidates: []auction.Candidate{{Peer: 99, Cost: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.WaitQuiescent(10*time.Millisecond, 300*time.Millisecond); err == nil {
+		t.Fatal("unresolved bid reported quiescent")
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond || elapsed > 10*time.Second {
+		t.Fatalf("timeout fired at %v, want ~300ms", elapsed)
+	}
+}
+
+func TestWaitQuiescentAfterCloseNeverHangs(t *testing.T) {
+	hub, err := NewHub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeHub(t, hub)
+
+	// Clean close, nothing unresolved: nil, promptly, even with an absurd
+	// timeout — the done fast-path, not the idle window, must answer.
+	clean, err := Dial(hub.Addr(), 1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := clean.WaitQuiescent(time.Hour, time.Hour); err != nil {
+		t.Fatalf("closed idle peer not quiescent: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("close fast-path took %v", elapsed)
+	}
+
+	// Close with a bid still unresolved: a prompt error, not a hang and not
+	// a full-timeout wait.
+	pending, err := Dial(hub.Addr(), 2, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pending.Bid([]auction.Request{{
+		Chunk:      video.ChunkID{Video: 0, Index: 2},
+		Value:      5,
+		Candidates: []auction.Candidate{{Peer: 99, Cost: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pending.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if err := pending.WaitQuiescent(time.Hour, time.Hour); err == nil {
+		t.Fatal("closed peer with unresolved bid reported quiescent")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("close fast-path took %v", elapsed)
+	}
+}

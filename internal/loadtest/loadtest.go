@@ -1,0 +1,533 @@
+package loadtest
+
+// loadtest.go: the load generator. A Runner drives N synthetic peers
+// (workers) against one schedulerd endpoint. Each worker loops through the
+// protocol verbs a real peer would — offer capacity, bid for chunks naming
+// other live peers as candidate uploaders, poll grants — while an optional
+// tick goroutine advances slots on manual-tick daemons. Every HTTP operation
+// is timed; per-worker samples merge into exact p50/p95/p99 percentiles.
+//
+// Four recorded profiles give the suite its discipline:
+//
+//	baseline — steady population with gentle churn (leave + rejoin)
+//	spike    — a flash crowd multiplies the population in the middle third
+//	stress   — staged ramp, adding workers until p99 latency degrades
+//	soak     — sustained baseline, leak-checked via the server's memstats
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes one load shape.
+type Profile struct {
+	// Name is the profile's manifest key: baseline, spike, stress or soak.
+	Name string `json:"name"`
+	// Benchmark is the BenchmarkService* func that replays this profile
+	// (the drift guard checks it against the declared benchmarks).
+	Benchmark string `json:"benchmark"`
+	// Duration is the total run length.
+	Duration time.Duration `json:"-"`
+	// Workers is the initial synthetic-peer population.
+	Workers int `json:"-"`
+	// BidsPerRound is how many chunk bids each worker posts per loop.
+	BidsPerRound int `json:"-"`
+	// ThinkTime is the pause between worker rounds.
+	ThinkTime time.Duration `json:"-"`
+	// TickInterval, when positive, drives POST /v1/tick at this period
+	// (for manual-tick daemons; leave 0 when the target runs a wall clock).
+	TickInterval time.Duration `json:"-"`
+	// ChurnProb is the per-round probability a worker leaves and rejoins
+	// under a fresh peer ID.
+	ChurnProb float64 `json:"-"`
+	// SpikeFactor (spike only) multiplies the population during the middle
+	// third of the run.
+	SpikeFactor int `json:"-"`
+	// RampStep and StageDuration (stress only) add RampStep workers every
+	// StageDuration until p99 crosses DegradedP99 or Duration runs out.
+	RampStep      int           `json:"-"`
+	StageDuration time.Duration `json:"-"`
+	// DegradedP99 (stress only) is the p99 latency that counts as degraded.
+	DegradedP99 time.Duration `json:"-"`
+	// LeakCheck (soak only) compares server heap usage between the early
+	// steady state and the end of the run.
+	LeakCheck bool `json:"-"`
+	// MaxHeapGrowth (soak only) is the allowed end/early heap ratio.
+	MaxHeapGrowth float64 `json:"-"`
+	// Seed feeds the per-worker RNGs, making a profile run reproducible.
+	Seed int64 `json:"-"`
+}
+
+// Result is one profile's recorded outcome, shaped for the manifest.
+type Result struct {
+	Name        string  `json:"name"`
+	Benchmark   string  `json:"benchmark"`
+	DurationSec float64 `json:"duration_sec"`
+	Workers     int     `json:"workers"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	ErrorRate   float64 `json:"error_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Ticks       int64   `json:"ticks"`
+	Grants      int64   `json:"grants"`
+	Welfare     float64 `json:"welfare"`
+	// Extra carries profile-specific readings (stress knee, soak heap
+	// ratios, spike population).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Failed marks a profile that violated its own acceptance bound
+	// (stress never degrading is fine; a soak leak is not).
+	Failed bool   `json:"failed,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// DefaultProfiles returns the four-profile suite at a given base duration
+// and population. CI smoke runs pass short durations; the recorded nightly
+// run uses the defaults in cmd/loadgen.
+func DefaultProfiles(base time.Duration, workers int) []Profile {
+	tick := 25 * time.Millisecond
+	return []Profile{
+		{
+			Name: "baseline", Benchmark: "BenchmarkServiceBaseline",
+			Duration: base, Workers: workers, BidsPerRound: 2,
+			ThinkTime: 5 * time.Millisecond, TickInterval: tick,
+			ChurnProb: 0.02, Seed: 1,
+		},
+		{
+			Name: "spike", Benchmark: "BenchmarkServiceSpike",
+			Duration: base, Workers: workers, BidsPerRound: 2,
+			ThinkTime: 5 * time.Millisecond, TickInterval: tick,
+			SpikeFactor: 4, Seed: 2,
+		},
+		{
+			Name: "stress", Benchmark: "BenchmarkServiceStress",
+			Duration: base, Workers: workers, BidsPerRound: 4,
+			ThinkTime: time.Millisecond, TickInterval: tick,
+			RampStep: workers, StageDuration: base / 8,
+			DegradedP99: 250 * time.Millisecond, Seed: 3,
+		},
+		{
+			Name: "soak", Benchmark: "BenchmarkServiceSoak",
+			Duration: 2 * base, Workers: workers, BidsPerRound: 2,
+			ThinkTime: 5 * time.Millisecond, TickInterval: tick,
+			ChurnProb: 0.02, LeakCheck: true, MaxHeapGrowth: 3.0, Seed: 4,
+		},
+	}
+}
+
+// ProfileByName returns the named profile from DefaultProfiles.
+func ProfileByName(name string, base time.Duration, workers int) (Profile, error) {
+	for _, p := range DefaultProfiles(base, workers) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("loadtest: unknown profile %q (want baseline, spike, stress or soak)", name)
+}
+
+// population tracks the live synthetic-peer IDs so workers can name each
+// other as candidate uploaders.
+type population struct {
+	mu  sync.Mutex
+	ids []int64
+}
+
+func (p *population) add(id int64) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+func (p *population) remove(id int64) {
+	p.mu.Lock()
+	for i, v := range p.ids {
+		if v == id {
+			p.ids[i] = p.ids[len(p.ids)-1]
+			p.ids = p.ids[:len(p.ids)-1]
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// sample returns up to n distinct live IDs other than self.
+func (p *population) sample(rng *rand.Rand, self int64, n int) []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int64, 0, n)
+	for try := 0; try < 4*n && len(out) < n; try++ {
+		id := p.ids[rng.Intn(len(p.ids))]
+		if id == self {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// runner is one profile execution in flight.
+type runner struct {
+	target  string
+	profile Profile
+	pop     population
+	nextID  atomic.Int64
+
+	mu      sync.Mutex
+	samples []float64 // latency in ms, merged from workers
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Run executes one profile against the target base URL and returns its
+// recorded result. The error return is reserved for setup failures
+// (unreachable endpoint); load-level failures land in Result.Failed.
+func Run(target string, p Profile) (Result, error) {
+	if p.Workers <= 0 || p.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadtest: profile %q needs positive workers and duration", p.Name)
+	}
+	c := NewClient(target)
+	if !c.Healthy() {
+		return Result{}, fmt.Errorf("loadtest: endpoint %s is not healthy", target)
+	}
+	startStats, err := c.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+
+	r := &runner{target: target, profile: p}
+	ctx, cancel := context.WithTimeout(context.Background(), p.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if p.TickInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.tickLoop(ctx)
+		}()
+	}
+
+	spawn := func(ctx context.Context, n int) {
+		for i := 0; i < n; i++ {
+			id := r.nextID.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.worker(ctx, id)
+			}()
+		}
+	}
+
+	start := time.Now()
+	spawn(ctx, p.Workers)
+	peakWorkers := p.Workers
+
+	var extra map[string]float64
+	var soakEarly Stats
+	var soakErr error
+	failed, reason := false, ""
+	switch {
+	case p.SpikeFactor > 1:
+		peakWorkers, extra = r.runSpike(ctx, spawn)
+	case p.RampStep > 0:
+		peakWorkers, extra = r.runStress(ctx, spawn)
+	case p.LeakCheck:
+		soakEarly, soakErr = r.runSoak(ctx, c)
+	default:
+		<-ctx.Done()
+	}
+	<-ctx.Done()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if p.LeakCheck {
+		// Let the generator's own HTTP connections wind down before the late
+		// scrape: in self-hosted runs the daemon shares the process, so the
+		// leave-storm's connection goroutines would otherwise read as a leak.
+		time.Sleep(200 * time.Millisecond)
+	}
+	endStats, err := c.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+	if p.LeakCheck {
+		failed, reason, extra = soakVerdict(p, soakEarly, soakErr, endStats)
+	}
+
+	res := r.result(elapsed, peakWorkers)
+	// Run-scoped server-side deltas from the daemon's cumulative counters.
+	res.Ticks = endStats.Totals.Ticks - startStats.Totals.Ticks
+	res.Grants = endStats.Totals.Grants - startStats.Totals.Grants
+	res.Welfare = endStats.Totals.Welfare - startStats.Totals.Welfare
+	res.Extra = extra
+	res.Failed = failed
+	res.Reason = reason
+	return res, nil
+}
+
+func (r *runner) result(elapsed time.Duration, peakWorkers int) Result {
+	r.mu.Lock()
+	samples := r.samples
+	r.mu.Unlock()
+	sort.Float64s(samples)
+	req := r.requests.Load()
+	errs := r.errors.Load()
+	res := Result{
+		Name:        r.profile.Name,
+		Benchmark:   r.profile.Benchmark,
+		DurationSec: elapsed.Seconds(),
+		Workers:     peakWorkers,
+		Requests:    req,
+		Errors:      errs,
+		ReqPerSec:   float64(req) / elapsed.Seconds(),
+		P50Ms:       percentile(samples, 0.50),
+		P95Ms:       percentile(samples, 0.95),
+		P99Ms:       percentile(samples, 0.99),
+	}
+	if req > 0 {
+		res.ErrorRate = float64(errs) / float64(req)
+	}
+	return res
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// call times one client operation into the shared sample pool.
+func (r *runner) call(op func() error) {
+	start := time.Now()
+	err := op()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	r.requests.Add(1)
+	if err != nil {
+		r.errors.Add(1)
+	}
+	r.mu.Lock()
+	r.samples = append(r.samples, ms)
+	r.mu.Unlock()
+}
+
+// tickLoop advances slots on manual-tick daemons.
+func (r *runner) tickLoop(ctx context.Context) {
+	c := NewClient(r.target)
+	t := time.NewTicker(r.profile.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.call(func() error { _, err := c.Tick(); return err })
+		}
+	}
+}
+
+// worker is one synthetic peer: join, then rounds of offer/bid/poll with
+// think time, leaving (and maybe rejoining as a new peer) per the profile's
+// churn, until the context expires.
+func (r *runner) worker(ctx context.Context, id int64) {
+	p := r.profile
+	rng := rand.New(rand.NewSource(p.Seed*1_000_003 + id))
+	c := NewClient(r.target)
+
+	r.call(func() error { return c.Join(id, int(id%5)) })
+	r.pop.add(id)
+	chunk := int32(rng.Intn(1000))
+	video := int32(id % 16)
+
+	for {
+		select {
+		case <-ctx.Done():
+			r.pop.remove(id)
+			// Best-effort goodbye; the daemon may already be draining.
+			_ = c.Leave(id)
+			return
+		default:
+		}
+
+		r.call(func() error { return c.Offer(id, 2+rng.Intn(4)) })
+		bids := make([]Bid, 0, p.BidsPerRound)
+		for i := 0; i < p.BidsPerRound; i++ {
+			chunk++
+			var cands []Candidate
+			for _, up := range r.pop.sample(rng, id, 2) {
+				cands = append(cands, Candidate{Peer: up, Cost: 0.1 + rng.Float64()})
+			}
+			if len(cands) == 0 {
+				continue // population of one; nothing to bid on
+			}
+			bids = append(bids, Bid{
+				Video: video, Chunk: chunk,
+				Value:      1 + rng.Float64(),
+				Deadline:   float64(1 + rng.Intn(30)),
+				Candidates: cands,
+			})
+		}
+		if len(bids) > 0 {
+			r.call(func() error { return c.SubmitBids(id, bids) })
+		}
+		r.call(func() error { _, err := c.Grants(id); return err })
+
+		if p.ChurnProb > 0 && rng.Float64() < p.ChurnProb {
+			r.pop.remove(id)
+			r.call(func() error { return c.Leave(id) })
+			id = r.nextID.Add(1)
+			r.call(func() error { return c.Join(id, int(id%5)) })
+			r.pop.add(id)
+		}
+
+		if p.ThinkTime > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(p.ThinkTime):
+			}
+		}
+	}
+}
+
+// runSpike triples the population for the middle third of the run: a flash
+// crowd arriving and departing.
+func (r *runner) runSpike(ctx context.Context, spawn func(context.Context, int)) (int, map[string]float64) {
+	p := r.profile
+	extraWorkers := (p.SpikeFactor - 1) * p.Workers
+	third := p.Duration / 3
+	select {
+	case <-ctx.Done():
+		return p.Workers, nil
+	case <-time.After(third):
+	}
+	spikeCtx, cancelSpike := context.WithTimeout(ctx, third)
+	defer cancelSpike()
+	spawn(spikeCtx, extraWorkers)
+	<-spikeCtx.Done()
+	return p.Workers + extraWorkers, map[string]float64{
+		"spike_workers": float64(extraWorkers),
+		"spike_sec":     third.Seconds(),
+	}
+}
+
+// runStress adds RampStep workers every StageDuration until the stage's p99
+// crosses DegradedP99, reporting the knee (the population where the target
+// degraded). Never degrading within Duration is a pass, recorded as knee 0.
+func (r *runner) runStress(ctx context.Context, spawn func(context.Context, int)) (int, map[string]float64) {
+	p := r.profile
+	workers := p.Workers
+	stages := 0.0
+	knee := 0.0
+	lastP99 := 0.0
+	for {
+		mark := r.sampleCount()
+		select {
+		case <-ctx.Done():
+			return workers, map[string]float64{
+				"knee_workers": knee, "stages": stages, "final_p99_ms": lastP99,
+			}
+		case <-time.After(p.StageDuration):
+		}
+		stages++
+		lastP99 = r.stageP99(mark)
+		if lastP99 > float64(p.DegradedP99)/float64(time.Millisecond) {
+			if knee == 0 {
+				knee = float64(workers)
+			}
+			// Keep serving at the degraded level until the clock runs out;
+			// no need to pile on more load.
+			continue
+		}
+		spawn(ctx, p.RampStep)
+		workers += p.RampStep
+	}
+}
+
+func (r *runner) sampleCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// stageP99 computes p99 over the samples recorded since mark.
+func (r *runner) stageP99(mark int) float64 {
+	r.mu.Lock()
+	stage := append([]float64(nil), r.samples[mark:]...)
+	r.mu.Unlock()
+	sort.Float64s(stage)
+	return percentile(stage, 0.99)
+}
+
+// runSoak watches the server's heap: a reading in early steady state
+// (20% into the run) against the end. Growth beyond MaxHeapGrowth fails the
+// profile.
+// runSoak scrapes the daemon's early steady-state stats one fifth of the way
+// into the run, then waits it out. The verdict is left to soakVerdict, which
+// runs only after every worker has exited.
+func (r *runner) runSoak(ctx context.Context, c *Client) (Stats, error) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(r.profile.Duration / 5):
+	}
+	return c.Stats()
+}
+
+// soakVerdict compares the early steady-state scrape against the post-run
+// scrape: heap growth bounded by the profile, goroutine count not ballooning.
+func soakVerdict(p Profile, early Stats, earlyErr error, late Stats) (bool, string, map[string]float64) {
+	if earlyErr != nil {
+		return true, fmt.Sprintf("early stats scrape: %v", earlyErr), nil
+	}
+	// The ratio denominator gets an absolute floor: below it, heap numbers
+	// are GC timing noise (a fresh daemon idles around half a megabyte, and
+	// whether a collection ran just before the scrape swings the reading by
+	// several x). A real leak marches past the floor and the ratio catches it.
+	const heapNoiseFloor = 8 << 20
+	baseHeap := early.HeapAllocBytes
+	if baseHeap < heapNoiseFloor {
+		baseHeap = heapNoiseFloor
+	}
+	growth := float64(late.HeapAllocBytes) / float64(baseHeap)
+	extra := map[string]float64{
+		"heap_early_bytes":  float64(early.HeapAllocBytes),
+		"heap_end_bytes":    float64(late.HeapAllocBytes),
+		"heap_growth_ratio": growth,
+		"goroutines_early":  float64(early.NumGoroutine),
+		"goroutines_end":    float64(late.NumGoroutine),
+	}
+	if growth > p.MaxHeapGrowth {
+		return true, fmt.Sprintf("heap grew %.2fx (bound %.2fx): %d -> %d bytes",
+			growth, p.MaxHeapGrowth, early.HeapAllocBytes, late.HeapAllocBytes), extra
+	}
+	// Goroutine growth is the other classic leak. The early scrape runs under
+	// load (it counts active connection goroutines); the late one runs after
+	// the workers exited, so it should be at or below that level, not above.
+	if late.NumGoroutine > 2*early.NumGoroutine+16 {
+		return true, fmt.Sprintf("goroutines grew %d -> %d", early.NumGoroutine, late.NumGoroutine), extra
+	}
+	return false, "", extra
+}

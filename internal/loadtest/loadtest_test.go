@@ -1,0 +1,190 @@
+package loadtest_test
+
+// The load generator's own tests run miniature profiles against an
+// in-process daemon (manual-tick mode; the runner's tick goroutine drives
+// the slots). They assert the harness mechanics — request accounting,
+// percentile math, profile-specific extras — not absolute throughput.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/loadtest"
+	"repro/internal/service"
+
+	"net/http/httptest"
+)
+
+// startDaemon serves a manual-tick daemon over an httptest server.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	d, err := service.New(service.Options{Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// shortProfile shrinks a named default profile to test scale.
+func shortProfile(t *testing.T, name string, d time.Duration, workers int) loadtest.Profile {
+	t.Helper()
+	p, err := loadtest.ProfileByName(name, d, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.TickInterval = 10 * time.Millisecond
+	p.ThinkTime = 2 * time.Millisecond
+	return p
+}
+
+func TestBaselineProfile(t *testing.T) {
+	url := startDaemon(t)
+	res, err := loadtest.Run(url, shortProfile(t, "baseline", 700*time.Millisecond, 4))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("baseline failed: %s", res.Reason)
+	}
+	if res.Requests < 20 {
+		t.Fatalf("suspiciously few requests: %+v", res)
+	}
+	if res.ErrorRate > 0.05 {
+		t.Fatalf("error rate %v too high (errors=%d)", res.ErrorRate, res.Errors)
+	}
+	if res.Ticks == 0 {
+		t.Fatal("tick goroutine never advanced a slot")
+	}
+	if res.Grants == 0 || res.Welfare <= 0 {
+		t.Fatalf("no market activity: grants=%d welfare=%v", res.Grants, res.Welfare)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P95Ms || res.P95Ms < res.P50Ms {
+		t.Fatalf("percentiles out of order: %+v", res)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Fatalf("req/sec not computed: %+v", res)
+	}
+}
+
+func TestSpikeProfile(t *testing.T) {
+	url := startDaemon(t)
+	p := shortProfile(t, "spike", 600*time.Millisecond, 3)
+	res, err := loadtest.Run(url, p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("spike failed: %s", res.Reason)
+	}
+	if res.Workers != p.Workers*p.SpikeFactor {
+		t.Fatalf("peak workers = %d, want %d", res.Workers, p.Workers*p.SpikeFactor)
+	}
+	if res.Extra["spike_workers"] != float64((p.SpikeFactor-1)*p.Workers) {
+		t.Fatalf("spike extras: %+v", res.Extra)
+	}
+}
+
+func TestStressProfile(t *testing.T) {
+	url := startDaemon(t)
+	p := shortProfile(t, "stress", 600*time.Millisecond, 2)
+	p.StageDuration = 100 * time.Millisecond
+	res, err := loadtest.Run(url, p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Extra == nil {
+		t.Fatal("stress recorded no extras")
+	}
+	if res.Extra["stages"] < 1 {
+		t.Fatalf("stress never completed a stage: %+v", res.Extra)
+	}
+	// Degradation is hardware-dependent; the contract is that the knee is
+	// either unreached (0) or at least the starting population.
+	if k := res.Extra["knee_workers"]; k != 0 && k < float64(p.Workers) {
+		t.Fatalf("nonsense knee: %+v", res.Extra)
+	}
+}
+
+func TestSoakProfile(t *testing.T) {
+	url := startDaemon(t)
+	p := shortProfile(t, "soak", 400*time.Millisecond, 3)
+	res, err := loadtest.Run(url, p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed {
+		t.Fatalf("soak failed: %s", res.Reason)
+	}
+	if res.Extra["heap_early_bytes"] <= 0 || res.Extra["heap_growth_ratio"] <= 0 {
+		t.Fatalf("soak heap readings missing: %+v", res.Extra)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := loadtest.Run("http://127.0.0.1:1", loadtest.Profile{Name: "x"}); err == nil {
+		t.Fatal("zero-valued profile should be rejected")
+	}
+	p, err := loadtest.ProfileByName("baseline", time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing is listening on a reserved port: setup must fail, not hang.
+	if _, err := loadtest.Run("http://127.0.0.1:1", p); err == nil {
+		t.Fatal("unreachable endpoint should fail Run")
+	}
+	if _, err := loadtest.ProfileByName("warp", time.Second, 1); err == nil {
+		t.Fatal("unknown profile name should error")
+	}
+}
+
+func TestManifestWrite(t *testing.T) {
+	m := loadtest.NewManifest("go run ./cmd/loadgen -profile all", []loadtest.Result{
+		{Name: "baseline", Benchmark: "BenchmarkServiceBaseline", Requests: 10, ReqPerSec: 5},
+	})
+	path := filepath.Join(t.TempDir(), "BENCH_loadtest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadtest.Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if back.Name != "loadtest" || len(back.Profiles) != 1 || back.Machine.Cores <= 0 {
+		t.Fatalf("manifest round-trip: %+v", back)
+	}
+	if back.Profiles[0].Benchmark != "BenchmarkServiceBaseline" {
+		t.Fatalf("profile benchmark lost: %+v", back.Profiles[0])
+	}
+}
+
+func TestDefaultProfilesComplete(t *testing.T) {
+	ps := loadtest.DefaultProfiles(time.Second, 8)
+	if len(ps) != 4 {
+		t.Fatalf("want 4 profiles, got %d", len(ps))
+	}
+	want := map[string]string{
+		"baseline": "BenchmarkServiceBaseline",
+		"spike":    "BenchmarkServiceSpike",
+		"stress":   "BenchmarkServiceStress",
+		"soak":     "BenchmarkServiceSoak",
+	}
+	for _, p := range ps {
+		if want[p.Name] != p.Benchmark {
+			t.Fatalf("profile %q maps to %q", p.Name, p.Benchmark)
+		}
+		delete(want, p.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing profiles: %v", want)
+	}
+}

@@ -1,0 +1,87 @@
+package loadtest
+
+// manifest.go: BENCH_loadtest.json writer. The manifest follows the repo's
+// BENCH_*.json convention (name/description/command/date/machine) but
+// records load-test profiles instead of go-bench entries; the drift guard in
+// benchmanifest_test.go checks each profile's benchmark field against the
+// declared BenchmarkService* funcs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Machine describes the recording host, mirroring the other manifests.
+type Machine struct {
+	CPU   string `json:"cpu"`
+	Cores int    `json:"cores"`
+	OS    string `json:"os"`
+	Go    string `json:"go"`
+}
+
+// Manifest is the BENCH_loadtest.json document.
+type Manifest struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Command     string   `json:"command"`
+	Date        string   `json:"date"`
+	Machine     Machine  `json:"machine"`
+	Profiles    []Result `json:"profiles"`
+}
+
+// NewManifest assembles a manifest around recorded profile results.
+func NewManifest(command string, results []Result) Manifest {
+	return Manifest{
+		Name: "loadtest",
+		Description: "Recorded load-test profiles against a live schedulerd endpoint " +
+			"(internal/loadtest): baseline = steady population with gentle churn; " +
+			"spike = flash crowd multiplying the population in the middle third; " +
+			"stress = staged worker ramp until p99 latency degrades (knee_workers = 0 " +
+			"means the target never degraded within the run); soak = sustained baseline " +
+			"leak-checked via the server's runtime memstats (heap_growth_ratio bound). " +
+			"Latency percentiles are exact over every timed HTTP operation. The " +
+			"BenchmarkService* funcs in bench_service_test.go replay miniature " +
+			"versions of the same profiles; see docs/OPERATIONS.md.",
+		Command: command,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Machine: Machine{
+			CPU:   cpuModel(),
+			Cores: runtime.NumCPU(),
+			OS:    runtime.GOOS + "/" + runtime.GOARCH,
+			Go:    runtime.Version(),
+		},
+		Profiles: results,
+	}
+}
+
+// Write stores the manifest as indented JSON.
+func (m Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadtest: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("loadtest: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// cpuModel extracts the CPU model name on Linux, falling back to GOARCH.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			key, value, found := strings.Cut(line, ":")
+			if found && strings.TrimSpace(key) == "model name" {
+				if v := strings.TrimSpace(value); v != "" {
+					return v
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}

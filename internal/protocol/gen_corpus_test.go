@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	write := func(dir, name string, data []byte) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dd := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	for _, m := range seedMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(dd, fmt.Sprintf("seed_%s", m.MsgType()), data)
+	}
+	write(dd, "seed_empty", nil)
+	write(dd, "seed_unknown_type", []byte{0xff})
+	write(dd, "seed_truncated_hello", []byte{byte(TypeHello), 0x00, 0x00})
+	write(dd, "seed_neighborlist_bomb", []byte{byte(TypeNeighborList), 0x40, 0x00, 0x00, 0x00})
+	write(dd, "seed_neighborlist_maxcount", []byte{byte(TypeNeighborList), 0xff, 0xff, 0xff, 0xff})
+	write(dd, "seed_buffermap_liar", []byte{byte(TypeBufferMap), 0, 0, 0, 1, 0, 0, 0, 2, 0xff, 0xff, 0xff, 0xf0})
+
+	fd := filepath.Join("testdata", "fuzz", "FuzzReadFrame")
+	for _, m := range seedMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		write(fd, fmt.Sprintf("seed_%s", m.MsgType()), buf.Bytes())
+	}
+	write(fd, "seed_oversized_prefix", []byte{0xff, 0xff, 0xff, 0xff})
+	write(fd, "seed_truncated_payload", []byte{0x00, 0x10, 0x00, 0x01, byte(TypeLeave)})
+	write(fd, "seed_short_prefix", []byte{0x00, 0x00, 0x00})
+}

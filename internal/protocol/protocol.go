@@ -431,7 +431,10 @@ func Decode(data []byte) (Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if uint32(len(r.buf)) < n*4 {
+		// Compare in the divided domain: n*4 overflows uint32 for n ≥ 2^30,
+		// which would wave a multi-GiB allocation through before the reads
+		// below could error out.
+		if n > uint32(len(r.buf))/4 {
 			return nil, ErrTruncated
 		}
 		m := NeighborList{Peers: make([]int32, n)}

@@ -1,0 +1,263 @@
+package service
+
+// http.go: the daemon's HTTP/JSON API. Endpoints are versioned under /v1 and
+// deliberately flat — one POST per protocol verb (join/leave/offer/bid/tick),
+// one GET per observable (grants/stats), plus /metrics (Prometheus text) and
+// /healthz. The wire contract is mirrored by internal/loadtest's client; the
+// end-to-end golden test drives both sides, so a drift between them fails CI
+// rather than a production scrape.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/isp"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// Wire types. Field names are the API contract.
+
+// JoinRequest registers a peer.
+type JoinRequest struct {
+	Peer int64 `json:"peer"`
+	ISP  int   `json:"isp"`
+}
+
+// LeaveRequest deregisters a peer.
+type LeaveRequest struct {
+	Peer int64 `json:"peer"`
+}
+
+// OfferRequest posts upload capacity for the next slot.
+type OfferRequest struct {
+	Peer     int64 `json:"peer"`
+	Capacity int   `json:"capacity"`
+}
+
+// WireCandidate is one candidate uploader edge of a bid.
+type WireCandidate struct {
+	Peer int64   `json:"peer"`
+	Cost float64 `json:"cost"`
+}
+
+// WireBid is one chunk bid.
+type WireBid struct {
+	Video      int32           `json:"video"`
+	Chunk      int32           `json:"chunk"`
+	Value      float64         `json:"value"`
+	Deadline   float64         `json:"deadline,omitempty"`
+	Candidates []WireCandidate `json:"candidates"`
+}
+
+// BidBatch posts a batch of bids for one peer.
+type BidBatch struct {
+	Peer int64     `json:"peer"`
+	Bids []WireBid `json:"bids"`
+}
+
+// WireGrant is one granted transfer, as served by /v1/grants.
+type WireGrant struct {
+	Video    int32   `json:"video"`
+	Chunk    int32   `json:"chunk"`
+	Uploader int64   `json:"uploader"`
+	Price    float64 `json:"price"`
+}
+
+// GrantsResponse is the poll answer: the slot the grants belong to and the
+// peer's share of it.
+type GrantsResponse struct {
+	Slot   int64       `json:"slot"`
+	Grants []WireGrant `json:"grants"`
+}
+
+// TickResponse reports one manually triggered slot.
+type TickResponse struct {
+	Slot      int64   `json:"slot"`
+	Requests  int     `json:"requests"`
+	Uploaders int     `json:"uploaders"`
+	Grants    int     `json:"grants"`
+	Rejected  int     `json:"rejected"`
+	Welfare   float64 `json:"welfare"`
+	Shards    int     `json:"shards"`
+	SolveMs   float64 `json:"solve_ms"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API as an http.Handler, usable behind
+// any mux or test server.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", d.instrument(d.handleJoin))
+	mux.HandleFunc("/v1/leave", d.instrument(d.handleLeave))
+	mux.HandleFunc("/v1/offer", d.instrument(d.handleOffer))
+	mux.HandleFunc("/v1/bid", d.instrument(d.handleBid))
+	mux.HandleFunc("/v1/tick", d.instrument(d.handleTick))
+	mux.HandleFunc("/v1/grants", d.instrument(d.handleGrants))
+	mux.HandleFunc("/v1/stats", d.instrument(d.handleStats))
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	return mux
+}
+
+// instrument wraps a handler with the request counter and latency histogram.
+func (d *Daemon) instrument(h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := h(w, r)
+		d.metrics.httpRequests.inc(1)
+		if status >= 400 {
+			d.metrics.httpErrors.inc(1)
+		}
+		d.metrics.httpSeconds.observe(time.Since(start).Seconds())
+	}
+}
+
+// writeJSON answers with a JSON body and returns the status for the
+// instrumentation wrapper.
+func writeJSON(w http.ResponseWriter, status int, body any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, err error) int {
+	return writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeInto parses a POST body, rejecting unknown methods and oversized or
+// malformed payloads.
+func decodeInto(w http.ResponseWriter, r *http.Request, into any) (int, bool) {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST")), false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)), false
+	}
+	return 0, true
+}
+
+func (d *Daemon) handleJoin(w http.ResponseWriter, r *http.Request) int {
+	var req JoinRequest
+	if status, ok := decodeInto(w, r, &req); !ok {
+		return status
+	}
+	if err := d.Join(isp.PeerID(req.Peer), isp.ID(req.ISP)); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (d *Daemon) handleLeave(w http.ResponseWriter, r *http.Request) int {
+	var req LeaveRequest
+	if status, ok := decodeInto(w, r, &req); !ok {
+		return status
+	}
+	if err := d.Leave(isp.PeerID(req.Peer)); err != nil {
+		return writeError(w, http.StatusNotFound, err)
+	}
+	return writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (d *Daemon) handleOffer(w http.ResponseWriter, r *http.Request) int {
+	var req OfferRequest
+	if status, ok := decodeInto(w, r, &req); !ok {
+		return status
+	}
+	if err := d.Offer(isp.PeerID(req.Peer), req.Capacity); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (d *Daemon) handleBid(w http.ResponseWriter, r *http.Request) int {
+	var req BidBatch
+	if status, ok := decodeInto(w, r, &req); !ok {
+		return status
+	}
+	reqs := make([]BidRequest, 0, len(req.Bids))
+	for _, b := range req.Bids {
+		cands := make([]sched.Candidate, 0, len(b.Candidates))
+		for _, c := range b.Candidates {
+			cands = append(cands, sched.Candidate{Peer: isp.PeerID(c.Peer), Cost: c.Cost})
+		}
+		reqs = append(reqs, BidRequest{
+			Chunk:      video.ChunkID{Video: video.ID(b.Video), Index: video.ChunkIndex(b.Chunk)},
+			Value:      b.Value,
+			Deadline:   b.Deadline,
+			Candidates: cands,
+		})
+	}
+	if err := d.Bid(isp.PeerID(req.Peer), reqs); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (d *Daemon) handleTick(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	}
+	tr, err := d.Tick()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	return writeJSON(w, http.StatusOK, TickResponse{
+		Slot:      tr.Slot,
+		Requests:  tr.Requests,
+		Uploaders: tr.Uploaders,
+		Grants:    tr.Grants,
+		Rejected:  tr.Rejected,
+		Welfare:   tr.Welfare,
+		Shards:    tr.Shards,
+		SolveMs:   float64(tr.Solve) / float64(time.Millisecond),
+	})
+}
+
+func (d *Daemon) handleGrants(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	}
+	peer, err := strconv.ParseInt(r.URL.Query().Get("peer"), 10, 64)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("peer query parameter: %w", err))
+	}
+	slot, gs := d.Grants(isp.PeerID(peer))
+	resp := GrantsResponse{Slot: slot, Grants: make([]WireGrant, 0, len(gs))}
+	for _, g := range gs {
+		resp.Grants = append(resp.Grants, WireGrant{
+			Video:    int32(g.Chunk.Video),
+			Chunk:    int32(g.Chunk.Index),
+			Uploader: int64(g.Uploader),
+			Price:    g.Price,
+		})
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	}
+	return writeJSON(w, http.StatusOK, d.Stats())
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(d.metrics.expose()))
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// apiServer starts a manual-tick daemon behind an httptest server.
+func apiServer(t *testing.T) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d := manual(t, Options{Epsilon: 0.01})
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func wantStatus(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status = %d (%s), want %d", resp.StatusCode, e.Error, want)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	_, srv := apiServer(t)
+
+	wantStatus(t, postJSON(t, srv.URL+"/v1/join", JoinRequest{Peer: 1, ISP: 0}), 200)
+	wantStatus(t, postJSON(t, srv.URL+"/v1/join", JoinRequest{Peer: 2, ISP: 1}), 200)
+	wantStatus(t, postJSON(t, srv.URL+"/v1/offer", OfferRequest{Peer: 1, Capacity: 2}), 200)
+	wantStatus(t, postJSON(t, srv.URL+"/v1/bid", BidBatch{Peer: 2, Bids: []WireBid{{
+		Video: 0, Chunk: 3, Value: 1.5,
+		Candidates: []WireCandidate{{Peer: 1, Cost: 0.25}},
+	}}}), 200)
+
+	resp := postJSON(t, srv.URL+"/v1/tick", struct{}{})
+	var tick TickResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tick); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tick.Slot != 0 || tick.Grants != 1 || tick.Welfare != 1.25 {
+		t.Fatalf("tick response: %+v", tick)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/grants?peer=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grants GrantsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&grants); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(grants.Grants) != 1 || grants.Grants[0].Uploader != 1 || grants.Grants[0].Chunk != 3 {
+		t.Fatalf("grants response: %+v", grants)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Slot != 1 || stats.Peers != 2 || stats.HeapAllocBytes == 0 {
+		t.Fatalf("stats response: %+v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := apiServer(t)
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/v1/join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusMethodNotAllowed)
+
+	// Malformed body.
+	resp, err = http.Post(srv.URL+"/v1/join", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+
+	// Unknown field (wire-contract drift guard).
+	resp, err = http.Post(srv.URL+"/v1/join", "application/json", strings.NewReader(`{"peer":1,"ispp":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+
+	// Domain errors map to 4xx.
+	wantStatus(t, postJSON(t, srv.URL+"/v1/offer", OfferRequest{Peer: 42, Capacity: 1}), http.StatusBadRequest)
+	wantStatus(t, postJSON(t, srv.URL+"/v1/leave", LeaveRequest{Peer: 42}), http.StatusNotFound)
+
+	// Bad grants query.
+	resp, err = http.Get(srv.URL + "/v1/grants?peer=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+}
+
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	d, srv := apiServer(t)
+
+	// Generate one instrumented request first.
+	wantStatus(t, postJSON(t, srv.URL+"/v1/join", JoinRequest{Peer: 1}), 200)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		"schedulerd_http_requests_total 1",
+		"schedulerd_joins_total 1",
+		"schedulerd_http_request_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, 200)
+
+	// Error accounting: one failed request increments the error counter.
+	wantStatus(t, postJSON(t, srv.URL+"/v1/leave", LeaveRequest{Peer: 99}), http.StatusNotFound)
+	if got := d.metrics.httpErrors.get(); got != 1 {
+		t.Fatalf("httpErrors = %v, want 1", got)
+	}
+}
+
+func TestHTTPOversizedBody(t *testing.T) {
+	_, srv := apiServer(t)
+	big := fmt.Sprintf(`{"peer":1,"isp":%s1}`, strings.Repeat("0", 5<<20))
+	resp, err := http.Post(srv.URL+"/v1/join", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStatus(t, resp, http.StatusBadRequest)
+}

@@ -1,0 +1,229 @@
+package service
+
+// metrics.go: a minimal Prometheus-text-format metric set for the daemon.
+// The module is dependency-free by policy, so instead of the prometheus
+// client library this implements the three instrument kinds the daemon needs
+// (counter, gauge, cumulative histogram) with atomic-free mutex guards and a
+// deterministic exposition order. The exposition format is the stable v0.0.4
+// text format every Prometheus scraper speaks.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metric is one named instrument.
+type metric interface {
+	name() string
+	help() string
+	kind() string // "counter" | "gauge" | "histogram"
+	expose(w *strings.Builder)
+}
+
+// counter is a monotonically increasing float counter.
+type counter struct {
+	mu     sync.Mutex
+	nm, hp string
+	value  float64
+}
+
+func (c *counter) inc(v float64) {
+	c.mu.Lock()
+	c.value += v
+	c.mu.Unlock()
+}
+
+func (c *counter) get() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+func (c *counter) name() string { return c.nm }
+func (c *counter) help() string { return c.hp }
+func (c *counter) kind() string { return "counter" }
+func (c *counter) expose(w *strings.Builder) {
+	fmt.Fprintf(w, "%s %s\n", c.nm, formatFloat(c.get()))
+}
+
+// gauge is a settable value.
+type gauge struct {
+	mu     sync.Mutex
+	nm, hp string
+	value  float64
+}
+
+func (g *gauge) set(v float64) {
+	g.mu.Lock()
+	g.value = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) get() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
+func (g *gauge) name() string { return g.nm }
+func (g *gauge) help() string { return g.hp }
+func (g *gauge) kind() string { return "gauge" }
+func (g *gauge) expose(w *strings.Builder) {
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.get()))
+}
+
+// histogram is a cumulative-bucket histogram (Prometheus semantics: each
+// bucket counts observations ≤ its upper bound, plus the +Inf catch-all).
+type histogram struct {
+	mu     sync.Mutex
+	nm, hp string
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(name, help string, bounds []float64) *histogram {
+	return &histogram{nm: name, hp: help, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (0 < q ≤ 1) by linear scan of the
+// cumulative buckets, returning the bucket upper bound that first covers the
+// rank — the same resolution a PromQL histogram_quantile gets.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *histogram) name() string { return h.nm }
+func (h *histogram) help() string { return h.hp }
+func (h *histogram) kind() string { return "histogram" }
+func (h *histogram) expose(w *strings.Builder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.nm, h.total)
+}
+
+// formatFloat renders floats the way Prometheus expects (shortest
+// round-trippable form; integers without exponent).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// registry is the daemon's metric set.
+type registry struct {
+	ticks        *counter
+	tickErrors   *counter
+	bids         *counter
+	grantsTotal  *counter
+	rejectsTotal *counter
+	joins        *counter
+	leaves       *counter
+	welfareTotal *counter
+	httpRequests *counter
+	httpErrors   *counter
+
+	slot        *gauge
+	peers       *gauge
+	lastWelfare *gauge
+	shards      *gauge
+
+	solveSeconds *histogram
+	httpSeconds  *histogram
+
+	ordered []metric
+}
+
+// solveBuckets spans sub-millisecond shard solves to multi-second mega
+// slots; httpBuckets spans LAN round trips to degraded-mode seconds.
+var (
+	solveBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	httpBuckets  = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+)
+
+func newRegistry() *registry {
+	r := &registry{
+		ticks:        &counter{nm: "schedulerd_ticks_total", hp: "Completed slot ticks."},
+		tickErrors:   &counter{nm: "schedulerd_tick_errors_total", hp: "Slot ticks that failed to solve."},
+		bids:         &counter{nm: "schedulerd_bids_total", hp: "Chunk bids accepted into the book."},
+		grantsTotal:  &counter{nm: "schedulerd_grants_total", hp: "Grants issued across all slots."},
+		rejectsTotal: &counter{nm: "schedulerd_bid_rejects_total", hp: "Bids dropped at tick time (no live candidate uploader)."},
+		joins:        &counter{nm: "schedulerd_joins_total", hp: "Peer registrations (churn, arrival side)."},
+		leaves:       &counter{nm: "schedulerd_leaves_total", hp: "Peer departures (churn, departure side)."},
+		welfareTotal: &counter{nm: "schedulerd_welfare_total", hp: "Cumulative social welfare over all slots."},
+		httpRequests: &counter{nm: "schedulerd_http_requests_total", hp: "HTTP API requests served."},
+		httpErrors:   &counter{nm: "schedulerd_http_errors_total", hp: "HTTP API requests answered with an error status."},
+		slot:         &gauge{nm: "schedulerd_slot", hp: "Current slot number."},
+		peers:        &gauge{nm: "schedulerd_peers", hp: "Registered peer population."},
+		lastWelfare:  &gauge{nm: "schedulerd_slot_welfare", hp: "Social welfare of the last solved slot."},
+		shards:       &gauge{nm: "schedulerd_shards", hp: "Shard count of the last solved slot (0 for the monolithic solver)."},
+		solveSeconds: newHistogram("schedulerd_solve_seconds", "Per-slot solve latency.", solveBuckets),
+		httpSeconds:  newHistogram("schedulerd_http_request_seconds", "HTTP API request latency.", httpBuckets),
+	}
+	r.ordered = []metric{
+		r.ticks, r.tickErrors, r.bids, r.grantsTotal, r.rejectsTotal,
+		r.joins, r.leaves, r.welfareTotal, r.httpRequests, r.httpErrors,
+		r.slot, r.peers, r.lastWelfare, r.shards,
+		r.solveSeconds, r.httpSeconds,
+	}
+	return r
+}
+
+// expose renders the full metric set in Prometheus text format.
+func (r *registry) expose() string {
+	var w strings.Builder
+	for _, m := range r.ordered {
+		fmt.Fprintf(&w, "# HELP %s %s\n# TYPE %s %s\n", m.name(), m.help(), m.name(), m.kind())
+		m.expose(&w)
+	}
+	return w.String()
+}
+
+// fillMemStats adds the runtime memory picture to a stats snapshot (the soak
+// profile's leak signal).
+func fillMemStats(s *StatsSnapshot) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.HeapAllocBytes = ms.HeapAlloc
+	s.HeapObjects = ms.HeapObjects
+	s.TotalAllocBytes = ms.TotalAlloc
+	s.NumGC = ms.NumGC
+	s.NumGoroutine = runtime.NumGoroutine()
+}

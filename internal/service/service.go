@@ -1,0 +1,614 @@
+// Package service stands the auction up as a long-running scheduler daemon:
+// the online counterpart of the batch simulators. Peers register, submit
+// bandwidth offers and chunk bids over an HTTP/JSON API (http.go); slots tick
+// on a wall clock (or on demand); every tick drains the current bid book into
+// one sched.Instance and solves it with the persistent warm solver stack
+// (sched.WarmAuction, or cluster.ShardedAuction when sharding is enabled), so
+// prices and partial assignments carry across rounds exactly as they do in
+// the simulators. Grants are held for polling until the next tick overwrites
+// them; /metrics exports Prometheus-format counters, gauges and solve-latency
+// histograms (metrics.go); Drain stops the clock, solves the outstanding book
+// and writes a JSON state snapshot for the next process.
+//
+// The daemon deliberately reuses the exact scheduler implementations the
+// simulators run: a trace of ticks fed the same instances produces the same
+// grants, which is what the end-to-end golden test pins (welfare of a
+// daemon-served trace equals the equivalent internal/sim run within the
+// ε-certificate band).
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/isp"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// Options configures a Daemon. The zero value is not runnable; use
+// DefaultOptions as the base.
+type Options struct {
+	// Epsilon is the auction bid increment.
+	Epsilon float64
+	// SlotInterval is the wall-clock tick period. 0 disables the internal
+	// clock: slots advance only on explicit Tick calls (POST /v1/tick) —
+	// the mode tests and trace replays use.
+	SlotInterval time.Duration
+	// Sharded switches the slot scheduler from the monolithic warm auction
+	// to the sharded swarm orchestrator (cluster.ShardedAuction).
+	Sharded bool
+	// ShardWorkers bounds concurrent shard solves (0 or 1 = sequential).
+	ShardWorkers int
+	// MaxShardPeers enables ISP-affinity refinement of oversized components
+	// (0 = never refine; the partition stays exact).
+	MaxShardPeers int
+	// SnapshotPath, when non-empty, is where Drain writes the JSON state
+	// snapshot, and where New restores one from if the file exists.
+	SnapshotPath string
+}
+
+// DefaultOptions returns the daemon defaults: the paper's ε, a 1-second
+// slot clock, monolithic warm solver.
+func DefaultOptions() Options {
+	return Options{Epsilon: 0.01, SlotInterval: time.Second}
+}
+
+// peerInfo is the daemon's registration record for one peer.
+type peerInfo struct {
+	ISP isp.ID
+}
+
+// bidKey identifies a bid within one tick's book: the same peer re-bidding
+// for the same chunk replaces its earlier bid (last write wins), mirroring
+// how the simulators build at most one request per (peer, chunk).
+type bidKey struct {
+	peer  isp.PeerID
+	chunk video.ChunkID
+}
+
+// Grant is one granted chunk transfer from the last solved slot.
+type Grant struct {
+	Chunk    video.ChunkID
+	Uploader isp.PeerID
+	// Price is the uploader's closing λ_u for the slot.
+	Price float64
+}
+
+// Totals are the daemon's cumulative counters, carried across restarts via
+// the snapshot.
+type Totals struct {
+	Ticks        int64   `json:"ticks"`
+	Bids         int64   `json:"bids"`
+	BidsRejected int64   `json:"bids_rejected"`
+	Grants       int64   `json:"grants"`
+	Joins        int64   `json:"joins"`
+	Leaves       int64   `json:"leaves"`
+	Welfare      float64 `json:"welfare"`
+}
+
+// TickResult summarizes one solved slot.
+type TickResult struct {
+	Slot      int64
+	Requests  int
+	Uploaders int
+	Grants    int
+	Rejected  int
+	Welfare   float64
+	Shards    int
+	Solve     time.Duration
+}
+
+// Daemon is the live scheduler: one persistent warm solver behind a
+// registration/bid/grant state machine. All methods are safe for concurrent
+// use. Create with New, stop with Drain (or Close to skip the final solve).
+type Daemon struct {
+	opts  Options
+	sched sched.Scheduler
+
+	mu       sync.Mutex
+	peers    map[isp.PeerID]peerInfo
+	offers   []sched.Uploader
+	offerIdx map[isp.PeerID]int
+	bids     []sched.Request
+	bidIdx   map[bidKey]int
+	// grants holds the last solved slot's per-peer grants; grantSlot is the
+	// slot they belong to.
+	grants    map[isp.PeerID][]Grant
+	grantSlot int64
+	slot      int64
+	totals    Totals
+	last      TickResult
+	started   time.Time
+	draining  bool
+
+	metrics *registry
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New creates a daemon, restores the snapshot if Options.SnapshotPath names
+// an existing file, and starts the slot clock when SlotInterval > 0.
+func New(opts Options) (*Daemon, error) {
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("service: epsilon must be positive, got %v", opts.Epsilon)
+	}
+	if opts.SlotInterval < 0 {
+		return nil, fmt.Errorf("service: negative slot interval %v", opts.SlotInterval)
+	}
+	d := &Daemon{
+		opts:     opts,
+		peers:    make(map[isp.PeerID]peerInfo),
+		offerIdx: make(map[isp.PeerID]int),
+		bidIdx:   make(map[bidKey]int),
+		grants:   make(map[isp.PeerID][]Grant),
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		metrics:  newRegistry(),
+	}
+	if opts.Sharded {
+		sa := &cluster.ShardedAuction{
+			Epsilon:       opts.Epsilon,
+			Workers:       opts.ShardWorkers,
+			MaxShardPeers: opts.MaxShardPeers,
+		}
+		// The lookup runs inside Schedule, which executes under d.mu — the
+		// map is never mutated concurrently with it, so it reads lock-free.
+		sa.SetISPLookup(func(p isp.PeerID) (isp.ID, bool) {
+			info, ok := d.peers[p]
+			return info.ISP, ok
+		})
+		d.sched = sa
+	} else {
+		d.sched = &sched.WarmAuction{Epsilon: opts.Epsilon}
+	}
+	if opts.SnapshotPath != "" {
+		if err := d.restoreSnapshot(opts.SnapshotPath); err != nil {
+			return nil, err
+		}
+	}
+	if opts.SlotInterval > 0 {
+		go d.loop()
+	} else {
+		close(d.loopDone)
+	}
+	return d, nil
+}
+
+// loop is the wall-clock slot ticker.
+func (d *Daemon) loop() {
+	defer close(d.loopDone)
+	t := time.NewTicker(d.opts.SlotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if _, err := d.Tick(); err != nil {
+				// A failed solve leaves the books intact for the next tick;
+				// surface it on the error counter rather than crashing the
+				// clock.
+				d.metrics.tickErrors.inc(1)
+			}
+		}
+	}
+}
+
+// SchedulerName reports which solver stack serves the ticks.
+func (d *Daemon) SchedulerName() string { return d.sched.Name() }
+
+// Join registers a peer (idempotent; re-joining updates the ISP).
+func (d *Daemon) Join(p isp.PeerID, ispID isp.ID) error {
+	if p < 0 {
+		return fmt.Errorf("service: negative peer id %d", p)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.peers[p]; !known {
+		d.totals.Joins++
+		d.metrics.joins.inc(1)
+	}
+	d.peers[p] = peerInfo{ISP: ispID}
+	d.metrics.peers.set(float64(len(d.peers)))
+	return nil
+}
+
+// Leave deregisters a peer and drops its pending offer and bids.
+func (d *Daemon) Leave(p isp.PeerID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.peers[p]; !known {
+		return fmt.Errorf("service: unknown peer %d", p)
+	}
+	delete(d.peers, p)
+	delete(d.grants, p)
+	if i, ok := d.offerIdx[p]; ok {
+		// Keep book order stable for determinism: mark the slot dead by
+		// zeroing capacity; buildInstance compacts it away.
+		d.offers[i].Capacity = -1
+		delete(d.offerIdx, p)
+	}
+	for i := range d.bids {
+		if d.bids[i].Peer == p {
+			d.bids[i].Peer = -1 // tombstone; compacted at tick
+			delete(d.bidIdx, bidKey{peer: p, chunk: d.bids[i].Chunk})
+		}
+	}
+	d.totals.Leaves++
+	d.metrics.leaves.inc(1)
+	d.metrics.peers.set(float64(len(d.peers)))
+	return nil
+}
+
+// Offer posts (or replaces) a peer's bandwidth offer for the next slot.
+func (d *Daemon) Offer(p isp.PeerID, capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("service: offer capacity must be positive, got %d", capacity)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.peers[p]; !known {
+		return fmt.Errorf("service: unknown peer %d (join first)", p)
+	}
+	if i, ok := d.offerIdx[p]; ok {
+		d.offers[i].Capacity = capacity
+		return nil
+	}
+	d.offerIdx[p] = len(d.offers)
+	d.offers = append(d.offers, sched.Uploader{Peer: p, Capacity: capacity})
+	return nil
+}
+
+// BidRequest is one chunk wish inside a Bid call.
+type BidRequest struct {
+	Chunk      video.ChunkID
+	Value      float64
+	Deadline   float64
+	Candidates []sched.Candidate
+}
+
+// Bid posts a batch of chunk bids for the next slot. A re-bid for the same
+// chunk replaces the earlier bid. Candidates referencing uploaders that have
+// not offered by tick time are dropped at tick time (counted as rejected if
+// the whole bid starves).
+func (d *Daemon) Bid(p isp.PeerID, reqs []BidRequest) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.peers[p]; !known {
+		return fmt.Errorf("service: unknown peer %d (join first)", p)
+	}
+	for _, r := range reqs {
+		if len(r.Candidates) == 0 {
+			return fmt.Errorf("service: bid for %v names no candidate uploaders", r.Chunk)
+		}
+		k := bidKey{peer: p, chunk: r.Chunk}
+		req := sched.Request{
+			Peer:       p,
+			Chunk:      r.Chunk,
+			Value:      r.Value,
+			Deadline:   r.Deadline,
+			Candidates: append([]sched.Candidate(nil), r.Candidates...),
+		}
+		if i, ok := d.bidIdx[k]; ok {
+			d.bids[i] = req
+		} else {
+			d.bidIdx[k] = len(d.bids)
+			d.bids = append(d.bids, req)
+		}
+		d.totals.Bids++
+	}
+	d.metrics.bids.inc(float64(len(reqs)))
+	return nil
+}
+
+// Grants returns the peer's grants from the most recently solved slot.
+func (d *Daemon) Grants(p isp.PeerID) (slot int64, gs []Grant) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.grantSlot, append([]Grant(nil), d.grants[p]...)
+}
+
+// Slot returns the current slot number (ticks completed since start,
+// including restored snapshot ticks).
+func (d *Daemon) Slot() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.slot
+}
+
+// StatsSnapshot is the daemon's observable state, served by /v1/stats.
+type StatsSnapshot struct {
+	Scheduler     string  `json:"scheduler"`
+	Slot          int64   `json:"slot"`
+	Peers         int     `json:"peers"`
+	PendingBids   int     `json:"pending_bids"`
+	PendingOffers int     `json:"pending_offers"`
+	Totals        Totals  `json:"totals"`
+	LastWelfare   float64 `json:"last_welfare"`
+	LastGrants    int     `json:"last_grants"`
+	LastShards    int     `json:"last_shards"`
+	LastSolveMs   float64 `json:"last_solve_ms"`
+	UptimeSec     float64 `json:"uptime_sec"`
+	// Runtime memory stats, for soak-profile leak checks.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapObjects     uint64 `json:"heap_objects"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	NumGoroutine    int    `json:"num_goroutine"`
+}
+
+// Stats returns the current observable state.
+func (d *Daemon) Stats() StatsSnapshot {
+	d.mu.Lock()
+	s := StatsSnapshot{
+		Scheduler:     d.sched.Name(),
+		Slot:          d.slot,
+		Peers:         len(d.peers),
+		PendingBids:   len(d.bidIdx),
+		PendingOffers: len(d.offerIdx),
+		Totals:        d.totals,
+		LastWelfare:   d.last.Welfare,
+		LastGrants:    d.last.Grants,
+		LastShards:    d.last.Shards,
+		LastSolveMs:   float64(d.last.Solve) / float64(time.Millisecond),
+		UptimeSec:     time.Since(d.started).Seconds(),
+	}
+	d.mu.Unlock()
+	fillMemStats(&s)
+	return s
+}
+
+// Tick drains the bid/offer books into one instance, solves it and publishes
+// the grants. Explicit calls compose with the wall clock (each call is one
+// complete slot); trace replays and tests run with SlotInterval 0 and call
+// Tick directly.
+func (d *Daemon) Tick() (TickResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tickLocked()
+}
+
+func (d *Daemon) tickLocked() (TickResult, error) {
+	in, rejected, err := d.buildInstance()
+	if err != nil {
+		return TickResult{}, err
+	}
+	start := time.Now()
+	res, err := d.sched.Schedule(in)
+	solve := time.Since(start)
+	if err != nil {
+		return TickResult{}, fmt.Errorf("service: slot %d solve: %w", d.slot, err)
+	}
+	welfare, err := in.Welfare(res.Grants)
+	if err != nil {
+		return TickResult{}, fmt.Errorf("service: slot %d welfare: %w", d.slot, err)
+	}
+
+	// Publish per-peer grants.
+	for p := range d.grants {
+		delete(d.grants, p)
+	}
+	for _, g := range res.Grants {
+		req := &in.Requests[g.Request]
+		price := 0.0
+		if res.Prices != nil {
+			price = res.Prices[g.Uploader]
+		}
+		d.grants[req.Peer] = append(d.grants[req.Peer],
+			Grant{Chunk: req.Chunk, Uploader: g.Uploader, Price: price})
+	}
+	d.grantSlot = d.slot
+
+	tr := TickResult{
+		Slot:      d.slot,
+		Requests:  len(in.Requests),
+		Uploaders: len(in.Uploaders),
+		Grants:    len(res.Grants),
+		Rejected:  rejected,
+		Welfare:   welfare,
+		Solve:     solve,
+	}
+	if v, ok := res.Stats["shards"]; ok {
+		tr.Shards = int(v)
+	}
+	d.slot++
+	d.last = tr
+	d.totals.Ticks++
+	d.totals.Grants += int64(len(res.Grants))
+	d.totals.BidsRejected += int64(rejected)
+	d.totals.Welfare += welfare
+
+	// Drain the books: every tick is one auction round; peers re-offer and
+	// re-bid each round (the load generator and the trace replayer both do).
+	d.offers = d.offers[:0]
+	for p := range d.offerIdx {
+		delete(d.offerIdx, p)
+	}
+	d.bids = d.bids[:0]
+	for k := range d.bidIdx {
+		delete(d.bidIdx, k)
+	}
+
+	m := d.metrics
+	m.ticks.inc(1)
+	m.slot.set(float64(d.slot))
+	m.grantsTotal.inc(float64(tr.Grants))
+	m.rejectsTotal.inc(float64(rejected))
+	m.lastWelfare.set(welfare)
+	m.welfareTotal.inc(welfare)
+	m.shards.set(float64(tr.Shards))
+	m.solveSeconds.observe(solve.Seconds())
+	return tr, nil
+}
+
+// buildInstance turns the books into a solvable instance: tombstoned offers
+// compact away, bid candidate lists filter down to uploaders that actually
+// offered, and bids left with no live candidate drop (counted as rejected).
+// Book order is submission order throughout, so a deterministic client drives
+// a deterministic instance sequence — the property the e2e golden leans on.
+func (d *Daemon) buildInstance() (*sched.Instance, int, error) {
+	uploaders := make([]sched.Uploader, 0, len(d.offers))
+	offered := make(map[isp.PeerID]bool, len(d.offers))
+	for _, u := range d.offers {
+		if u.Capacity <= 0 { // tombstone from Leave
+			continue
+		}
+		uploaders = append(uploaders, u)
+		offered[u.Peer] = true
+	}
+	requests := make([]sched.Request, 0, len(d.bids))
+	rejected := 0
+	for _, r := range d.bids {
+		if r.Peer < 0 { // tombstone from Leave
+			continue
+		}
+		keep := r.Candidates[:0] // filter in place; the book drains after the tick
+		for _, c := range r.Candidates {
+			if offered[c.Peer] {
+				keep = append(keep, c)
+			}
+		}
+		if len(keep) == 0 {
+			rejected++
+			continue
+		}
+		r.Candidates = keep
+		requests = append(requests, r)
+	}
+	in, err := sched.NewInstance(requests, uploaders)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: building slot instance: %w", err)
+	}
+	return in, rejected, nil
+}
+
+// Drain gracefully stops the daemon: halt the slot clock, solve any
+// outstanding bids in one final tick, and write the state snapshot when
+// configured. Safe to call once; the HTTP layer keeps answering reads until
+// the caller shuts it down.
+func (d *Daemon) Drain() error {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.loopDone
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil
+	}
+	d.draining = true
+	var err error
+	if len(d.bidIdx) > 0 || len(d.offerIdx) > 0 {
+		_, err = d.tickLocked()
+	}
+	if d.opts.SnapshotPath != "" {
+		if werr := d.writeSnapshotLocked(d.opts.SnapshotPath); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Close stops the clock without draining or snapshotting.
+func (d *Daemon) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.loopDone
+}
+
+// Snapshot is the JSON state image Drain writes and New restores: the
+// registration set and cumulative counters. Solver price state deliberately
+// stays out — the warm solver re-converges from λ = 0 within a tick, and the
+// ε-CS certificate makes the result equivalent; what must survive a restart
+// is the identity of the swarm and the continuity of the slot counter.
+type Snapshot struct {
+	Taken  time.Time   `json:"taken"`
+	Slot   int64       `json:"slot"`
+	Totals Totals      `json:"totals"`
+	Peers  []SnapPeer  `json:"peers"`
+	Prices []SnapPrice `json:"prices,omitempty"`
+}
+
+// SnapPeer is one registered peer in a snapshot.
+type SnapPeer struct {
+	Peer int64 `json:"peer"`
+	ISP  int   `json:"isp"`
+}
+
+// SnapPrice records an uploader's closing λ_u at drain time (diagnostic:
+// operators can compare price levels across restarts).
+type SnapPrice struct {
+	Peer  int64   `json:"peer"`
+	Price float64 `json:"price"`
+}
+
+// SnapshotState captures the current state image.
+func (d *Daemon) SnapshotState() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+func (d *Daemon) snapshotLocked() Snapshot {
+	s := Snapshot{Taken: time.Now(), Slot: d.slot, Totals: d.totals}
+	for p, info := range d.peers {
+		s.Peers = append(s.Peers, SnapPeer{Peer: int64(p), ISP: int(info.ISP)})
+	}
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].Peer < s.Peers[j].Peer })
+	seen := make(map[isp.PeerID]bool)
+	for _, gs := range d.grants {
+		for _, g := range gs {
+			if !seen[g.Uploader] {
+				seen[g.Uploader] = true
+				s.Prices = append(s.Prices, SnapPrice{Peer: int64(g.Uploader), Price: g.Price})
+			}
+		}
+	}
+	sort.Slice(s.Prices, func(i, j int) bool { return s.Prices[i].Peer < s.Prices[j].Peer })
+	return s
+}
+
+func (d *Daemon) writeSnapshotLocked(path string) error {
+	data, err := json.MarshalIndent(d.snapshotLocked(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing snapshot: %w", err)
+	}
+	return nil
+}
+
+// restoreSnapshot loads a snapshot file if present (a missing file is a
+// clean first start, not an error).
+func (d *Daemon) restoreSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: reading snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("service: decoding snapshot %s: %w", path, err)
+	}
+	d.slot = s.Slot
+	d.totals = s.Totals
+	for _, p := range s.Peers {
+		d.peers[isp.PeerID(p.Peer)] = peerInfo{ISP: isp.ID(p.ISP)}
+	}
+	d.metrics.peers.set(float64(len(d.peers)))
+	d.metrics.slot.set(float64(d.slot))
+	return nil
+}
