@@ -24,6 +24,19 @@
 //	p2psim -scenario vodstreaming -cost-model tiered  # volume-discount transit pricing
 //	p2psim -scenario locality-sweep -seeds 5 -sweep "locality=0,0.5,0.9" -csv loc.csv
 //
+// Strategic-peer behavior (see internal/behavior):
+//
+//	p2psim -scenario free-rider-sweep                 # preset: 30% free-riders
+//	p2psim -scenario clique-attack                    # preset: 8-peer colluding clique
+//	p2psim -scenario churn -free-rider-frac 0.4       # any sim scenario, perturbed
+//	p2psim -scenario churn -shade-factor 0.5          # everyone understates its bids
+//	p2psim -scenario churn -throttle-cap 0.1          # ISP 0 shapes cross-ISP egress
+//	p2psim -scenario free-rider-sweep -seeds 5 -sweep "free-rider-frac=0,0.2,0.4" -csv fr.csv
+//
+// Misbehaving runs also execute the honest control at the same seed and print
+// the equilibrium-degradation report (welfare loss, transit delta, per-ISP
+// settlement shifts).
+//
 // Paper figures and ablations (see internal/experiments):
 //
 //	p2psim -exp fig4 -scale full            # Fig. 4 at the paper's scale
@@ -119,6 +132,10 @@ func run(args []string) error {
 		crossCap     = fs.Int("cross-cap", -1, "hard cap on cross-ISP neighbors per peer, à la Le Blond et al. (unset keeps the scenario's policy; also a sweep parameter)")
 		costModel    = fs.String("cost-model", "", "transit settlement model: flat, tiered or peering (unset keeps the scenario's model)")
 		transitCost  = fs.Float64("transit-cost", 0, "flat transit rate in $/GB (0 keeps the scenario's rate; also a sweep parameter)")
+		freeRider    = fs.Float64("free-rider-frac", -1, "fraction of watchers that free-ride (upload nothing) in [0,1] (unset keeps the scenario's behavior; also a sweep parameter)")
+		shadeFactor  = fs.Float64("shade-factor", -1, "bid-shading multiplier on reported values in [0,1]; 1 is truthful (unset keeps the scenario's behavior; also a sweep parameter)")
+		cliqueSize   = fs.Int("clique-size", -1, "size of the colluding clique that overbids and starves outsiders (unset keeps the scenario's behavior; also a sweep parameter)")
+		throttleCap  = fs.Float64("throttle-cap", -1, "cross-ISP egress admission probability for throttling ISPs in [0,1] (ISP set defaults to {0}; unset keeps the scenario's behavior; also a sweep parameter)")
 		ispReport    = fs.Bool("isp-report", false, "print the inter-ISP economics report: per-ISP settlement table, ISP×ISP traffic matrix, and the welfare-vs-transit Pareto series against the baseline schedulers (single sim runs only)")
 		seed         = fs.Uint64("seed", 1, "base seed for scenario runs")
 		seeds        = fs.Int("seeds", 1, "number of consecutive seeds (>1 switches to the batch runner)")
@@ -147,6 +164,8 @@ func run(args []string) error {
 			shards: *shards, shardWorkers: *shardWorkers, shardMax: *shardMax,
 			locality: *locality, crossCap: *crossCap,
 			costModel: *costModel, transitCost: *transitCost, ispReport: *ispReport,
+			freeRiderFrac: *freeRider, shadeFactor: *shadeFactor,
+			cliqueSize: *cliqueSize, throttleCap: *throttleCap,
 			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
 			jsonPath: *jsonPath, csvPath: *csvPath,
 			noChart: *noChart, width: *width, height: *height,
@@ -301,6 +320,10 @@ type scenarioOpts struct {
 	crossCap               int
 	costModel              string
 	transitCost            float64
+	freeRiderFrac          float64
+	shadeFactor            float64
+	cliqueSize             int
+	throttleCap            float64
 	ispReport              bool
 	seed                   uint64
 	seeds, workers         int
@@ -355,6 +378,25 @@ func runScenario(o scenarioOpts) error {
 			return err
 		}
 	}
+	// Behavior knobs route through the sweep vocabulary so flag and -sweep
+	// runs build identical specs (negative = flag unset).
+	for _, knob := range []struct {
+		key string
+		v   float64
+		set bool
+	}{
+		{"free-rider-frac", o.freeRiderFrac, o.freeRiderFrac >= 0},
+		{"shade-factor", o.shadeFactor, o.shadeFactor >= 0},
+		{"clique-size", float64(o.cliqueSize), o.cliqueSize >= 0},
+		{"throttle-cap", o.throttleCap, o.throttleCap >= 0},
+	} {
+		if !knob.set {
+			continue
+		}
+		if err := scenario.ApplyParam(&spec, knob.key, knob.v); err != nil {
+			return err
+		}
+	}
 	if o.seeds < 1 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", o.seeds)
 	}
@@ -379,6 +421,12 @@ func runScenario(o scenarioOpts) error {
 	}
 	if err := scenario.Fprint(os.Stdout, res); err != nil {
 		return err
+	}
+	if res.Degradation != nil {
+		fmt.Println()
+		if err := res.Degradation.Fprint(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if o.ispReport {
 		if err := printISPReport(spec, res, o.seed); err != nil {

@@ -1,0 +1,336 @@
+package behavior
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isp"
+)
+
+func TestSpecIsZero(t *testing.T) {
+	if !(Spec{}).IsZero() {
+		t.Error("zero spec not zero")
+	}
+	nonZero := []Spec{
+		{FreeRiderFrac: 0.1},
+		{ShadeFactor: 0.5},
+		{CliqueSize: 2},
+		{CliqueBoost: 2},
+		{TitForTat: true},
+		{TFTSlots: 1},
+		{Throttle: isp.Throttle{ISPs: []int{0}, Cap: 0.5}},
+	}
+	for _, s := range nonZero {
+		if s.IsZero() {
+			t.Errorf("%+v reported zero", s)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	const numISPs = 3
+	bad := map[string]Spec{
+		"frac<0":          {FreeRiderFrac: -0.1},
+		"frac>1":          {FreeRiderFrac: 1.1},
+		"shade<0":         {ShadeFactor: -1},
+		"shade>1":         {ShadeFactor: 1.5},
+		"clique<0":        {CliqueSize: -1},
+		"boost in (0,1)":  {CliqueSize: 2, CliqueBoost: 0.5},
+		"boost sans size": {CliqueBoost: 2},
+		"tft slots < 0":   {TitForTat: true, TFTSlots: -1},
+		"slots sans tft":  {TFTSlots: 2},
+		"throttle id":     {Throttle: isp.Throttle{ISPs: []int{numISPs}, Cap: 0.5}},
+		"throttle cap":    {Throttle: isp.Throttle{ISPs: []int{0}, Cap: -0.5}},
+	}
+	for name, s := range bad {
+		if err := s.Validate(numISPs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := New(s, numISPs, 1); err == nil {
+			t.Errorf("%s: New compiled an invalid spec", name)
+		}
+	}
+	good := []Spec{
+		{},
+		{FreeRiderFrac: 1, ShadeFactor: 1},
+		{CliqueSize: 4, CliqueBoost: 1},
+		{TitForTat: true, TFTSlots: 5},
+		{Throttle: isp.Throttle{ISPs: []int{0, 2}, Cap: 0}},
+	}
+	for _, s := range good {
+		if err := s.Validate(numISPs); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"honest":          {},
+		"free-rider=0.3":  {FreeRiderFrac: 0.3},
+		"shade=0.5":       {ShadeFactor: 0.5},
+		"clique=8":        {CliqueSize: 8},
+		"tit-for-tat":     {TitForTat: true},
+		"throttle=[0]@.2": {Throttle: isp.Throttle{ISPs: []int{0}, Cap: 0.2}},
+	}
+	for want, s := range cases {
+		got := s.String()
+		// Exact match for the simple labels; containment for the throttle
+		// rendering, whose slice format is fmt's business.
+		if strings.HasPrefix(want, "throttle") {
+			if !strings.Contains(got, "throttle=") {
+				t.Errorf("%+v → %q, want a throttle label", s, got)
+			}
+		} else if got != want {
+			t.Errorf("%+v → %q, want %q", s, got, want)
+		}
+	}
+	// ShadeFactor 1 is truthful and must not pollute the label.
+	if got := (Spec{ShadeFactor: 1}).String(); got != "honest" {
+		t.Errorf("shade=1 labeled %q, want honest", got)
+	}
+	combined := Spec{FreeRiderFrac: 0.2, CliqueSize: 3, TitForTat: true}
+	for _, part := range []string{"free-rider=0.2", "clique=3", "tit-for-tat"} {
+		if !strings.Contains(combined.String(), part) {
+			t.Errorf("combined label %q lacks %q", combined.String(), part)
+		}
+	}
+}
+
+func mustNew(t *testing.T, s Spec, numISPs int, seed uint64) *Runtime {
+	t.Helper()
+	r, err := New(s, numISPs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFreeRiderDraw(t *testing.T) {
+	r := mustNew(t, Spec{FreeRiderFrac: 0.4}, 3, 42)
+	if r.Spec().FreeRiderFrac != 0.4 {
+		t.Fatalf("Spec() lost the compiled spec: %+v", r.Spec())
+	}
+	const n = 10000
+	riders := 0
+	for p := 0; p < n; p++ {
+		first := r.FreeRider(isp.PeerID(p))
+		if first != r.FreeRider(isp.PeerID(p)) {
+			t.Fatalf("peer %d verdict unstable", p)
+		}
+		if first {
+			riders++
+		}
+		wantCap := 7
+		if first {
+			wantCap = 0
+		}
+		if got := r.ClampCapacity(isp.PeerID(p), 7); got != wantCap {
+			t.Fatalf("peer %d capacity %d, want %d", p, got, wantCap)
+		}
+	}
+	frac := float64(riders) / n
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Errorf("empirical free-rider fraction %v far from 0.4", frac)
+	}
+	honest := mustNew(t, Spec{}, 3, 42)
+	for p := 0; p < 100; p++ {
+		if honest.FreeRider(isp.PeerID(p)) {
+			t.Fatalf("honest runtime free-rides peer %d", p)
+		}
+		if got := honest.ClampCapacity(isp.PeerID(p), 5); got != 5 {
+			t.Fatalf("honest runtime clamped capacity to %d", got)
+		}
+	}
+}
+
+func TestReportedValue(t *testing.T) {
+	honest := mustNew(t, Spec{}, 3, 1)
+	if honest.MisreportsValue() {
+		t.Error("honest runtime claims to misreport")
+	}
+	if got := honest.ReportedValue(7, 2.5); got != 2.5 {
+		t.Errorf("honest reported %v, want 2.5", got)
+	}
+
+	shader := mustNew(t, Spec{ShadeFactor: 0.5}, 3, 1)
+	if !shader.MisreportsValue() {
+		t.Error("shader claims truthfulness")
+	}
+	if got := shader.ReportedValue(7, 2.5); got != 1.25 {
+		t.Errorf("shaded report %v, want 1.25", got)
+	}
+
+	clique := mustNew(t, Spec{CliqueSize: 2}, 3, 1)
+	if !clique.MisreportsValue() {
+		t.Error("clique claims truthfulness")
+	}
+	clique.BeginSlot(0, []isp.PeerID{10, 11, 12}, func(isp.PeerID) []isp.PeerID { return nil })
+	if got := clique.ReportedValue(10, 2); got != 8 { // default boost 4
+		t.Errorf("member reported %v, want 8 (default boost 4)", got)
+	}
+	if got := clique.ReportedValue(12, 2); got != 2 {
+		t.Errorf("outsider reported %v, want the true 2", got)
+	}
+
+	boosted := mustNew(t, Spec{CliqueSize: 2, CliqueBoost: 10}, 3, 1)
+	boosted.BeginSlot(0, []isp.PeerID{10, 11, 12}, func(isp.PeerID) []isp.PeerID { return nil })
+	if got := boosted.ReportedValue(11, 2); got != 20 {
+		t.Errorf("boosted member reported %v, want 20", got)
+	}
+}
+
+func TestCliqueMembershipAndStarvation(t *testing.T) {
+	r := mustNew(t, Spec{CliqueSize: 3}, 3, 1)
+	watchers := []isp.PeerID{1, 2, 3, 4, 5}
+	r.BeginSlot(0, watchers, func(isp.PeerID) []isp.PeerID { return nil })
+
+	// Member uplink → member: allowed. Member uplink → outsider: starved.
+	if !r.AllowEdge(1, 0, false, 2, 0) {
+		t.Error("member→member edge refused")
+	}
+	if r.AllowEdge(1, 0, false, 4, 0) {
+		t.Error("member→outsider edge admitted")
+	}
+	// Outsider uplinks serve anyone, member or not.
+	if !r.AllowEdge(4, 0, false, 1, 0) || !r.AllowEdge(4, 0, false, 5, 0) {
+		t.Error("outsider uplink refused an edge")
+	}
+
+	// Membership is recomputed as the population churns: after peer 1
+	// leaves, peer 4 is promoted into the clique.
+	r.BeginSlot(1, []isp.PeerID{2, 3, 4, 5}, func(isp.PeerID) []isp.PeerID { return nil })
+	if r.AllowEdge(4, 0, false, 5, 0) {
+		t.Error("promoted member still serves outsiders")
+	}
+	if !r.AllowEdge(2, 0, false, 4, 0) {
+		t.Error("member→promoted-member edge refused")
+	}
+
+	// A clique larger than the population is just everyone.
+	r.BeginSlot(2, []isp.PeerID{8, 9}, func(isp.PeerID) []isp.PeerID { return nil })
+	if !r.AllowEdge(8, 0, false, 9, 0) {
+		t.Error("whole-population clique starved itself")
+	}
+}
+
+func TestThrottleEdgeFilter(t *testing.T) {
+	r := mustNew(t, Spec{Throttle: isp.Throttle{ISPs: []int{0}, Cap: 0}}, 3, 1)
+	// Cross-boundary egress out of the throttling ISP is blocked at cap 0...
+	if r.AllowEdge(1, 0, false, 2, 1) {
+		t.Error("cap-0 throttle admitted cross-ISP egress")
+	}
+	// ...while intra-ISP edges and non-throttling ISPs pass untouched.
+	if !r.AllowEdge(1, 0, false, 2, 0) {
+		t.Error("intra-ISP edge blocked")
+	}
+	if !r.AllowEdge(3, 1, false, 1, 0) {
+		t.Error("non-throttling ISP's egress blocked")
+	}
+
+	frac := mustNew(t, Spec{Throttle: isp.Throttle{ISPs: []int{0}, Cap: 0.3}}, 3, 7)
+	admitted := 0
+	const n = 10000
+	for p := 0; p < n; p++ {
+		up, down := isp.PeerID(2*p), isp.PeerID(2*p+1)
+		first := frac.AllowEdge(up, 0, false, down, 1)
+		if first != frac.AllowEdge(up, 0, false, down, 1) {
+			t.Fatalf("edge %d verdict unstable across calls", p)
+		}
+		if first {
+			admitted++
+		}
+	}
+	if got := float64(admitted) / n; math.Abs(got-0.3) > 0.02 {
+		t.Errorf("empirical admission rate %v far from cap 0.3", got)
+	}
+}
+
+func TestTitForTat(t *testing.T) {
+	r := mustNew(t, Spec{TitForTat: true, TFTSlots: 2}, 3, 1)
+	watchers := []isp.PeerID{1, 2, 3, 4, 5}
+	neighbors := func(p isp.PeerID) []isp.PeerID {
+		if p == 1 {
+			return []isp.PeerID{5, 4}
+		}
+		return nil
+	}
+
+	// No history yet: newcomer altruism, everyone serves everyone.
+	r.BeginSlot(0, watchers, neighbors)
+	if !r.AllowEdge(1, 0, false, 5, 0) {
+		t.Error("newcomer choked before any history")
+	}
+
+	// Peer 1 received 3 chunks from 2, 2 from 3, 1 from 4; with 2 unchoke
+	// slots it keeps {2, 3} plus the slot-1 optimistic unchoke (neighbor
+	// list {5,4} at index 1%2 → 4).
+	for i := 0; i < 3; i++ {
+		r.RecordGrant(2, 1)
+	}
+	r.RecordGrant(3, 1)
+	r.RecordGrant(3, 1)
+	r.RecordGrant(4, 1)
+	r.BeginSlot(1, watchers, neighbors)
+	for down, want := range map[isp.PeerID]bool{2: true, 3: true, 4: true, 5: false} {
+		if got := r.AllowEdge(1, 0, false, down, 0); got != want {
+			t.Errorf("slot 1: 1→%d allowed=%v, want %v", down, got, want)
+		}
+	}
+	// The optimistic unchoke rotates: slot 2 picks neighbor index 0 → 5.
+	r.BeginSlot(2, watchers, neighbors)
+	if !r.AllowEdge(1, 0, false, 5, 0) {
+		t.Error("slot 2: optimistic unchoke did not rotate to 5")
+	}
+	if r.AllowEdge(1, 0, false, 4, 0) {
+		t.Error("slot 2: peer 4 kept its unchoke without reciprocity rank")
+	}
+
+	// Seeds always serve everyone regardless of ledger state.
+	if !r.AllowEdge(9, 0, true, 5, 0) {
+		t.Error("seed choked a downloader")
+	}
+
+	// Peers without history keep serving everyone even mid-run.
+	if !r.AllowEdge(2, 0, false, 5, 0) {
+		t.Error("history-free watcher choked")
+	}
+
+	// Forget drops 1's ledger: next slot it is a newcomer again.
+	r.Forget(1)
+	r.BeginSlot(3, watchers, neighbors)
+	if !r.AllowEdge(1, 0, false, 5, 0) {
+		t.Error("forgotten peer still choking")
+	}
+
+	// RecordGrant and Forget are no-ops without tit-for-tat.
+	plain := mustNew(t, Spec{FreeRiderFrac: 0.5}, 3, 1)
+	plain.RecordGrant(1, 2)
+	plain.Forget(1)
+	if !plain.AllowEdge(1, 0, false, 2, 0) {
+		t.Error("non-TFT runtime choked an edge")
+	}
+}
+
+// TestPolicyIndependence pins the seed-derivation contract: the free-rider
+// and throttle draws come from independent derived streams, so the same
+// peer id never correlates across policies, while the same (spec, seed)
+// pair is fully reproducible.
+func TestPolicyIndependence(t *testing.T) {
+	a := mustNew(t, Spec{FreeRiderFrac: 0.5}, 3, 42)
+	b := mustNew(t, Spec{FreeRiderFrac: 0.5}, 3, 42)
+	differs := false
+	for p := 0; p < 1000; p++ {
+		if a.FreeRider(isp.PeerID(p)) != b.FreeRider(isp.PeerID(p)) {
+			t.Fatalf("same seed, different draw for peer %d", p)
+		}
+		other := mustNew(t, Spec{FreeRiderFrac: 0.5}, 3, 43)
+		if a.FreeRider(isp.PeerID(p)) != other.FreeRider(isp.PeerID(p)) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("free-rider draw ignores the seed")
+	}
+}

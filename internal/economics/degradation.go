@@ -1,0 +1,186 @@
+package economics
+
+// degradation.go: the equilibrium-degradation report of the strategic-
+// behavior axis. A misbehavior run (free-riders, bid shaders, colluding
+// cliques, throttling ISPs — internal/behavior) is compared against the
+// honest run at the same seed: the honest world is the perfect control
+// because the behavior stream derives from its own RNG key, so topology,
+// arrivals and capacity draws are identical and every delta is caused by
+// the misbehavior alone.
+//
+// The comparison axes are effective social welfare and effective transit.
+// Both must account for misses, or degraded service masquerades as
+// improvement: the urgency valuation pays more for later fetches, so raw
+// summed grant welfare rewards starvation, and a swarm that delivers
+// nothing pays no transit. A missed chunk is neither free nor worthless —
+// the viewer still needs it, so it is served by the origin CDN across a
+// transit boundary (P2P's whole economic purpose is offloading exactly
+// that traffic). The caller therefore reports welfare already charged for
+// misses, and Degrade prices each run's origin-fallback volume under the
+// same transit model as the P2P traffic (the origin sits outside every
+// ISP, so peering never zeroes it).
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isp"
+)
+
+// originISP is the pseudo-ISP id the origin CDN prices under: outside every
+// real ISP, peered with none of them.
+const originISP isp.ID = -1
+
+// RunLedger is one run's economic outcome, the input to Degrade.
+type RunLedger struct {
+	// Welfare is the run's miss-adjusted true welfare: granted true value
+	// minus cost, minus the forgone value of every missed chunk.
+	Welfare float64
+	// OriginGB is the origin-fallback volume: missed chunks served by the
+	// CDN across a transit boundary.
+	OriginGB float64
+	// Settlement is the run's P2P transit bill.
+	Settlement *Settlement
+}
+
+// AccountDelta is one ISP's P2P settlement shift under misbehavior (origin
+// fallback is priced at run level, not attributed to ISP accounts).
+type AccountDelta struct {
+	ISP isp.ID
+	// HonestUSD/AdversarialUSD are the ISP's transit bills in the two runs.
+	HonestUSD, AdversarialUSD float64
+	// DeltaUSD is AdversarialUSD − HonestUSD (positive: the ISP pays more
+	// because of the misbehavior).
+	DeltaUSD float64
+	// DeltaEgressGB is the cross-boundary egress volume shift in GB.
+	DeltaEgressGB float64
+}
+
+// Degradation measures how far a misbehavior run falls from the honest
+// equilibrium at the same seed.
+type Degradation struct {
+	// Behavior labels the misbehavior ("free-rider=0.3", "clique=8", ...).
+	Behavior string
+	// Honest/Adversarial are the two runs' effective Pareto points:
+	// miss-adjusted welfare vs P2P transit plus origin fallback.
+	Honest, Adversarial Point
+	// HonestP2PUSD/AdversarialP2PUSD are the bare P2P transit bills.
+	HonestP2PUSD, AdversarialP2PUSD float64
+	// HonestOriginUSD/AdversarialOriginUSD price each run's origin-fallback
+	// volume (misses) under the run's transit model.
+	HonestOriginUSD, AdversarialOriginUSD float64
+	// WelfareLoss is honest − adversarial effective welfare (≥ 0 whenever
+	// the honest equilibrium weakly dominates).
+	WelfareLoss float64
+	// WelfareLossPct is the loss as a percentage of honest welfare
+	// (0 when honest welfare is 0 — the guard, not a division).
+	WelfareLossPct float64
+	// TransitDeltaUSD is adversarial − honest effective transit (positive:
+	// the misbehavior made content delivery more expensive).
+	TransitDeltaUSD float64
+	// PerISP is the per-ISP P2P settlement shift, ordered by ISP id.
+	PerISP []AccountDelta
+}
+
+// Degrade builds the degradation report from the two runs' ledgers, pricing
+// origin fallback under the given transit model. The settlements must price
+// the same topology (equal ISP counts).
+func Degrade(behaviorLabel string, honest, adversarial RunLedger,
+	model TransitModel) (*Degradation, error) {
+	if honest.Settlement == nil || adversarial.Settlement == nil {
+		return nil, fmt.Errorf("economics: degradation needs both settlements")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("economics: degradation needs a transit model for origin fallback")
+	}
+	if len(honest.Settlement.Accounts) != len(adversarial.Settlement.Accounts) {
+		return nil, fmt.Errorf("economics: settlement ISP counts differ (%d vs %d)",
+			len(honest.Settlement.Accounts), len(adversarial.Settlement.Accounts))
+	}
+	d := &Degradation{
+		Behavior:             behaviorLabel,
+		HonestP2PUSD:         honest.Settlement.TransitUSD,
+		AdversarialP2PUSD:    adversarial.Settlement.TransitUSD,
+		HonestOriginUSD:      originUSD(model, honest.OriginGB),
+		AdversarialOriginUSD: originUSD(model, adversarial.OriginGB),
+	}
+	d.Honest = Point{
+		Label:      "honest",
+		Welfare:    honest.Welfare,
+		TransitUSD: d.HonestP2PUSD + d.HonestOriginUSD,
+	}
+	d.Adversarial = Point{
+		Label:      behaviorLabel,
+		Welfare:    adversarial.Welfare,
+		TransitUSD: d.AdversarialP2PUSD + d.AdversarialOriginUSD,
+	}
+	d.WelfareLoss = d.Honest.Welfare - d.Adversarial.Welfare
+	d.TransitDeltaUSD = d.Adversarial.TransitUSD - d.Honest.TransitUSD
+	if d.Honest.Welfare != 0 {
+		d.WelfareLossPct = 100 * d.WelfareLoss / d.Honest.Welfare
+	}
+	for i := range honest.Settlement.Accounts {
+		h, a := &honest.Settlement.Accounts[i], &adversarial.Settlement.Accounts[i]
+		if h.ISP != a.ISP {
+			return nil, fmt.Errorf("economics: settlement accounts misaligned at %d (%d vs %d)",
+				i, h.ISP, a.ISP)
+		}
+		d.PerISP = append(d.PerISP, AccountDelta{
+			ISP:            h.ISP,
+			HonestUSD:      h.TransitUSD,
+			AdversarialUSD: a.TransitUSD,
+			DeltaUSD:       a.TransitUSD - h.TransitUSD,
+			DeltaEgressGB:  a.EgressGB - h.EgressGB,
+		})
+	}
+	return d, nil
+}
+
+// originUSD prices origin-fallback volume: one flow from outside every ISP.
+func originUSD(model TransitModel, gb float64) float64 {
+	if gb <= 0 {
+		return 0
+	}
+	return model.CostUSD(originISP, originISP, gb)
+}
+
+// HonestWeaklyDominates reports whether the honest equilibrium is at
+// least as good as the misbehavior run on both axes: no less welfare, no
+// more effective transit — the dominance the goldens pin.
+func (d *Degradation) HonestWeaklyDominates() bool {
+	return WeaklyDominates(d.Honest, d.Adversarial)
+}
+
+// Fprint renders the degradation report as a table.
+func (d *Degradation) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "equilibrium degradation under %s:\n", d.Behavior); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  welfare %14.4f -> %14.4f  (loss %.4f, %.2f%%)\n",
+		d.Honest.Welfare, d.Adversarial.Welfare, d.WelfareLoss, d.WelfareLossPct); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  transit %14.4f -> %14.4f USD  (delta %+.4f; origin fallback %.4f -> %.4f)\n",
+		d.Honest.TransitUSD, d.Adversarial.TransitUSD, d.TransitDeltaUSD,
+		d.HonestOriginUSD, d.AdversarialOriginUSD); err != nil {
+		return err
+	}
+	dominance := "honest equilibrium weakly dominates"
+	if !d.HonestWeaklyDominates() {
+		dominance = "honest equilibrium does NOT dominate"
+	}
+	if _, err := fmt.Fprintf(w, "  %s\n", dominance); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-4s  %14s  %14s  %12s  %14s\n",
+		"ISP", "honest USD", "adversarial", "delta USD", "delta egressGB"); err != nil {
+		return err
+	}
+	for _, a := range d.PerISP {
+		if _, err := fmt.Fprintf(w, "  %-4d  %14.4f  %14.4f  %+12.4f  %+14.6f\n",
+			a.ISP, a.HonestUSD, a.AdversarialUSD, a.DeltaUSD, a.DeltaEgressGB); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+package economics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isp"
+)
+
+// settle prices a hand-built matrix, failing the test on error.
+func settle(t *testing.T, m *Matrix, chunkBytes float64, model TransitModel) *Settlement {
+	t.Helper()
+	s, err := Settle(m, chunkBytes, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// degradeFixture builds an honest and an adversarial settlement over the
+// same 3-ISP topology: the misbehavior shifts ISP 0's egress up and ISP 1's
+// down.
+func degradeFixture(t *testing.T) (honest, adversarial RunLedger) {
+	t.Helper()
+	const chunk = 1e6 // 1 MB chunks: 1000 chunks = 1 GB
+	hm := mustMatrix(t, 3)
+	if err := hm.Add(0, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := hm.Add(1, 2, 2000); err != nil {
+		t.Fatal(err)
+	}
+	am := mustMatrix(t, 3)
+	if err := am.Add(0, 1, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := am.Add(1, 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	model := Flat{USDPerGB: 1}
+	honest = RunLedger{
+		Welfare:    100,
+		OriginGB:   0.5,
+		Settlement: settle(t, hm, chunk, model),
+	}
+	adversarial = RunLedger{
+		Welfare:    80,
+		OriginGB:   2,
+		Settlement: settle(t, am, chunk, model),
+	}
+	return honest, adversarial
+}
+
+func TestDegrade(t *testing.T) {
+	honest, adversarial := degradeFixture(t)
+	model := Flat{USDPerGB: 1}
+	d, err := Degrade("free-rider=0.3", honest, adversarial, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "free-rider=0.3" {
+		t.Errorf("behavior label %q", d.Behavior)
+	}
+	// P2P bills: honest 3 GB × $1, adversarial 4 GB × $1.
+	if d.HonestP2PUSD != 3 || d.AdversarialP2PUSD != 4 {
+		t.Errorf("P2P bills %v/%v, want 3/4", d.HonestP2PUSD, d.AdversarialP2PUSD)
+	}
+	// Origin fallback priced under the same model: 0.5 and 2 GB.
+	if d.HonestOriginUSD != 0.5 || d.AdversarialOriginUSD != 2 {
+		t.Errorf("origin bills %v/%v, want 0.5/2", d.HonestOriginUSD, d.AdversarialOriginUSD)
+	}
+	// Effective points combine both; the deltas follow.
+	if d.Honest.TransitUSD != 3.5 || d.Adversarial.TransitUSD != 6 {
+		t.Errorf("effective transit %v/%v, want 3.5/6", d.Honest.TransitUSD, d.Adversarial.TransitUSD)
+	}
+	if d.WelfareLoss != 20 || d.WelfareLossPct != 20 {
+		t.Errorf("welfare loss %v (%v%%), want 20 (20%%)", d.WelfareLoss, d.WelfareLossPct)
+	}
+	if d.TransitDeltaUSD != 2.5 {
+		t.Errorf("transit delta %v, want 2.5", d.TransitDeltaUSD)
+	}
+	if !d.HonestWeaklyDominates() {
+		t.Error("honest point should dominate here")
+	}
+	// Per-ISP deltas: ISP 0 pays $2 more on 2 GB more egress, ISP 1 $1 less,
+	// ISP 2 unchanged.
+	if len(d.PerISP) != 3 {
+		t.Fatalf("per-ISP rows %d, want 3", len(d.PerISP))
+	}
+	wantDelta := map[isp.ID][2]float64{0: {2, 2}, 1: {-1, -1}, 2: {0, 0}}
+	for _, a := range d.PerISP {
+		w := wantDelta[a.ISP]
+		if math.Abs(a.DeltaUSD-w[0]) > 1e-12 || math.Abs(a.DeltaEgressGB-w[1]) > 1e-12 {
+			t.Errorf("ISP %d delta USD %v / egress %v, want %v / %v",
+				a.ISP, a.DeltaUSD, a.DeltaEgressGB, w[0], w[1])
+		}
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	honest, adversarial := degradeFixture(t)
+	model := Flat{USDPerGB: 1}
+
+	if _, err := Degrade("x", RunLedger{}, adversarial, model); err == nil {
+		t.Error("nil honest settlement accepted")
+	}
+	if _, err := Degrade("x", honest, RunLedger{}, model); err == nil {
+		t.Error("nil adversarial settlement accepted")
+	}
+	if _, err := Degrade("x", honest, adversarial, nil); err == nil {
+		t.Error("nil transit model accepted")
+	}
+
+	smaller := adversarial
+	smaller.Settlement = settle(t, mustMatrix(t, 2), 1e6, model)
+	if _, err := Degrade("x", honest, smaller, model); err == nil {
+		t.Error("mismatched ISP counts accepted")
+	}
+
+	misaligned := adversarial
+	shuffled := *adversarial.Settlement
+	shuffled.Accounts = append([]Account(nil), adversarial.Settlement.Accounts...)
+	shuffled.Accounts[0].ISP, shuffled.Accounts[1].ISP = shuffled.Accounts[1].ISP, shuffled.Accounts[0].ISP
+	misaligned.Settlement = &shuffled
+	if _, err := Degrade("x", honest, misaligned, model); err == nil {
+		t.Error("misaligned account ids accepted")
+	}
+}
+
+func TestDegradeGuards(t *testing.T) {
+	honest, adversarial := degradeFixture(t)
+	model := Flat{USDPerGB: 1}
+
+	// Zero honest welfare: the percentage guard keeps the report finite.
+	zeroW := honest
+	zeroW.Welfare = 0
+	d, err := Degrade("x", zeroW, adversarial, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WelfareLossPct != 0 || math.IsNaN(d.WelfareLossPct) {
+		t.Errorf("zero-honest-welfare pct = %v, want 0", d.WelfareLossPct)
+	}
+
+	// Zero origin volume prices at zero without consulting the model.
+	noMiss := honest
+	noMiss.OriginGB = 0
+	d, err = Degrade("x", noMiss, adversarial, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HonestOriginUSD != 0 {
+		t.Errorf("zero origin volume billed %v", d.HonestOriginUSD)
+	}
+
+	// Origin fallback survives peering: the origin pseudo-ISP is peered with
+	// nobody, so a fully peered topology still pays for CDN fills.
+	peering, err := NewPeering(Flat{USDPerGB: 1}, [2]isp.ID{0, 1}, [2]isp.ID{1, 2}, [2]isp.ID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Degrade("x", honest, adversarial, peering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HonestOriginUSD != 0.5 || d.AdversarialOriginUSD != 2 {
+		t.Errorf("peered-world origin bills %v/%v, want 0.5/2",
+			d.HonestOriginUSD, d.AdversarialOriginUSD)
+	}
+
+	// An adversarial run that beats honest on an axis flips the dominance
+	// verdict.
+	better := adversarial
+	better.Welfare = honest.Welfare + 1
+	d, err = Degrade("x", honest, better, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HonestWeaklyDominates() {
+		t.Error("dominance claimed over a higher-welfare adversarial run")
+	}
+	if d.WelfareLoss >= 0 {
+		t.Errorf("welfare loss %v should be negative here", d.WelfareLoss)
+	}
+}
+
+func TestDegradationFprint(t *testing.T) {
+	honest, adversarial := degradeFixture(t)
+	d, err := Degrade("clique=8", honest, adversarial, Flat{USDPerGB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := d.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"equilibrium degradation under clique=8",
+		"loss 20.0000, 20.00%",
+		"origin fallback 0.5000 -> 2.0000",
+		"honest equilibrium weakly dominates",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got < 7 { // header+3 summary+table head+3 ISP rows
+		t.Errorf("report has %d lines:\n%s", got, out)
+	}
+
+	reversed, err := Degrade("x", adversarial, honest, Flat{USDPerGB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := reversed.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "does NOT dominate") {
+		t.Errorf("reversed report hides the dominance failure:\n%s", sb.String())
+	}
+}
+
+// TestTieredBandBoundaries pins the volume-discount schedule exactly at the
+// band edges — where an off-by-one in the cumulative-band arithmetic would
+// double-bill or skip a band. DefaultTiers: first GB at $2, through 10 GB
+// at $1, beyond at $0.5.
+func TestTieredBandBoundaries(t *testing.T) {
+	model := Tiered{Tiers: DefaultTiers()}
+	cases := []struct {
+		gb, want float64
+	}{
+		{0, 0},
+		{0.5, 1},         // inside band 1
+		{1, 2},           // exactly at the band-1 edge: all of it at $2
+		{1.0001, 2.0001}, // first sliver of band 2 at $1
+		{10, 11},         // exactly at the band-2 edge: 2 + 9×1
+		{15, 13.5},       // 5 GB into the unbounded tail at $0.5
+	}
+	for _, c := range cases {
+		if got := model.CostUSD(0, 1, c.gb); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("CostUSD(%v GB) = %v, want %v", c.gb, got, c.want)
+		}
+	}
+
+	// A bounded final tier bills overflow volume at its own rate rather than
+	// dropping it.
+	bounded := Tiered{Tiers: []Tier{{UpToGB: 1, USDPerGB: 2}, {UpToGB: 10, USDPerGB: 1}}}
+	if got := bounded.CostUSD(0, 1, 15); got != 16 { // 1×2 + 14×1
+		t.Errorf("bounded-final CostUSD(15) = %v, want 16", got)
+	}
+
+	// Zero-volume pairs cost nothing and must not advance band state.
+	if got := model.CostUSD(0, 1, 0); got != 0 {
+		t.Errorf("zero volume billed %v", got)
+	}
+
+	// Settle skips zero-volume pairs entirely: only the two populated cells
+	// bill, each starting its own band schedule.
+	m := mustMatrix(t, 3)
+	if err := m.Add(0, 1, 2000); err != nil { // 2 GB at 1 MB chunks
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 1, 500); err != nil { // 0.5 GB
+		t.Fatal(err)
+	}
+	s := settle(t, m, 1e6, model)
+	wantTotal := (2.0 + 1*1) + 1.0 // pair(0→1): 2+1; pair(2→1): 0.5×2
+	if math.Abs(s.TransitUSD-wantTotal) > 1e-9 {
+		t.Errorf("settled total %v, want %v", s.TransitUSD, wantTotal)
+	}
+	if s.Accounts[1].TransitUSD != 0 || s.Accounts[1].EgressGB != 0 {
+		t.Errorf("zero-egress ISP billed: %+v", s.Accounts[1])
+	}
+}
+
+func TestTieredValidate(t *testing.T) {
+	bad := map[string]Tiered{
+		"empty":          {},
+		"negative rate":  {Tiers: []Tier{{UpToGB: 1, USDPerGB: -1}}},
+		"non-increasing": {Tiers: []Tier{{UpToGB: 5, USDPerGB: 1}, {UpToGB: 5, USDPerGB: 0.5}}},
+		"mid unbounded":  {Tiers: []Tier{{UpToGB: 0, USDPerGB: 1}, {UpToGB: 5, USDPerGB: 0.5}}},
+	}
+	for name, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := (Tiered{Tiers: DefaultTiers()}).Validate(); err != nil {
+		t.Errorf("default tiers rejected: %v", err)
+	}
+}
+
+// TestPeeringPairSymmetry pins the peering map's unordered-pair semantics:
+// a pair declared in one order settles free in both directions, and a
+// self-pair is rejected outright.
+func TestPeeringPairSymmetry(t *testing.T) {
+	p, err := NewPeering(Flat{USDPerGB: 2}, [2]isp.ID{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range [][2]isp.ID{{0, 1}, {1, 0}} {
+		if !p.Peered(dir[0], dir[1]) {
+			t.Errorf("pair %v not peered", dir)
+		}
+		if got := p.CostUSD(dir[0], dir[1], 5); got != 0 {
+			t.Errorf("peered direction %v billed %v", dir, got)
+		}
+	}
+	if p.Peered(0, 2) || p.CostUSD(0, 2, 5) != 10 {
+		t.Error("unpeered pair settled free")
+	}
+	if p.Peered(0, 0) {
+		t.Error("undeclared self-pair reported peered")
+	}
+
+	if _, err := NewPeering(Flat{}, [2]isp.ID{3, 3}); err == nil {
+		t.Error("self-pair accepted")
+	}
+	if _, err := NewPeering(nil); err == nil {
+		t.Error("nil base model accepted")
+	}
+
+	// Settle credits PeeredGB regardless of which direction carried traffic.
+	m := mustMatrix(t, 3)
+	if err := m.Add(0, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 0, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	s := settle(t, m, 1e6, p)
+	if s.Accounts[0].PeeredGB != 1 || s.Accounts[1].PeeredGB != 3 {
+		t.Errorf("peered egress %v/%v GB, want 1/3", s.Accounts[0].PeeredGB, s.Accounts[1].PeeredGB)
+	}
+	if s.Accounts[2].PeeredGB != 0 {
+		t.Errorf("unpeered ISP credited %v peered GB", s.Accounts[2].PeeredGB)
+	}
+	if s.TransitUSD != 2 { // only the 1 GB from ISP 2 bills, at $2/GB
+		t.Errorf("settled total %v, want 2", s.TransitUSD)
+	}
+
+	// Pairs() canonicalizes and sorts.
+	p2, err := NewPeering(Flat{}, [2]isp.ID{2, 1}, [2]isp.ID{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := p2.Pairs()
+	if len(pairs) != 2 || pairs[0] != [2]isp.ID{0, 1} || pairs[1] != [2]isp.ID{1, 2} {
+		t.Errorf("Pairs() = %v", pairs)
+	}
+}
+
+// TestFprintParetoZeroTransit reproduces the divide-by-zero report bug: a
+// series where every policy paid zero transit (fully intra-ISP runs) must
+// print 0.00% shares, not NaN, and still succeed.
+func TestFprintParetoZeroTransit(t *testing.T) {
+	points := []Point{
+		{Label: "auction", Welfare: 10, TransitUSD: 0},
+		{Label: "random", Welfare: 4, TransitUSD: 0},
+	}
+	var sb strings.Builder
+	if err := FprintPareto(&sb, points); err != nil {
+		t.Fatalf("zero-transit series errored: %v", err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("report contains NaN:\n%s", out)
+	}
+	if strings.Count(out, "0.00%") != 2 {
+		t.Errorf("want two 0.00%% share cells:\n%s", out)
+	}
+
+	// Non-zero series: shares split the summed bill and total 100%.
+	sb.Reset()
+	if err := FprintPareto(&sb, []Point{
+		{Label: "a", Welfare: 10, TransitUSD: 3},
+		{Label: "b", Welfare: 5, TransitUSD: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "75.00%") || !strings.Contains(out, "25.00%") {
+		t.Errorf("want 75%%/25%% shares:\n%s", out)
+	}
+}

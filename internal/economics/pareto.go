@@ -73,7 +73,10 @@ func sortPoints(points []Point) {
 
 // FprintPareto renders the welfare-vs-transit series as a table, every
 // policy one row ordered by transit cost, frontier members marked. This is
-// the "Pareto series" an operator plots: x = transit USD, y = welfare.
+// the "Pareto series" an operator plots: x = transit USD, y = welfare. The
+// share column is each policy's slice of the summed transit bill; when the
+// whole series paid zero transit (fully intra-ISP runs, peered topologies)
+// every share prints as 0 rather than dividing by the zero total.
 func FprintPareto(w io.Writer, points []Point) error {
 	if len(points) == 0 {
 		return fmt.Errorf("economics: no Pareto points to print")
@@ -86,17 +89,19 @@ func FprintPareto(w io.Writer, points []Point) error {
 	rows := append([]Point(nil), points...)
 	sortPoints(rows)
 	labelW := len("policy")
+	totalTransit := 0.0
 	for _, p := range rows {
 		if len(p.Label) > labelW {
 			labelW = len(p.Label)
 		}
+		totalTransit += p.TransitUSD
 	}
 	if _, err := fmt.Fprintf(w, "welfare-vs-transit Pareto series (%d policies, %d on frontier):\n",
 		len(rows), len(frontier)); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "  %-*s  %14s  %14s  %s\n",
-		labelW, "policy", "transit USD", "welfare", "frontier"); err != nil {
+	if _, err := fmt.Fprintf(w, "  %-*s  %14s  %14s  %9s  %s\n",
+		labelW, "policy", "transit USD", "welfare", "share", "frontier"); err != nil {
 		return err
 	}
 	for _, p := range rows {
@@ -104,8 +109,12 @@ func FprintPareto(w io.Writer, points []Point) error {
 		if onFrontier[p] {
 			mark = "*"
 		}
-		if _, err := fmt.Fprintf(w, "  %-*s  %14.4f  %14.4f  %s\n",
-			labelW, p.Label, p.TransitUSD, p.Welfare, mark); err != nil {
+		share := 0.0
+		if totalTransit > 0 {
+			share = 100 * p.TransitUSD / totalTransit
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s  %14.4f  %14.4f  %8.2f%%  %s\n",
+			labelW, p.Label, p.TransitUSD, p.Welfare, share, mark); err != nil {
 			return err
 		}
 	}

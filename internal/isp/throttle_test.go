@@ -1,0 +1,96 @@
+package isp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThrottleIsZero(t *testing.T) {
+	if !(Throttle{}).IsZero() {
+		t.Error("zero throttle not zero")
+	}
+	if !(Throttle{Cap: 0.5}).IsZero() {
+		t.Error("cap without ISPs should still be inactive")
+	}
+	if (Throttle{ISPs: []int{0}}).IsZero() {
+		t.Error("declared ISP set reported zero")
+	}
+}
+
+func TestThrottleValidate(t *testing.T) {
+	const numISPs = 4
+	if err := (Throttle{}).Validate(numISPs); err != nil {
+		t.Errorf("zero throttle rejected: %v", err)
+	}
+	bad := map[string]Throttle{
+		"cap<0":       {ISPs: []int{0}, Cap: -0.1},
+		"cap>1":       {ISPs: []int{0}, Cap: 1.1},
+		"id<0":        {ISPs: []int{-1}, Cap: 0.5},
+		"id>=numISPs": {ISPs: []int{numISPs}, Cap: 0.5},
+		"duplicate":   {ISPs: []int{1, 1}, Cap: 0.5},
+	}
+	for name, th := range bad {
+		if err := th.Validate(numISPs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := Throttle{ISPs: []int{0, 3}, Cap: 1}
+	if err := ok.Validate(numISPs); err != nil {
+		t.Errorf("valid throttle rejected: %v", err)
+	}
+}
+
+func TestThrottleThrottles(t *testing.T) {
+	th := Throttle{ISPs: []int{0, 2}, Cap: 0.5}
+	for id, want := range map[ID]bool{0: true, 1: false, 2: true, 3: false} {
+		if got := th.Throttles(id); got != want {
+			t.Errorf("Throttles(%d) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestThrottleAdmits(t *testing.T) {
+	const seed = 99
+	th := Throttle{ISPs: []int{0}, Cap: 0.5}
+
+	// Intra-ISP edges always pass, even inside the throttling ISP.
+	if !th.Admits(seed, 1, 0, 2, 0) {
+		t.Error("intra-ISP edge dropped")
+	}
+	// Egress from a non-throttling ISP always passes.
+	if !th.Admits(seed, 1, 1, 2, 0) {
+		t.Error("non-throttling egress dropped")
+	}
+
+	// Cap extremes short-circuit without a draw.
+	if !(Throttle{ISPs: []int{0}, Cap: 1}).Admits(seed, 1, 0, 2, 1) {
+		t.Error("cap-1 throttle dropped an edge")
+	}
+	if (Throttle{ISPs: []int{0}, Cap: 0}).Admits(seed, 1, 0, 2, 1) {
+		t.Error("cap-0 throttle admitted an edge")
+	}
+
+	// Fractional caps draw per directed pair: deterministic across calls,
+	// direction-sensitive, and empirically near the cap.
+	admitted, flipped := 0, 0
+	const n = 20000
+	for p := 0; p < n; p++ {
+		up, down := PeerID(2*p), PeerID(2*p+1)
+		first := th.Admits(seed, up, 0, down, 1)
+		if first != th.Admits(seed, up, 0, down, 1) {
+			t.Fatalf("pair %d verdict unstable", p)
+		}
+		if first {
+			admitted++
+		}
+		if first != th.Admits(seed, down, 0, up, 1) {
+			flipped++
+		}
+	}
+	if got := float64(admitted) / n; math.Abs(got-0.5) > 0.02 {
+		t.Errorf("empirical admission rate %v far from cap 0.5", got)
+	}
+	if flipped == 0 {
+		t.Error("reversed pairs never differ — the draw ignores direction")
+	}
+}

@@ -20,9 +20,39 @@ type Grid struct {
 // ApplyParam mutates the spec by one named parameter — the vocabulary of
 // batch sweeps. Keys: peers, slots, neighbors, epsilon, arrival, early-leave,
 // cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart,
-// sharding, shard-workers, shard-max, locality, cross-cap, transit-cost.
+// sharding, shard-workers, shard-max, locality, cross-cap, transit-cost,
+// free-rider-frac, shade-factor, clique-size, throttle-cap.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
+	case "free-rider-frac":
+		// Fraction of non-seed peers that upload nothing after joining.
+		if v < 0 || v > 1 {
+			return fmt.Errorf("scenario: free-rider fraction %v outside [0,1]", v)
+		}
+		s.Behavior.FreeRiderFrac = v
+	case "shade-factor":
+		// Multiplier every bidder applies to its reported value; 0 or 1 is
+		// truthful bidding.
+		if v < 0 || v > 1 {
+			return fmt.Errorf("scenario: shade factor %v outside [0,1]", v)
+		}
+		s.Behavior.ShadeFactor = v
+	case "clique-size":
+		// Number of colluding watchers (the first int(v) live non-seeds).
+		if v < 0 {
+			return fmt.Errorf("scenario: clique size %v must be >= 0", v)
+		}
+		s.Behavior.CliqueSize = int(v)
+	case "throttle-cap":
+		// ISP cross-traffic admission probability; the throttling ISP set
+		// defaults to {0} when the spec names none.
+		if v < 0 || v > 1 {
+			return fmt.Errorf("scenario: throttle cap %v outside [0,1]", v)
+		}
+		if len(s.Behavior.Throttle.ISPs) == 0 {
+			s.Behavior.Throttle.ISPs = []int{0}
+		}
+		s.Behavior.Throttle.Cap = v
 	case "warmstart":
 		s.WarmStart = v != 0
 	case "locality":
@@ -97,7 +127,8 @@ func ApplyParam(s *Spec, key string, v float64) error {
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
 			"videos, window, requests, sinks, warmstart, sharding, shard-workers, "+
-			"shard-max, locality, cross-cap or transit-cost)", key)
+			"shard-max, locality, cross-cap, transit-cost, free-rider-frac, "+
+			"shade-factor, clique-size or throttle-cap)", key)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"repro/internal/behavior"
 	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/isp"
@@ -287,6 +288,52 @@ func init() {
 			Peered: [][2]int{{0, 1}, {2, 3}},
 		},
 		Sim: peering,
+	})
+
+	// free-rider-sweep — the strategic-behavior workbench: a seed-scarce
+	// economics world (seeds placed globally, not per ISP, so local chunk
+	// supply is peer replication, not seed bandwidth) in which 30% of peers
+	// upload nothing after joining. Killing local replication forces the
+	// swarm onto remote uploaders across ISP boundaries: welfare falls AND
+	// the flat transit bill rises, so the honest control weakly dominates —
+	// the equilibrium-degradation golden. Sweep the fraction with
+	// `-sweep "free-rider-frac=0,0.1,0.3,0.5"`; the degradation report
+	// rides along in every JSON export.
+	freeRider := smallSim()
+	freeRider.StaticPeers = 100
+	freeRider.Slots = 8
+	freeRider.Catalog.Count = 4
+	freeRider.NeighborCount = 8
+	freeRider.SeedsPerVideo = 2
+	freeRider.Placement = sim.SeedsGlobal
+	MustRegister(Spec{
+		Name:     "free-rider-sweep",
+		Summary:  "30% free-riders in a seed-scarce world under a flat transit bill",
+		Workload: "behavior",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
+		Behavior: behavior.Spec{FreeRiderFrac: 0.3},
+		Sim:      freeRider,
+	})
+
+	// clique-attack — collusion in the same seed-scarce world: the first
+	// eight watchers bid 4× their true value for each other's requests and
+	// refuse to upload to outsiders. The clique hoards uplink bandwidth its
+	// members don't need (inflated bids win auctions true valuations would
+	// lose) while outsiders fall back to remote, cross-ISP uploaders — true
+	// welfare falls and the transit bill rises against the honest control.
+	// Sweep the cartel with `-sweep "clique-size=0,4,8,16"`.
+	clique := freeRider
+	MustRegister(Spec{
+		Name:     "clique-attack",
+		Summary:  "8-peer colluding clique boosting bids 4x and starving outsiders",
+		Workload: "behavior",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
+		Behavior: behavior.Spec{CliqueSize: 8},
+		Sim:      clique,
 	})
 
 	// assignment — the bare solver on random transportation instances,

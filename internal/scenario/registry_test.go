@@ -41,6 +41,7 @@ func TestRegistryHasBuiltins(t *testing.T) {
 		"quickstart", "vodstreaming", "churn", "livenet", "assignment",
 		"flash-crowd", "diurnal", "asymmetric-cost", "large-scale",
 		"mega-swarm", "sharded-churn", "locality-sweep", "isp-peering",
+		"free-rider-sweep", "clique-attack",
 	} {
 		if _, ok := Get(want); !ok {
 			t.Errorf("preset %q missing", want)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/baseline"
+	"repro/internal/behavior"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/economics"
@@ -222,6 +223,16 @@ type Spec struct {
 	// shapes the traffic itself lives in Sim.Locality (`locality` /
 	// `cross-cap` sweep parameters).
 	Transit economics.TransitSpec
+	// Behavior selects the strategic-peer/ISP misbehavior axis for KindSim
+	// runs (internal/behavior): free-rider fractions, bid shading, colluding
+	// cliques, tit-for-tat reciprocity and ISP cross-traffic throttles. The
+	// zero value is the honest population — no runtime is compiled and the
+	// run is bit-identical to a spec without the field. A non-zero spec also
+	// runs the honest control at the same seed and attaches the
+	// equilibrium-degradation report (Result.Degradation). Sweepable via the
+	// `free-rider-frac`, `shade-factor`, `clique-size` and `throttle-cap`
+	// parameters.
+	Behavior behavior.Spec
 
 	// Sim configures KindSim (the Seed field is overwritten per run).
 	Sim sim.Config
@@ -266,6 +277,7 @@ func (s Spec) Validate() error {
 		}
 		cfg := s.Sim
 		cfg.Seed = 1
+		cfg.Behavior = s.Behavior
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
@@ -295,6 +307,9 @@ func (s Spec) Validate() error {
 		if s.Sharding.Enabled {
 			return fmt.Errorf("scenario %s: sharding applies to slot sequences (KindSim), not independent transport instances", s.Name)
 		}
+		if !s.Behavior.IsZero() {
+			return fmt.Errorf("scenario %s: behavior policies apply to streaming swarms (KindSim), not bare transport instances", s.Name)
+		}
 		t := s.Transport
 		if t.Requests <= 0 || t.Sinks <= 0 || t.Trials <= 0 {
 			return fmt.Errorf("scenario %s: transport needs positive requests/sinks/trials", s.Name)
@@ -318,6 +333,9 @@ func (s Spec) Validate() error {
 		}
 		if s.Sharding.Enabled {
 			return fmt.Errorf("scenario %s: sharding is not plumbed through the live TCP engine", s.Name)
+		}
+		if !s.Behavior.IsZero() {
+			return fmt.Errorf("scenario %s: behavior policies are not plumbed through the live TCP engine", s.Name)
 		}
 		l := s.Live
 		if len(l.UploaderCosts) == 0 || l.UploaderCapacity <= 0 {
@@ -348,8 +366,12 @@ type Result struct {
 	// Settlement prices Traffic under the spec's transit model (KindSim
 	// only): the per-ISP cost table behind the transit_usd metric.
 	Settlement *economics.Settlement `json:",omitempty"`
-	Series     []*metrics.Series     `json:"-"`
-	Elapsed    time.Duration         `json:"-"`
+	// Degradation compares this run against the honest control at the same
+	// seed — welfare lost, transit shifted, per-ISP settlement deltas. Only
+	// present for KindSim runs with a non-zero Spec.Behavior.
+	Degradation *economics.Degradation `json:",omitempty"`
+	Series      []*metrics.Series      `json:"-"`
+	Elapsed     time.Duration          `json:"-"`
 }
 
 // ParetoPoint reduces the run to its welfare-vs-transit coordinates for
@@ -404,6 +426,7 @@ func (s Spec) Run(seed uint64) (*Result, error) {
 func (s Spec) runSim(seed uint64) (*Result, error) {
 	cfg := s.Sim
 	cfg.Seed = seed
+	cfg.Behavior = s.Behavior
 	scheduler, err := s.scheduler(cfg)
 	if err != nil {
 		return nil, err
@@ -432,6 +455,7 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 			"welfare_total":    welfareSum,
 			"inter_isp":        r.MeanInterISPFraction(),
 			"miss_rate":        r.MeanMissRate(),
+			"missed":           float64(r.TotalMissed),
 			"fairness":         r.MissRateFairness(),
 			"grants":           float64(r.TotalGrants),
 			"payments":         r.TotalPayments,
@@ -457,6 +481,47 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 			res.Metrics["shard_migrations"] = float64(st.Migrations)
 			res.Metrics["shard_cut_edges"] = float64(st.CutEdges)
 		}
+	}
+	if !s.Behavior.IsZero() {
+		// Run the honest control at the same seed — the behavior RNG stream
+		// is keyed independently, so the control shares topology, arrivals
+		// and capacities and every delta is caused by the misbehavior. The
+		// recursion bottoms out immediately: the control's Behavior is zero.
+		honest := s
+		honest.Behavior = behavior.Spec{}
+		hres, err := honest.runSim(seed)
+		if err != nil {
+			return nil, fmt.Errorf("honest control run: %w", err)
+		}
+		// Both comparison axes are miss-adjusted (see economics/degradation.go):
+		// welfare charges each miss its forgone value at the playback moment
+		// (d = 0, the valuation ceiling), and transit charges each run's
+		// missed chunks as origin-CDN fallback volume under the same transit
+		// model. Without both, degraded service masquerades as improvement —
+		// the urgency valuation pays more for later fetches and an idle swarm
+		// pays no transit.
+		missPenalty := cfg.Valuation.Max
+		gbPerChunk := cfg.ChunkBytes() / 1e9
+		deg, err := economics.Degrade(s.Behavior.String(),
+			economics.RunLedger{
+				Welfare:    hres.Metrics["welfare_total"] - missPenalty*hres.Metrics["missed"],
+				OriginGB:   hres.Metrics["missed"] * gbPerChunk,
+				Settlement: hres.Settlement,
+			},
+			economics.RunLedger{
+				Welfare:    welfareSum - missPenalty*float64(r.TotalMissed),
+				OriginGB:   float64(r.TotalMissed) * gbPerChunk,
+				Settlement: settlement,
+			},
+			model)
+		if err != nil {
+			return nil, err
+		}
+		res.Degradation = deg
+		res.Metrics["honest_welfare_total"] = hres.Metrics["welfare_total"]
+		res.Metrics["welfare_loss"] = deg.WelfareLoss
+		res.Metrics["welfare_loss_pct"] = deg.WelfareLossPct
+		res.Metrics["transit_delta_usd"] = deg.TransitDeltaUSD
 	}
 	return res, nil
 }

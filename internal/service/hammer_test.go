@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/isp"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// TestConcurrentLifecycleHammer races a pool of peer lifecycles
+// (join → offer/bid rounds → leave) against a manual ticker, the /v1/tick
+// path under churn. It pins two properties under -race:
+//
+//   - memory safety of the book mutations (the race detector's half), and
+//   - the leave linearization point: once Leave(p) has been acked, no tick
+//     that starts afterwards may publish a grant to p or a grant served by
+//     p — the tombstones must be visible to the very next instance build.
+//
+// The departed set is snapshotted BEFORE each Tick call, so every peer in
+// the snapshot had its leave acked before the tick took the daemon lock;
+// grants are republished wholesale each tick, so after the tick returns no
+// current grant may reference a snapshotted peer.
+func TestConcurrentLifecycleHammer(t *testing.T) {
+	d, err := New(Options{Epsilon: 0.01, SlotInterval: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const (
+		peers  = 32
+		rounds = 25
+	)
+
+	var (
+		depMu    sync.Mutex
+		departed = make(map[isp.PeerID]bool)
+	)
+	markDeparted := func(p isp.PeerID) {
+		depMu.Lock()
+		departed[p] = true
+		depMu.Unlock()
+	}
+	departedSnapshot := func() []isp.PeerID {
+		depMu.Lock()
+		defer depMu.Unlock()
+		out := make([]isp.PeerID, 0, len(departed))
+		for p := range departed {
+			out = append(out, p)
+		}
+		return out
+	}
+
+	var workers sync.WaitGroup
+	for w := 0; w < peers; w++ {
+		workers.Add(1)
+		go func(p isp.PeerID) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			if err := d.Join(p, isp.ID(int(p)%3)); err != nil {
+				t.Errorf("join %d: %v", p, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if err := d.Offer(p, 1+rng.Intn(4)); err != nil {
+					t.Errorf("offer %d: %v", p, err)
+					return
+				}
+				// Bid on a chunk served by some other peer in the pool; the
+				// candidate may have left or never offered — the tick filters.
+				cand := isp.PeerID(rng.Intn(peers))
+				if err := d.Bid(p, []BidRequest{{
+					Chunk:      video.ChunkID{Video: video.ID(int(p) % 4), Index: video.ChunkIndex(r)},
+					Value:      1 + rng.Float64(),
+					Deadline:   1,
+					Candidates: []sched.Candidate{{Peer: cand, Cost: rng.Float64()}},
+				}}); err != nil {
+					t.Errorf("bid %d: %v", p, err)
+					return
+				}
+				if _, gs := d.Grants(p); len(gs) > 0 && rng.Intn(8) == 0 {
+					_ = gs // polling path exercised; grants checked by the ticker
+				}
+			}
+			if err := d.Leave(p); err != nil {
+				t.Errorf("leave %d: %v", p, err)
+				return
+			}
+			markDeparted(p)
+		}(isp.PeerID(w))
+	}
+
+	workersDone := make(chan struct{})
+	go func() { workers.Wait(); close(workersDone) }()
+
+	// checkTick runs one manual tick and asserts the pre-tick departed set is
+	// invisible in the published grants.
+	checkTick := func() error {
+		gone := departedSnapshot()
+		if _, err := d.Tick(); err != nil {
+			return fmt.Errorf("tick: %w", err)
+		}
+		goneSet := make(map[isp.PeerID]bool, len(gone))
+		for _, p := range gone {
+			goneSet[p] = true
+		}
+		for _, p := range gone {
+			if _, gs := d.Grants(p); len(gs) > 0 {
+				return fmt.Errorf("peer %d granted %d chunks after its leave was acked", p, len(gs))
+			}
+		}
+		for p := 0; p < peers; p++ {
+			_, gs := d.Grants(isp.PeerID(p))
+			for _, g := range gs {
+				if goneSet[g.Uploader] {
+					return fmt.Errorf("grant served by peer %d after its leave was acked", g.Uploader)
+				}
+			}
+		}
+		return nil
+	}
+
+	for {
+		select {
+		case <-workersDone:
+			// Two closing ticks: one to drain whatever the last workers left
+			// in the books, one to verify a fully departed swarm solves clean.
+			for i := 0; i < 2; i++ {
+				if err := checkTick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := d.Stats()
+			if st.Peers != 0 {
+				t.Fatalf("%d peers still registered after every lifecycle finished", st.Peers)
+			}
+			if st.Totals.Joins != peers || st.Totals.Leaves != peers {
+				t.Fatalf("joins/leaves = %d/%d, want %d/%d",
+					st.Totals.Joins, st.Totals.Leaves, peers, peers)
+			}
+			if st.Totals.Ticks == 0 {
+				t.Fatal("ticker never ran")
+			}
+			return
+		default:
+			if err := checkTick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/behavior"
 	"repro/internal/isp"
 	"repro/internal/tracker"
 	"repro/internal/valuation"
@@ -161,6 +162,12 @@ type Config struct {
 	// DES engine (default 100 ms), calibrating Fig. 2's within-slot
 	// convergence timeline.
 	CostLatencyUnit time.Duration
+	// Behavior selects the strategic-peer/ISP misbehavior axis: free-riders,
+	// bid shaders, colluding cliques, tit-for-tat choking and ISP
+	// cross-traffic throttles (internal/behavior). The zero value is the
+	// honest baseline and leaves the engines bit-identical to the
+	// pre-behavior pipeline (pinned by the no-op regression goldens).
+	Behavior behavior.Spec
 }
 
 // PaperConfig returns the paper's published parameters (§V).
@@ -275,6 +282,9 @@ func (c Config) Validate() error {
 	}
 	if c.CostLatencyUnit < 0 {
 		return fmt.Errorf("sim: CostLatencyUnit must be >= 0, got %v", c.CostLatencyUnit)
+	}
+	if err := c.Behavior.Validate(c.NumISPs); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

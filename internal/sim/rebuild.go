@@ -126,6 +126,9 @@ func (w *world) buildInstanceRebuild(j int) (*sched.Instance, error) {
 				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
 					continue
 				}
+				if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
+					continue
+				}
 				cands = append(cands, sched.Candidate{
 					Peer: nb,
 					Cost: w.cfg.CostScale * w.topo.MustCost(nb, id),
@@ -134,10 +137,14 @@ func (w *world) buildInstanceRebuild(j int) (*sched.Instance, error) {
 			if len(cands) == 0 {
 				continue // nobody can serve it; miss accounting handles it
 			}
+			v := w.cfg.Valuation.Value(d)
+			if w.behave != nil {
+				v = w.behave.ReportedValue(id, v)
+			}
 			requests = append(requests, sched.Request{
 				Peer:       id,
 				Chunk:      chunk,
-				Value:      w.cfg.Valuation.Value(d),
+				Value:      v,
 				Deadline:   d,
 				Candidates: cands,
 			})
@@ -195,7 +202,14 @@ func (w *world) applyGrantsRebuild(j int, in *sched.Instance, grants []sched.Gra
 				delivered[req.Peer] = make(map[video.ChunkIndex]float64)
 			}
 			delivered[req.Peer][req.Chunk.Index] = at
-			out.welfare += req.Value - mustCost(in, g)
+			val := req.Value
+			if w.behave != nil {
+				if w.behave.MisreportsValue() {
+					val = w.cfg.Valuation.Value(req.Deadline)
+				}
+				w.behave.RecordGrant(u, req.Peer)
+			}
+			out.welfare += val - mustCost(in, g)
 			out.grants++
 			inter, err := w.topo.IsInter(u, req.Peer)
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/behavior"
 	"repro/internal/buffer"
 	"repro/internal/economics"
 	"repro/internal/isp"
@@ -116,6 +117,13 @@ type world struct {
 	deliveredPeers []isp.PeerID
 	departScratch  []isp.PeerID
 
+	// behave is the compiled strategic-behavior runtime (nil when
+	// cfg.Behavior is the honest zero value, which keeps every hook off the
+	// hot path and the honest run bit-identical); behaveWatchers is the
+	// reused live-watcher scratch its per-slot refresh reads.
+	behave         *behavior.Runtime
+	behaveWatchers []isp.PeerID
+
 	// costCache memoizes topo.MustCost per unordered peer pair: the draw is
 	// a pure function of (seed, pair) but burns a PRNG derivation plus
 	// truncated-normal rejection sampling, and the candidate scans ask for
@@ -178,6 +186,16 @@ func newWorld(cfg Config) (*world, error) {
 	}
 	if w.chunksPerSlot <= 0 {
 		return nil, fmt.Errorf("sim: slot shorter than one chunk playback")
+	}
+	if !cfg.Behavior.IsZero() {
+		// The behavior stream derives from its own root key (5): keyed
+		// derivation is independent per label, so topology/churn/peer/
+		// locality draws are untouched and the honest world at the same
+		// seed stays the perfect control for degradation reports.
+		w.behave, err = behavior.New(cfg.Behavior, cfg.NumISPs, root.Derive(5).Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	w.dirty = make([][]uint64, catalog.Count())
 	if w.traffic, err = economics.NewMatrix(cfg.NumISPs); err != nil {
@@ -315,6 +333,11 @@ func (w *world) addWatcher(vid video.ID, m isp.ID, pos, startSlot, earlyLeaveSlo
 		capacity: w.drawCapacity(), cache: cache,
 		pos: pos, startSlot: startSlot, earlyLeaveSlot: earlyLeaveSlot,
 	}
+	if w.behave != nil {
+		// Free-riders are clamped after the draw so every other stream
+		// (and every other peer's capacity) matches the honest run.
+		p.capacity = w.behave.ClampCapacity(id, p.capacity)
+	}
 	w.peers[id] = p
 	w.appendOrder(id)
 	w.joined++
@@ -338,6 +361,9 @@ func (w *world) removePeer(id isp.PeerID) {
 	delete(w.peers, id)
 	w.track.Leave(id)
 	delete(w.orderIdx, id)
+	if w.behave != nil {
+		w.behave.Forget(id)
+	}
 	w.order[i] = noPeer
 	w.tombstones++
 	w.departed++
@@ -399,6 +425,22 @@ func (w *world) refreshNeighbors() {
 			continue // freshly departed; next slot heals
 		}
 		p.neighbors = neighbors
+	}
+	if w.behave != nil {
+		// Strategic state is per-slot: clique membership follows the live
+		// population and tit-for-tat unchoke sets are cut from the ledger
+		// after the fresh neighbor lists exist (the optimistic unchoke
+		// rotates over them).
+		w.behaveWatchers = w.behaveWatchers[:0]
+		for _, id := range w.order {
+			if id == noPeer || w.peers[id].seed {
+				continue
+			}
+			w.behaveWatchers = append(w.behaveWatchers, id)
+		}
+		w.behave.BeginSlot(w.slot, w.behaveWatchers, func(p isp.PeerID) []isp.PeerID {
+			return w.peers[p].neighbors
+		})
 	}
 	w.forceRebuild = true
 }
@@ -508,7 +550,11 @@ func (w *world) buildInstance(j int) (*sched.Instance, *sched.InstanceDelta, err
 			if d < 0 {
 				continue // unplayable; do not waste bandwidth
 			}
-			b.StartRequest(id, video.ChunkID{Video: p.vid, Index: idx}, w.cfg.Valuation.Value(d), d)
+			v := w.cfg.Valuation.Value(d)
+			if w.behave != nil {
+				v = w.behave.ReportedValue(id, v)
+			}
+			b.StartRequest(id, video.ChunkID{Video: p.vid, Index: idx}, v, d)
 			if !w.forceRebuild && w.chunkClean(p.vid, idx) && b.CarryCandidates() {
 				b.EndRequest()
 				continue
@@ -516,6 +562,9 @@ func (w *world) buildInstance(j int) (*sched.Instance, *sched.InstanceDelta, err
 			for _, nb := range p.neighbors {
 				up, ok := w.peers[nb]
 				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
+					continue
+				}
+				if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
 					continue
 				}
 				b.AddCandidate(nb, w.cfg.CostScale*w.costOf(nb, id))
@@ -616,7 +665,17 @@ func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant, out
 				w.deliveredPeers = append(w.deliveredPeers, req.Peer)
 			}
 			down.delivered = append(down.delivered, deliveredChunk{idx: req.Chunk.Index, at: at})
-			out.welfare += req.Value - mustCost(in, g)
+			val := req.Value
+			if w.behave != nil {
+				if w.behave.MisreportsValue() {
+					// Social welfare is accounted at the TRUE valuation — a
+					// pure function of the request's deadline — never the
+					// shaded/boosted bid the auction saw.
+					val = w.cfg.Valuation.Value(req.Deadline)
+				}
+				w.behave.RecordGrant(u, req.Peer)
+			}
+			out.welfare += val - mustCost(in, g)
 			out.grants++
 			inter, err := w.topo.IsInter(u, req.Peer)
 			if err != nil {
