@@ -10,6 +10,7 @@
 //	p2psim -scenario churn -warmstart               # warm-started incremental auction
 //	p2psim -scenario mega-swarm                     # 100k peers, sharded orchestrator
 //	p2psim -scenario churn -shards -shard-workers 4 # shard any sim scenario
+//	p2psim -scenario quickstart -trace out.json     # Perfetto span capture of one run
 //	p2psim -scenario vodstreaming -seeds 10 -workers 4 -csv out.csv
 //	p2psim -scenario vodstreaming -seeds 5 -sweep "neighbors=5,15,30" -json out.json
 //	p2psim -scenario churn -seeds 5 -sweep "warmstart=0,1" -csv warm.csv
@@ -61,6 +62,7 @@ import (
 	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/tracker"
 )
@@ -144,6 +146,7 @@ func run(args []string) error {
 		jsonPath     = fs.String("json", "", "write the scenario run / batch result as JSON to this file")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile (post-GC, live objects) to this file at exit")
+		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON capture of a single scenario run to this file (open in Perfetto or chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,6 +157,9 @@ func run(args []string) error {
 	}
 	if (*list || *scenName != "") && *expID != "" {
 		return fmt.Errorf("-exp cannot be combined with -list/-scenario")
+	}
+	if *tracePath != "" && *scenName == "" {
+		return fmt.Errorf("-trace requires -scenario (experiments run many interleaved simulations)")
 	}
 	if *list {
 		return listScenarios(os.Stdout)
@@ -167,7 +173,7 @@ func run(args []string) error {
 			freeRiderFrac: *freeRider, shadeFactor: *shadeFactor,
 			cliqueSize: *cliqueSize, throttleCap: *throttleCap,
 			seed: *seed, seeds: *seeds, workers: *workers, sweep: *sweep,
-			jsonPath: *jsonPath, csvPath: *csvPath,
+			jsonPath: *jsonPath, csvPath: *csvPath, tracePath: *tracePath,
 			noChart: *noChart, width: *width, height: *height,
 		})
 	}
@@ -329,6 +335,7 @@ type scenarioOpts struct {
 	seeds, workers         int
 	sweep                  string
 	jsonPath, csvPath      string
+	tracePath              string
 	noChart                bool
 	width, height          int
 }
@@ -407,6 +414,11 @@ func runScenario(o scenarioOpts) error {
 	if o.ispReport && (o.seeds > 1 || len(grids) > 0) {
 		return fmt.Errorf("-isp-report applies to single runs; use -sweep \"locality=...\" for grids")
 	}
+	if o.tracePath != "" && (o.seeds > 1 || len(grids) > 0) {
+		// Batch workers share the process-wide trace slot; an interleaved
+		// capture would be unreadable, so keep -trace to single runs.
+		return fmt.Errorf("-trace applies to single runs, not -seeds/-sweep batches")
+	}
 	if o.ispReport && spec.Kind != scenario.KindSim {
 		// Fail before the run, not after minutes of a workload that cannot
 		// produce a traffic report.
@@ -415,9 +427,29 @@ func runScenario(o scenarioOpts) error {
 	if o.seeds > 1 || len(grids) > 0 {
 		return runScenarioBatch(spec, o, grids)
 	}
+	// The trace brackets exactly the primary run: uninstalled before the
+	// -isp-report baselines re-run the spec, so the capture is one run's
+	// spans, not a pile of overlapping simulations.
+	var tr *obs.Trace
+	if o.tracePath != "" {
+		tr = obs.NewTrace("p2psim", obs.DefaultMaxSpans)
+		if err := obs.Install(tr); err != nil {
+			return err
+		}
+	}
 	res, err := spec.Run(o.seed)
+	if tr != nil {
+		obs.Uninstall()
+	}
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		if err := writeFile(o.tracePath, func(f *os.File) error { return tr.WriteJSON(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d spans, %d dropped) — load in Perfetto or chrome://tracing\n",
+			o.tracePath, tr.SpanCount(), tr.Dropped())
 	}
 	if err := scenario.Fprint(os.Stdout, res); err != nil {
 		return err

@@ -8,13 +8,16 @@
 //	schedulerd -slot 0                            # manual slots (POST /v1/tick)
 //	schedulerd -sharded -shard-workers 4          # sharded swarm orchestrator
 //	schedulerd -snapshot /var/lib/schedulerd.json # drain/restore state image
+//	schedulerd -debug-addr 127.0.0.1:8845         # pprof + /debug/trace listener
 //
 // SIGTERM or SIGINT drains gracefully: the slot clock stops, outstanding
 // bids solve in one final slot, the state snapshot is written (when
 // configured), and in-flight HTTP requests finish within -drain-timeout.
 //
 // Observability: GET /metrics (Prometheus text format), /v1/stats (JSON),
-// /healthz. See docs/OPERATIONS.md for the full API and metric reference.
+// /healthz; with -debug-addr, a private listener adds net/http/pprof and
+// /debug/trace?slots=N (capture N slots, stream Chrome trace-event JSON).
+// See docs/OPERATIONS.md for the full API and metric reference.
 package main
 
 import (
@@ -53,6 +56,7 @@ func run(args []string, ready chan<- string) error {
 		maxShardPeers = fs.Int("max-shard-peers", 0, "refine shards above this peer count (0 = exact partition)")
 		snapshot      = fs.String("snapshot", "", "state snapshot path (drain writes, start restores)")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		debugAddr     = fs.String("debug-addr", "", "debug listen address for pprof and /debug/trace (empty = disabled; keep off the public port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +80,25 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	srv := &http.Server{Handler: d.Handler()}
+
+	// The debug surface (pprof + trace capture) binds its own listener so
+	// profiling never rides the public API port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			d.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: d.DebugHandler()}
+		fmt.Printf("schedulerd: debug listener (pprof, /debug/trace) on %s\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "schedulerd: debug listener:", err)
+			}
+		}()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
@@ -102,6 +125,9 @@ func run(args []string, ready chan<- string) error {
 	drainErr := d.Drain()
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer shutCancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutCtx)
+	}
 	if err := srv.Shutdown(shutCtx); err != nil && drainErr == nil {
 		drainErr = err
 	}

@@ -1,0 +1,170 @@
+// Command tracecheck validates a Chrome trace-event JSON capture produced
+// by `p2psim -trace` or schedulerd's /debug/trace endpoint. It re-parses
+// the document from scratch — well-formed JSON, named tracks, complete
+// ("X") events with non-negative timestamps and durations — and can assert
+// that specific tracks captured at least one span, which is what the CI
+// trace-smoke step pins:
+//
+//	tracecheck trace.json
+//	tracecheck -require scenario,sim,cluster,shard-worker trace.json
+//	tracecheck -v trace.json          # per-track span counts
+//
+// A -require entry matches any track whose name equals the entry or starts
+// with it (so "shard-worker" covers shard-worker-0, shard-worker-1, ...).
+// Exit status is non-zero on any structural defect or unmet requirement.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+// event is the subset of a trace-event record tracecheck inspects. Args
+// stays raw: metadata events carry {"name": ...}, span events carry the
+// numeric span args.
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+type document struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+func run(args []string, out *os.File) error {
+	var require, path string
+	verbose := false
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-require" || a == "--require":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-require needs a comma-separated track list")
+			}
+			require = args[i]
+		case a == "-v" || a == "--v":
+			verbose = true
+		case strings.HasPrefix(a, "-"):
+			return fmt.Errorf("unknown flag %q (usage: tracecheck [-require t1,t2] [-v] trace.json)", a)
+		case path != "":
+			return fmt.Errorf("exactly one trace file expected, got %q and %q", path, a)
+		default:
+			path = a
+		}
+	}
+	if path == "" {
+		return fmt.Errorf("usage: tracecheck [-require t1,t2] [-v] trace.json")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace-event JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+
+	// First pass: thread_name metadata names the tracks.
+	trackName := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" || ev.Name != "thread_name" {
+			continue
+		}
+		var meta struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(ev.Args, &meta); err != nil || meta.Name == "" {
+			return fmt.Errorf("%s: thread_name metadata for tid %d has no name", path, ev.Tid)
+		}
+		if prev, dup := trackName[ev.Tid]; dup && prev != meta.Name {
+			return fmt.Errorf("%s: tid %d named twice (%q, %q)", path, ev.Tid, prev, meta.Name)
+		}
+		trackName[ev.Tid] = meta.Name
+	}
+
+	// Second pass: every complete event must land on a named track with
+	// sane timing.
+	spansPerTrack := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+			name, ok := trackName[ev.Tid]
+			if !ok {
+				return fmt.Errorf("%s: event %d (%q) on unnamed tid %d", path, i, ev.Name, ev.Tid)
+			}
+			if ev.Name == "" {
+				return fmt.Errorf("%s: event %d on track %q has no name", path, i, name)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return fmt.Errorf("%s: event %d (%s/%s) has negative timing ts=%v dur=%v",
+					path, i, name, ev.Name, ev.Ts, ev.Dur)
+			}
+			spansPerTrack[name]++
+		default:
+			return fmt.Errorf("%s: event %d has unexpected phase %q (exporter only emits M and X)", path, i, ev.Ph)
+		}
+	}
+
+	if verbose {
+		names := make([]string, 0, len(spansPerTrack))
+		for n := range spansPerTrack {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %-24s %d spans\n", n, spansPerTrack[n])
+		}
+	}
+
+	var missing []string
+	if require != "" {
+		for _, want := range strings.Split(require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			found := 0
+			for name, n := range spansPerTrack {
+				if name == want || strings.HasPrefix(name, want) {
+					found += n
+				}
+			}
+			if found == 0 {
+				missing = append(missing, want)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("%s: no spans on required tracks: %s", path, strings.Join(missing, ", "))
+	}
+
+	total := 0
+	for _, n := range spansPerTrack {
+		total += n
+	}
+	fmt.Fprintf(out, "tracecheck: %s ok — %d spans across %d tracks\n", path, total, len(spansPerTrack))
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeTrace captures a tiny synthetic trace through the real exporter so
+// the checker is tested against genuine output, not a hand-typed fixture.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	obs.Uninstall()
+	tr := obs.NewTrace("tracecheck-test", 64)
+	if err := obs.Install(tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, track := range []string{"sim", "shard-worker-0", "shard-worker-1"} {
+		tk := obs.TrackFor(track)
+		sp := tk.Begin("work")
+		sp.Arg("n", 1)
+		sp.End()
+	}
+	obs.Uninstall()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckRealExport(t *testing.T) {
+	path := writeTrace(t)
+	if err := run([]string{"-require", "sim,shard-worker", path}, os.Stdout); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestRequireMissingTrack(t *testing.T) {
+	path := writeTrace(t)
+	err := run([]string{"-require", "sim,cluster", path}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("want missing-track error naming cluster, got %v", err)
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"empty.json":   `{"traceEvents":[]}`,
+		"notjson.json": `hello`,
+		"unnamed.json": `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":7,"ts":0,"dur":1}]}`,
+		"badphase.json": `{"traceEvents":[` +
+			`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"sim"}},` +
+			`{"name":"x","ph":"B","pid":1,"tid":1,"ts":0}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{path}, os.Stdout); err == nil {
+			t.Errorf("%s: malformed trace accepted", name)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-require"},
+		{"-bogus", "x.json"},
+		{"a.json", "b.json"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v: want usage error", args)
+		}
+	}
+}

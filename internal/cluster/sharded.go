@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/isp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sched"
 )
@@ -160,6 +163,12 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 		a.curShardOf = make(map[isp.PeerID]Key)
 		a.root = randx.New(a.Seed)
 	}
+	// tracing is sampled once per slot: the per-shard spans below want a
+	// consistent on/off decision for the whole schedule call, and the
+	// queue-wait stamps are taken only when a trace is live.
+	tracing := obs.Active() != nil
+	ctk := obs.TrackFor("cluster")
+	psp := ctk.Begin("partition")
 	var part *Partition
 	var clean []bool
 	var err error
@@ -178,6 +187,11 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 	}
 	a.stats.PartitionIncremental = a.inc.incremental
 	a.stats.PartitionRebuilds = a.inc.rebuilds
+	psp.Arg("shards", float64(len(part.Shards))).
+		Arg("cut_edges", float64(part.CutEdges)).
+		Arg("rebuilds_total", float64(a.inc.rebuilds)).
+		Arg("incremental_total", float64(a.inc.incremental))
+	psp.End()
 
 	states := make([]*shardState, len(part.Shards))
 	for i := range part.Shards {
@@ -208,8 +222,27 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 		err     error
 	}
 	results := make([]solved, len(part.Shards))
-	solveOne := func(i int) {
+	// readyAt stamps when the whole batch became runnable (the start of the
+	// solve phase): a shard's span reports the gap to its own pickup as
+	// queue_wait_us, separating pool latency from solve time per shard.
+	var readyAt time.Time
+	if tracing {
+		readyAt = time.Now()
+	}
+	solveOne := func(tk *obs.Track, i int) {
 		sh := &part.Shards[i]
+		identity := clean != nil && clean[i]
+		sp := tk.Begin("shard-solve")
+		if tk != nil {
+			sp.Arg("shard", float64(i)).
+				Arg("requests", float64(len(sh.Requests))).
+				Arg("uploaders", float64(len(sh.Uploaders))).
+				Arg("queue_wait_us", float64(time.Since(readyAt).Microseconds()))
+			if identity {
+				sp.Arg("identity", 1)
+			}
+		}
+		defer sp.End()
 		sub, err := in.Subset(sh.Requests, sh.Uploaders)
 		if err != nil {
 			results[i] = solved{err: err}
@@ -221,7 +254,7 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 			// slot — its solver diffs values and capacities only; every
 			// other shard re-diffs its sub-instance by key (nil delta).
 			var sd *sched.InstanceDelta
-			if clean != nil && clean[i] {
+			if identity {
 				sd = identityDelta
 			}
 			res, err = ds.ScheduleDelta(sub, sd)
@@ -232,12 +265,22 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 			results[i] = solved{err: err}
 			return
 		}
+		if tk != nil && res.Stats != nil {
+			sp.Arg("bids", res.Stats["bids"]).Arg("iterations", res.Stats["iterations"])
+		}
 		w, err := sub.Welfare(res.Grants)
 		results[i] = solved{res: res, welfare: w, err: err}
 	}
+	workerTrack := func(w int) *obs.Track {
+		if !tracing {
+			return nil
+		}
+		return obs.TrackFor("shard-worker-" + strconv.Itoa(w))
+	}
 	if a.Workers <= 1 || len(part.Shards) <= 1 {
+		tk := workerTrack(0)
 		for i := range part.Shards {
-			solveOne(i)
+			solveOne(tk, i)
 		}
 	} else {
 		workers := a.Workers
@@ -248,12 +291,13 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				tk := workerTrack(w)
 				for i := range jobs {
-					solveOne(i)
+					solveOne(tk, i)
 				}
-			}()
+			}(w)
 		}
 		for i := range part.Shards {
 			jobs <- i
@@ -262,6 +306,7 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 		wg.Wait()
 	}
 
+	msp := ctk.Begin("merge")
 	out := &sched.Result{
 		Prices: make(map[isp.PeerID]float64, len(in.Uploaders)),
 		Stats:  map[string]float64{},
@@ -304,6 +349,11 @@ func (a *ShardedAuction) schedule(in *sched.Instance, d *sched.InstanceDelta) (*
 	out.Stats["cut_edges"] = float64(part.CutEdges)
 	out.Stats["migrations"] = float64(migrations)
 	out.Stats["idle_uploaders"] = float64(len(part.IdleUploaders))
+	msp.Arg("shards", float64(len(part.Shards))).
+		Arg("grants", float64(len(out.Grants))).
+		Arg("migrations", float64(migrations)).
+		Arg("cut_edges", float64(part.CutEdges))
+	msp.End()
 
 	// Lifecycle: shards absent this slot age toward reclamation.
 	for key, st := range a.shards {

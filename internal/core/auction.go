@@ -99,6 +99,13 @@ type AuctionResult struct {
 	// Restarted is true when a warm Solver.Solve abandoned its carried state
 	// and fell back to a cold solve (pathological warm start).
 	Restarted bool
+	// SweepPasses counts closing ε-CS sweep passes of a warm Solver.Solve
+	// (0 for SolveAuction, ≥1 for any completed warm solve).
+	SweepPasses int
+	// Surrenders counts reserve-surrender escalations: sweep stalls where
+	// the solver zeroed the still-dirty sinks' reserve prices before
+	// resorting to a cold restart.
+	Surrenders int
 }
 
 // DualObjective evaluates the dual objective (5): Σ λ_u·B(u) + Σ η, with

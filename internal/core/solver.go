@@ -1101,6 +1101,7 @@ func (s *Solver) solveCore(res *AuctionResult) (maxW float64, err error) {
 	// back to the full cold restart.
 	lastEscalation := 0
 	for pass := 0; !res.Stalled; pass++ {
+		res.SweepPasses++
 		if s.sweepEpsilonCS() {
 			s.clearSweepHints()
 			break
@@ -1109,6 +1110,7 @@ func (s *Solver) solveCore(res *AuctionResult) (maxW float64, err error) {
 			lastEscalation = pass
 			switch {
 			case !s.surrendered:
+				res.Surrenders++
 				s.surrenderReserves()
 			case !res.Restarted:
 				res.Restarted = true

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSON renders the trace in Chrome trace-event format: a JSON object
+// with a traceEvents array of "X" (complete) events, one trace-event thread
+// per track, preceded by "M" metadata events naming the process and each
+// track. The output loads directly in chrome://tracing and Perfetto.
+//
+// Timestamps are microseconds since the trace epoch, written with fixed
+// three-decimal precision (nanosecond resolution) so output bytes are a
+// pure function of the recorded spans.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n ")
+	}
+
+	emit()
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":`)
+	writeJSONString(bw, t.process)
+	bw.WriteString(`}}`)
+
+	tracks := t.snapshotTracks()
+	for _, tk := range tracks {
+		emit()
+		bw.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+		bw.WriteString(strconv.Itoa(tk.id))
+		bw.WriteString(`,"args":{"name":`)
+		writeJSONString(bw, tk.name)
+		bw.WriteString(`}}`)
+	}
+
+	for _, tk := range tracks {
+		for _, rec := range tk.ordered() {
+			emit()
+			bw.WriteString(`{"name":`)
+			writeJSONString(bw, rec.name)
+			bw.WriteString(`,"ph":"X","pid":1,"tid":`)
+			bw.WriteString(strconv.Itoa(tk.id))
+			bw.WriteString(`,"ts":`)
+			writeMicros(bw, rec.start)
+			bw.WriteString(`,"dur":`)
+			writeMicros(bw, rec.dur)
+			if rec.nargs > 0 {
+				bw.WriteString(`,"args":{`)
+				for i := int32(0); i < rec.nargs; i++ {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					writeJSONString(bw, rec.args[i].Key)
+					bw.WriteByte(':')
+					writeJSONFloat(bw, rec.args[i].Val)
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteString(`}`)
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// Skeleton returns the structural shape of the trace — "track/span" labels
+// in track-registration and span-record order, durations and timestamps
+// excluded — for determinism goldens: two runs of the same seed must yield
+// identical skeletons.
+func (t *Trace) Skeleton() []string {
+	var out []string
+	for _, tk := range t.snapshotTracks() {
+		for _, rec := range tk.ordered() {
+			label := tk.name + "/" + rec.name
+			for i := int32(0); i < rec.nargs; i++ {
+				label += "?" + rec.args[i].Key
+			}
+			out = append(out, label)
+		}
+	}
+	return out
+}
+
+// writeJSONString writes s as a JSON string literal.
+func writeJSONString(w *bufio.Writer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		w.WriteString(`""`)
+		return
+	}
+	w.Write(b)
+}
+
+// writeMicros renders ns as microseconds with fixed 3-decimal precision.
+func writeMicros(w *bufio.Writer, ns int64) {
+	w.WriteString(strconv.FormatInt(ns/1000, 10))
+	w.WriteByte('.')
+	frac := ns % 1000
+	if frac < 0 {
+		frac = 0
+	}
+	w.WriteString(pad3(frac))
+}
+
+func pad3(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+// writeJSONFloat renders a float as a JSON number (JSON has no NaN/Inf;
+// those degrade to 0 rather than corrupting the document).
+func writeJSONFloat(w *bufio.Writer, v float64) {
+	if v != v || v > 1e308 || v < -1e308 {
+		w.WriteByte('0')
+		return
+	}
+	w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}

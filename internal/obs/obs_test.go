@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// drainActive guarantees a test starts and ends with tracing disabled even
+// if an earlier test failed mid-capture.
+func drainActive(t *testing.T) {
+	t.Helper()
+	Uninstall()
+	t.Cleanup(func() { Uninstall() })
+}
+
+func TestInstallConflict(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("test", 16)
+	if err := Install(tr); err != nil {
+		t.Fatalf("first install: %v", err)
+	}
+	if err := Install(NewTrace("other", 16)); err == nil {
+		t.Fatal("second install should fail while a trace is active")
+	}
+	if got := Uninstall(); got != tr {
+		t.Fatalf("uninstall returned %p, want %p", got, tr)
+	}
+	if Active() != nil {
+		t.Fatal("trace still active after uninstall")
+	}
+	if err := Install(NewTrace("again", 16)); err != nil {
+		t.Fatalf("reinstall after uninstall: %v", err)
+	}
+}
+
+func TestInstallNil(t *testing.T) {
+	drainActive(t)
+	if err := Install(nil); err == nil {
+		t.Fatal("installing a nil trace should fail")
+	}
+}
+
+func TestDisabledPathIsInert(t *testing.T) {
+	drainActive(t)
+	tk := TrackFor("sim")
+	if tk != nil {
+		t.Fatal("TrackFor should return nil with no active trace")
+	}
+	sp := tk.Begin("slot")
+	sp.Arg("round", 1)
+	sp.End() // must not panic
+	if tk.Name() != "" {
+		t.Fatalf("nil track name = %q, want empty", tk.Name())
+	}
+	if SharedTrackFor("http") != nil {
+		t.Fatal("SharedTrackFor should return nil with no active trace")
+	}
+}
+
+func TestSpanRecordingAndJSONExport(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 64)
+	if err := Install(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	sim := TrackFor("sim")
+	outer := sim.Begin("slot")
+	inner := sim.Begin("solve")
+	inner.Arg("bids", 42).Arg("iterations", 7)
+	inner.End()
+	outer.Arg("slot", 3)
+	outer.End()
+
+	w := TrackFor("shard-worker-0")
+	sp := w.Begin("shard-solve")
+	sp.Arg("requests", 10)
+	sp.End()
+
+	Uninstall()
+
+	if got := tr.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int                    `json:"pid"`
+			Tid  int                    `json:"tid"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var threadNames []string
+	spansByName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames = append(threadNames, ev.Args["name"].(string))
+			}
+		case "X":
+			spansByName[ev.Name]++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("span %q has negative ts/dur: %+v", ev.Name, ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if want := []string{"sim", "shard-worker-0"}; strings.Join(threadNames, ",") != strings.Join(want, ",") {
+		t.Fatalf("thread names = %v, want %v", threadNames, want)
+	}
+	for _, name := range []string{"slot", "solve", "shard-solve"} {
+		if spansByName[name] != 1 {
+			t.Fatalf("span %q recorded %d times, want 1", name, spansByName[name])
+		}
+	}
+
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "solve" {
+			if ev.Args["bids"].(float64) != 42 || ev.Args["iterations"].(float64) != 7 {
+				t.Fatalf("solve args = %v", ev.Args)
+			}
+		}
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 4)
+	tk := tr.Track("t")
+	for i := 0; i < 10; i++ {
+		sp := tk.Begin("s")
+		sp.Arg("i", float64(i))
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	recs := tk.ordered()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(recs))
+	}
+	for idx, rec := range recs {
+		if want := float64(6 + idx); rec.args[0].Val != want {
+			t.Fatalf("ring slot %d holds i=%v, want %v", idx, rec.args[0].Val, want)
+		}
+	}
+}
+
+func TestArgOverflowDropped(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 4)
+	tk := tr.Track("t")
+	sp := tk.Begin("s")
+	for i := 0; i < maxSpanArgs+5; i++ {
+		sp.Arg("k", float64(i))
+	}
+	sp.End()
+	recs := tk.ordered()
+	if recs[0].nargs != maxSpanArgs {
+		t.Fatalf("nargs = %d, want %d", recs[0].nargs, maxSpanArgs)
+	}
+}
+
+func TestSharedTrackConcurrent(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 1024)
+	tk := tr.SharedTrack("http")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tk.Begin("req")
+				sp.Arg("n", float64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.SpanCount(); got != 800 {
+		t.Fatalf("SpanCount = %d, want 800", got)
+	}
+}
+
+func TestTrackIdempotentByName(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 16)
+	if tr.Track("a") != tr.Track("a") {
+		t.Fatal("Track should return the same track for the same name")
+	}
+	if len(tr.snapshotTracks()) != 1 {
+		t.Fatal("duplicate track registered")
+	}
+}
+
+func TestSkeletonShape(t *testing.T) {
+	drainActive(t)
+	tr := NewTrace("unit", 16)
+	tk := tr.Track("sim")
+	sp := tk.Begin("slot")
+	sp.Arg("round", 0)
+	sp.End()
+	got := tr.Skeleton()
+	if len(got) != 1 || got[0] != "sim/slot?round" {
+		t.Fatalf("Skeleton = %v", got)
+	}
+}
+
+func TestRegistryPrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solver_bids_total", "Bids placed.")
+	g := r.Gauge("solver_epsilon", "Final epsilon.")
+	c.Add(3)
+	c.Add(2)
+	g.Set(0.125)
+
+	if r.Counter("solver_bids_total", "dup") != c {
+		t.Fatal("Counter should be idempotent by name")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP solver_bids_total Bids placed.\n",
+		"# TYPE solver_bids_total counter\n",
+		"solver_bids_total 5\n",
+		"# TYPE solver_epsilon gauge\n",
+		"solver_epsilon 0.125\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("registering %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "x")
+		}()
+	}
+	r.Counter("ok_name", "x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-registering a counter as a gauge should panic")
+			}
+		}()
+		r.Gauge("ok_name", "x")
+	}()
+}
+
+func TestGaugeAddAndNilMetrics(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	c.Add(1) // must not panic
+	g.Set(1)
+	g.Add(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+	r := NewRegistry()
+	g2 := r.Gauge("g", "x")
+	g2.Set(1.5)
+	g2.Add(0.25)
+	if g2.Value() != 1.75 {
+		t.Fatalf("gauge = %v, want 1.75", g2.Value())
+	}
+}
+
+// TestObsDisabledZeroAllocs is the enforcement half of the CI pin: the
+// disabled-tracer fast path must never allocate.
+func TestObsDisabledZeroAllocs(t *testing.T) {
+	drainActive(t)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tk := TrackFor("sim")
+		sp := tk.Begin("slot")
+		sp.Arg("round", 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkObsDisabled is pinned in CI: the no-trace fast path must stay at
+// 0 allocs/op and a handful of ns/op.
+func BenchmarkObsDisabled(b *testing.B) {
+	Uninstall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk := TrackFor("sim")
+		sp := tk.Begin("slot")
+		sp.Arg("round", float64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkObsEnabled measures the recording path (ring append, no export).
+func BenchmarkObsEnabled(b *testing.B) {
+	Uninstall()
+	tr := NewTrace("bench", 1<<12)
+	if err := Install(tr); err != nil {
+		b.Fatal(err)
+	}
+	defer Uninstall()
+	tk := TrackFor("sim")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tk.Begin("slot")
+		sp.Arg("round", float64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkObsCounter measures the contended atomic counter bump.
+func BenchmarkObsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

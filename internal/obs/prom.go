@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered counter and gauge in Prometheus
+// text exposition format (v0.0.4): a # HELP and # TYPE line per family
+// followed by the sample, in registration order. A daemon merges this into
+// its existing /metrics output by calling it after its own families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, len(r.ordered))
+	copy(names, r.ordered)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		r.mu.Lock()
+		kind := r.kinds[name]
+		c := r.counters[name]
+		g := r.gauges[name]
+		r.mu.Unlock()
+
+		var help string
+		var val string
+		switch kind {
+		case "counter":
+			help = c.help
+			val = strconv.FormatUint(c.Value(), 10)
+		case "gauge":
+			help = g.help
+			val = strconv.FormatFloat(g.Value(), 'g', -1, 64)
+		default:
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(help)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(kind)
+		bw.WriteByte('\n')
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(val)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

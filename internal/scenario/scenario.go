@@ -33,6 +33,7 @@ import (
 	"repro/internal/economics"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -400,6 +401,8 @@ func (s Spec) Run(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	sp := obs.TrackFor("scenario").Begin("run/" + s.Name)
+	sp.Arg("seed", float64(seed))
 	var (
 		res *Result
 		err error
@@ -412,6 +415,7 @@ func (s Spec) Run(seed uint64) (*Result, error) {
 	case KindLive:
 		res, err = s.runLive(seed)
 	}
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}

@@ -112,6 +112,31 @@ type WarmAuction struct {
 	// the map is rebuilt (from prevReqKeys + reqRow, which stay exact) only
 	// if a key-matching fallback round ever follows.
 	reqsStale bool
+	// ops accumulates this round's solver-delta operation counts across
+	// the (up to two) Apply calls a diff path issues — opsBuf is recycled
+	// between them, so sizes must be captured at Apply time. The tallies
+	// are deliberately path-independent: the key-matching and known-delta
+	// paths emit the same operation sequences, so Stats stays identical
+	// across them (pinned by TestScheduleDeltaMatchesSchedule).
+	ops deltaOpCounts
+}
+
+// deltaOpCounts tallies one round's solver-delta operations, for the
+// telemetry emitted in Result.Stats.
+type deltaOpCounts struct {
+	addReqs, removeReqs, updateReqs, shifts int
+	addSinks, removeSinks, setCaps          int
+}
+
+// noteOps folds one about-to-be-applied solver delta into the round tally.
+func (a *WarmAuction) noteOps(d *core.ProblemDelta) {
+	a.ops.addReqs += len(d.AddRequests)
+	a.ops.removeReqs += len(d.RemoveRequests)
+	a.ops.updateReqs += len(d.UpdateRequests)
+	a.ops.shifts += len(d.ShiftValues)
+	a.ops.addSinks += len(d.AddSinks)
+	a.ops.removeSinks += len(d.RemoveSinks)
+	a.ops.setCaps += len(d.SetCapacities)
 }
 
 var _ Scheduler = (*WarmAuction)(nil)
@@ -149,6 +174,7 @@ func (a *WarmAuction) Schedule(in *Instance) (*Result, error) {
 		return nil, fmt.Errorf("warm auction: %w", err)
 	}
 	a.maybeCompact()
+	a.ops = deltaOpCounts{}
 	carried, err := a.applyDiff(in)
 	if err != nil {
 		return nil, fmt.Errorf("warm auction: %w", err)
@@ -166,6 +192,7 @@ func (a *WarmAuction) ScheduleDelta(in *Instance, d *InstanceDelta) (*Result, er
 		return a.Schedule(in)
 	}
 	a.maybeCompact()
+	a.ops = deltaOpCounts{}
 	var carried int
 	var err error
 	if d.Identity {
@@ -194,10 +221,21 @@ func (a *WarmAuction) finish(in *Instance, carried int) (*Result, error) {
 			"evictions":     float64(res.Evictions),
 			"repair_rounds": float64(res.RepairRounds),
 			"carried":       float64(carried),
+			"sweep_passes":  float64(res.SweepPasses),
+			"delta_ops": float64(a.ops.addReqs + a.ops.removeReqs +
+				a.ops.updateReqs + a.ops.shifts + a.ops.addSinks +
+				a.ops.removeSinks + a.ops.setCaps),
+			"delta_request_churn": float64(a.ops.addReqs + a.ops.removeReqs + a.ops.updateReqs),
+			"delta_value_shifts":  float64(a.ops.shifts),
+			"delta_sink_churn":    float64(a.ops.addSinks + a.ops.removeSinks),
+			"delta_capacity_sets": float64(a.ops.setCaps),
 		},
 	}
 	if res.Restarted {
 		out.Stats["cold_restarts"] = 1
+	}
+	if res.Surrenders > 0 {
+		out.Stats["reserve_surrenders"] = float64(res.Surrenders)
 	}
 	for i := range in.Uploaders {
 		out.Prices[in.Uploaders[i].Peer] = res.Prices[a.sinkRow[i].id]
@@ -309,6 +347,7 @@ func (a *WarmAuction) applyIdentity(in *Instance) (carried int, err error) {
 		// pointing into the current arena half, which the next
 		// non-identity round's swap turns into the comparison baseline.
 	}
+	a.noteOps(d)
 	a.solver.ApplyUnchecked(*d)
 	return len(in.Requests), nil
 }
@@ -366,6 +405,7 @@ func (a *WarmAuction) applyKnownDelta(in *Instance, d *InstanceDelta) (carried i
 		return 0, fmt.Errorf("uploader delta does not cover the previous instance: %d carried + %d removed != %d rows",
 			carriedUps, len(d.RemovedUps), len(prevSinks))
 	}
+	a.noteOps(sinkDelta)
 	applied := a.solver.ApplyUnchecked(*sinkDelta)
 	for i, s := range applied.Sinks {
 		row := a.addedRows[i]
@@ -441,6 +481,7 @@ func (a *WarmAuction) applyKnownDelta(in *Instance, d *InstanceDelta) (carried i
 			carriedRows, len(d.RemovedReqs), len(prevReqs))
 	}
 	a.emitRequestChurn(reqDelta)
+	a.noteOps(reqDelta)
 	applied = a.solver.ApplyUnchecked(*reqDelta)
 	a.bindChurnedRequests(applied, newReqRow, false)
 	a.keyBuf = a.prevReqKeys // swap buffers
@@ -553,6 +594,7 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 			delete(a.sinks, p)
 		}
 	}
+	a.noteOps(sinkDelta)
 	applied, err := a.solver.Apply(*sinkDelta)
 	if err != nil {
 		return 0, err
@@ -626,6 +668,7 @@ func (a *WarmAuction) applyDiff(in *Instance) (carried int, err error) {
 		}
 	}
 	a.emitRequestChurn(reqDelta)
+	a.noteOps(reqDelta)
 	applied, err = a.solver.Apply(*reqDelta)
 	if err != nil {
 		return 0, err

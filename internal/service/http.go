@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/isp"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/video"
 )
@@ -107,11 +108,22 @@ func (d *Daemon) Handler() http.Handler {
 	return mux
 }
 
-// instrument wraps a handler with the request counter and latency histogram.
+// instrument wraps a handler with the request counter, the latency histogram
+// and (when a trace capture is live) a per-request span. Handlers run on
+// concurrent goroutines, so request spans go to a shared (locked) track —
+// the lock is off the solve path. The span's slot arg links each request to
+// the tick span that serves (or will serve) its slot.
 func (d *Daemon) instrument(h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var sp obs.Span
+		if tk := obs.SharedTrackFor("http"); tk != nil {
+			sp = tk.Begin("req " + r.URL.Path) // concat only when tracing
+		}
 		status := h(w, r)
+		sp.Arg("status", float64(status)).
+			Arg("slot", float64(d.tickSeq.Load()))
+		sp.End()
 		d.metrics.httpRequests.inc(1)
 		if status >= 400 {
 			d.metrics.httpErrors.inc(1)

@@ -3,9 +3,15 @@ package service
 // metrics.go: a minimal Prometheus-text-format metric set for the daemon.
 // The module is dependency-free by policy, so instead of the prometheus
 // client library this implements the three instrument kinds the daemon needs
-// (counter, gauge, cumulative histogram) with atomic-free mutex guards and a
-// deterministic exposition order. The exposition format is the stable v0.0.4
-// text format every Prometheus scraper speaks.
+// (counter, gauge, cumulative histogram) with a deterministic exposition
+// order. Counters and gauges store float bits in an atomic word, so a
+// concurrent /metrics scrape never serializes the HTTP handlers bumping
+// them (BenchmarkCounterContended pins the difference against the old
+// mutex); the histogram keeps its mutex — its observe must update buckets,
+// sum and count together. The exposition format is the stable v0.0.4 text
+// format every Prometheus scraper speaks. Solver-internal families live in
+// an obs.Registry whose exposition is merged into expose() — the bridge the
+// tracing layer shares with every other binary.
 
 import (
 	"fmt"
@@ -15,6 +21,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // metric is one named instrument.
@@ -25,23 +34,26 @@ type metric interface {
 	expose(w *strings.Builder)
 }
 
-// counter is a monotonically increasing float counter.
+// counter is a monotonically increasing float counter: float bits in an
+// atomic word, incremented by CAS so concurrent handlers never block each
+// other (or the scraper) on a lock.
 type counter struct {
-	mu     sync.Mutex
 	nm, hp string
-	value  float64
+	bits   atomic.Uint64
 }
 
 func (c *counter) inc(v float64) {
-	c.mu.Lock()
-	c.value += v
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 func (c *counter) get() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.value
+	return math.Float64frombits(c.bits.Load())
 }
 
 func (c *counter) name() string { return c.nm }
@@ -51,23 +63,18 @@ func (c *counter) expose(w *strings.Builder) {
 	fmt.Fprintf(w, "%s %s\n", c.nm, formatFloat(c.get()))
 }
 
-// gauge is a settable value.
+// gauge is a settable value: last-write-wins float bits in an atomic word.
 type gauge struct {
-	mu     sync.Mutex
 	nm, hp string
-	value  float64
+	bits   atomic.Uint64
 }
 
 func (g *gauge) set(v float64) {
-	g.mu.Lock()
-	g.value = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 func (g *gauge) get() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.value
+	return math.Float64frombits(g.bits.Load())
 }
 
 func (g *gauge) name() string { return g.nm }
@@ -169,6 +176,24 @@ type registry struct {
 	httpSeconds  *histogram
 
 	ordered []metric
+
+	// bridge holds the solver-internal telemetry families (obs.Registry
+	// counters/gauges fed from Result.Stats at every tick); its Prometheus
+	// rendering is appended to expose(). Typed handles below avoid map
+	// lookups on the tick path.
+	bridge              *obs.Registry
+	solverBids          *obs.Counter
+	solverIterations    *obs.Counter
+	solverEvictions     *obs.Counter
+	solverRepairRounds  *obs.Counter
+	solverSweepPasses   *obs.Counter
+	solverColdRestarts  *obs.Counter
+	solverSurrenders    *obs.Counter
+	solverDeltaOps      *obs.Counter
+	solverCarried       *obs.Gauge
+	solverEpsilon       *obs.Gauge
+	partitionCutEdges   *obs.Gauge
+	partitionMigrations *obs.Counter
 }
 
 // solveBuckets spans sub-millisecond shard solves to multi-second mega
@@ -203,16 +228,52 @@ func newRegistry() *registry {
 		r.slot, r.peers, r.lastWelfare, r.shards,
 		r.solveSeconds, r.httpSeconds,
 	}
+	b := obs.NewRegistry()
+	r.bridge = b
+	r.solverBids = b.Counter("schedulerd_solver_bids_total", "Bids the auction solver processed across all slots.")
+	r.solverIterations = b.Counter("schedulerd_solver_iterations_total", "Solver bidding iterations across all slots.")
+	r.solverEvictions = b.Counter("schedulerd_solver_evictions_total", "Accepted bids later displaced by higher ones.")
+	r.solverRepairRounds = b.Counter("schedulerd_solver_repair_rounds_total", "CS1-repair reverse-auction rounds of warm solves.")
+	r.solverSweepPasses = b.Counter("schedulerd_solver_sweep_passes_total", "Closing epsilon-CS sweep passes of warm solves.")
+	r.solverColdRestarts = b.Counter("schedulerd_solver_cold_restarts_total", "Warm solves that fell back to a full cold restart.")
+	r.solverSurrenders = b.Counter("schedulerd_solver_reserve_surrenders_total", "Reserve-surrender escalations during closing sweeps.")
+	r.solverDeltaOps = b.Counter("schedulerd_solver_delta_ops_total", "Solver-delta operations applied (request/sink churn, value shifts, capacity sets).")
+	r.solverCarried = b.Gauge("schedulerd_solver_carried_requests", "Requests carried unchanged into the last slot's warm solve.")
+	r.solverEpsilon = b.Gauge("schedulerd_solver_epsilon", "Bid increment epsilon of the configured solver.")
+	r.partitionCutEdges = b.Gauge("schedulerd_partition_cut_edges", "Candidate edges dropped by ISP-affinity refinement in the last slot.")
+	r.partitionMigrations = b.Counter("schedulerd_partition_migrations_total", "Uploader peers observed under a different shard than the slot before.")
 	return r
 }
 
-// expose renders the full metric set in Prometheus text format.
+// observeSolve feeds the solver-telemetry families from one tick's
+// Result.Stats — the slot-boundary flush of the solver's internal counters.
+func (r *registry) observeSolve(stats map[string]float64) {
+	if stats == nil {
+		return
+	}
+	r.solverBids.Add(uint64(stats["bids"]))
+	r.solverIterations.Add(uint64(stats["iterations"]))
+	r.solverEvictions.Add(uint64(stats["evictions"]))
+	r.solverRepairRounds.Add(uint64(stats["repair_rounds"]))
+	r.solverSweepPasses.Add(uint64(stats["sweep_passes"]))
+	r.solverColdRestarts.Add(uint64(stats["cold_restarts"]))
+	r.solverSurrenders.Add(uint64(stats["reserve_surrenders"]))
+	r.solverDeltaOps.Add(uint64(stats["delta_ops"]))
+	r.solverCarried.Set(stats["carried"])
+	r.partitionCutEdges.Set(stats["cut_edges"])
+	r.partitionMigrations.Add(uint64(stats["migrations"]))
+}
+
+// expose renders the full metric set in Prometheus text format: the
+// daemon's own families followed by the obs bridge's solver-telemetry
+// families.
 func (r *registry) expose() string {
 	var w strings.Builder
 	for _, m := range r.ordered {
 		fmt.Fprintf(&w, "# HELP %s %s\n# TYPE %s %s\n", m.name(), m.help(), m.name(), m.kind())
 		m.expose(&w)
 	}
+	_ = r.bridge.WritePrometheus(&w) // strings.Builder writes cannot fail
 	return w.String()
 }
 

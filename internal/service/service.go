@@ -23,10 +23,12 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/isp"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/video"
 )
@@ -129,6 +131,11 @@ type Daemon struct {
 
 	metrics *registry
 
+	// tickSeq counts completed tickLocked calls (including failed solves),
+	// outside d.mu so the debug trace-capture endpoint can watch slot
+	// progress without contending with the tick path.
+	tickSeq atomic.Int64
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone chan struct{}
@@ -170,6 +177,7 @@ func New(opts Options) (*Daemon, error) {
 	} else {
 		d.sched = &sched.WarmAuction{Epsilon: opts.Epsilon}
 	}
+	d.metrics.solverEpsilon.Set(opts.Epsilon)
 	if opts.SnapshotPath != "" {
 		if err := d.restoreSnapshot(opts.SnapshotPath); err != nil {
 			return nil, err
@@ -378,18 +386,33 @@ func (d *Daemon) Tick() (TickResult, error) {
 }
 
 func (d *Daemon) tickLocked() (TickResult, error) {
+	// Ticks run one at a time under d.mu, so the daemon track needs no
+	// sharing; HTTP request spans go to their own shared track (http.go).
+	tk := obs.TrackFor("daemon")
+	tsp := tk.Begin("tick")
+	defer func() { d.tickSeq.Add(1) }()
 	in, rejected, err := d.buildInstance()
 	if err != nil {
+		tsp.End()
 		return TickResult{}, err
 	}
 	start := time.Now()
+	ssp := tk.Begin("solve")
 	res, err := d.sched.Schedule(in)
 	solve := time.Since(start)
 	if err != nil {
+		tsp.End()
 		return TickResult{}, fmt.Errorf("service: slot %d solve: %w", d.slot, err)
 	}
+	if tk != nil && res.Stats != nil {
+		ssp.Arg("bids", res.Stats["bids"]).
+			Arg("iterations", res.Stats["iterations"]).
+			Arg("sweep_passes", res.Stats["sweep_passes"])
+	}
+	ssp.End()
 	welfare, err := in.Welfare(res.Grants)
 	if err != nil {
+		tsp.End()
 		return TickResult{}, fmt.Errorf("service: slot %d welfare: %w", d.slot, err)
 	}
 
@@ -447,6 +470,16 @@ func (d *Daemon) tickLocked() (TickResult, error) {
 	m.welfareTotal.inc(welfare)
 	m.shards.set(float64(tr.Shards))
 	m.solveSeconds.observe(solve.Seconds())
+	m.observeSolve(res.Stats)
+	if tk != nil {
+		tsp.Arg("slot", float64(tr.Slot)).
+			Arg("requests", float64(tr.Requests)).
+			Arg("uploaders", float64(tr.Uploaders)).
+			Arg("grants", float64(tr.Grants)).
+			Arg("rejected", float64(rejected)).
+			Arg("welfare", welfare)
+	}
+	tsp.End()
 	return tr, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/economics"
 	"repro/internal/isp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -163,15 +164,35 @@ func Run(cfg Config, scheduler sched.Scheduler) (*Results, error) {
 // builder's delta alongside each instance; everyone else sees the classic
 // Schedule call on the identical instance.
 func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
+	// One track for the whole sim loop: stepSlot runs on a single goroutine,
+	// so the track needs no locking; when tracing is off every span call
+	// below is a nil-receiver no-op.
+	tk := obs.TrackFor("sim")
+	slotSpan := tk.Begin("slot")
+	slotSpan.Arg("slot", float64(w.slot))
+	rsp := tk.Begin("refresh")
 	w.refreshNeighbors()
+	rsp.End()
 	var out slotOutcome
 	out.departures = w.departScratch[:0]
 	ds, wantsDelta := scheduler.(sched.DeltaScheduler)
 	for j := 0; j < w.cfg.BidRoundsPerSlot; j++ {
+		bsp := tk.Begin("build")
 		in, delta, err := w.buildInstance(j)
 		if err != nil {
 			return err
 		}
+		if tk != nil {
+			bsp.Arg("round", float64(j)).
+				Arg("requests", float64(len(in.Requests))).
+				Arg("uploaders", float64(len(in.Uploaders)))
+			if delta != nil && delta.Identity {
+				// Builder identity fast path: same rows, values-only delta.
+				bsp.Arg("identity", 1)
+			}
+		}
+		bsp.End()
+		ssp := tk.Begin("solve")
 		var sr *sched.Result
 		if wantsDelta {
 			sr, err = ds.ScheduleDelta(in, delta)
@@ -181,6 +202,17 @@ func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
 		if err != nil {
 			return err
 		}
+		if tk != nil {
+			ssp.Arg("grants", float64(len(sr.Grants)))
+			if sr.Stats != nil {
+				ssp.Arg("bids", sr.Stats["bids"]).
+					Arg("iterations", sr.Stats["iterations"]).
+					Arg("sweep_passes", sr.Stats["sweep_passes"]).
+					Arg("carried", sr.Stats["carried"])
+			}
+		}
+		ssp.End()
+		asp := tk.Begin("apply")
 		if err := w.applyGrants(j, in, sr.Grants, &out); err != nil {
 			return err
 		}
@@ -188,14 +220,24 @@ func stepSlot(w *world, scheduler sched.Scheduler, res *Results) error {
 		if v, ok := sr.Stats["shards"]; ok {
 			out.shards = v // last bidding round's partition stands for the slot
 		}
+		asp.End()
 	}
+	esp := tk.Begin("economics")
 	w.playback(&out)
 	w.clearDelivered()
 	if err := recordSlot(w, res, &out); err != nil {
 		return err
 	}
+	if tk != nil {
+		esp.Arg("welfare", out.welfare).
+			Arg("grants", float64(out.grants)).
+			Arg("inter_isp", float64(out.interISP)).
+			Arg("payments", out.payments)
+	}
+	esp.End()
 	err := finishSlot(w, &out)
 	w.departScratch = out.departures[:0]
+	slotSpan.End()
 	return err
 }
 
