@@ -633,3 +633,41 @@ func BenchmarkPipelineRebuildMegaSwarm(b *testing.B) {
 func BenchmarkPipelineIncrementalMegaSwarm(b *testing.B) {
 	benchmarkPipeline(b, "mega-swarm", 5000, 10, true)
 }
+
+// The CDN trio measures the hybrid tier end-to-end (world build with CDN
+// bidders, three-tier auction, LRU cache accounting, offload report) and
+// reports the offload economics as headline metrics. The hybrid pair shows
+// the swarm absorbing most traffic at a near-zero CDN bill; the cdn-only
+// ablation is the dominance golden's baseline (TestHybridDominatesCDNOnly)
+// at bench scale. Results are recorded in BENCH_cdn.json and discussed in
+// docs/PERFORMANCE.md and docs/CDN.md.
+func benchmarkCDNScenario(b *testing.B, name string, cdnOnly bool) {
+	spec, ok := scenario.Get(name)
+	if !ok {
+		b.Fatalf("%s not registered", name)
+	}
+	if cdnOnly {
+		if err := scenario.ApplyParam(&spec, "cdn-only", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	var res *scenario.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = spec.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Metrics["offload_ratio"], "offload-ratio")
+	b.ReportMetric(res.Metrics["cdn_usd"]*1e3, "cdn-musd")
+	b.ReportMetric(res.Metrics["edge_hit_rate"], "edge-hit-rate")
+	b.ReportMetric(res.Metrics["miss_rate"], "miss-rate")
+}
+
+func BenchmarkCDNAssist(b *testing.B)     { benchmarkCDNScenario(b, "cdn-assist", false) }
+func BenchmarkCDNFlashCrowd(b *testing.B) { benchmarkCDNScenario(b, "flash-crowd-cdn", false) }
+func BenchmarkCDNOnlyBaseline(b *testing.B) {
+	benchmarkCDNScenario(b, "cdn-assist", true)
+}

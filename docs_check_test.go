@@ -1,0 +1,103 @@
+package repro
+
+// docs_check_test.go: the docs-check CI gate. Two failure modes rot silently
+// in a docs-heavy repo: intra-repo markdown links break when files move, and
+// the README's scenario catalog drifts behind the registry when presets are
+// added. Both fail loudly here (the ci.yml docs-check step runs this file by
+// name).
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// docFiles returns the curated documentation set: the README plus docs/*.md.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	matches, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, matches...)
+}
+
+// mdLink matches one inline markdown link or image: [label](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsIntraRepoLinksResolve fails on any relative markdown link whose
+// target file does not exist. External links (scheme-prefixed) and pure
+// fragments are out of scope — this guards file moves and renames, not the
+// internet.
+func TestDocsIntraRepoLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop the fragment
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (resolved %s): %v",
+					file, m[0], resolved, err)
+			}
+		}
+	}
+}
+
+// TestREADMECatalogCoversRegistry fails when a registered scenario preset is
+// missing from the README's scenario catalog table, so every new preset
+// ships documented. The table convention: one row per preset, the name in
+// backticks in the first column.
+func TestREADMECatalogCoversRegistry(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := make(map[string]bool)
+	inCatalog := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inCatalog = strings.Contains(line, "Scenario catalog")
+			continue
+		}
+		if !inCatalog || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		name := strings.Trim(strings.TrimSpace(cells[1]), "`")
+		if name != "" && name != "name" && !strings.HasPrefix(name, "--") {
+			listed[name] = true
+		}
+	}
+	if len(listed) == 0 {
+		t.Fatal("found no scenario catalog table under a 'Scenario catalog' heading in README.md")
+	}
+	for _, name := range scenario.Names() {
+		if !listed[name] {
+			t.Errorf("registered scenario %q is missing from README.md's scenario catalog table", name)
+		}
+	}
+	for name := range listed {
+		if _, ok := scenario.Get(name); !ok {
+			t.Errorf("README.md catalog lists %q but the registry does not have it", name)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package cdn
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTierString(t *testing.T) {
+	cases := map[Tier]string{
+		TierP2P:    "p2p",
+		TierEdge:   "edge",
+		TierOrigin: "origin",
+		Tier(7):    "Tier(7)",
+	}
+	for tier, want := range cases {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero (disabled) spec must validate, got %v", err)
+	}
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Errorf("DefaultSpec must validate, got %v", err)
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"only without enabled", func(s *Spec) { s.Enabled = false; s.Only = true }},
+		{"zero origin capacity", func(s *Spec) { s.OriginChunksPerSlot = 0 }},
+		{"negative edge capacity", func(s *Spec) { s.EdgeChunksPerSlot = -1 }},
+		{"edges without cache", func(s *Spec) { s.EdgeCacheChunks = 0 }},
+		{"negative edge cost", func(s *Spec) { s.EdgeEgressCost = -0.1 }},
+		{"NaN edge cost", func(s *Spec) { s.EdgeEgressCost = math.NaN() }},
+		{"negative origin cost", func(s *Spec) { s.OriginEgressCost = -1 }},
+		{"NaN origin cost", func(s *Spec) { s.OriginEgressCost = math.NaN() }},
+		{"negative pricing", func(s *Spec) { s.Pricing.EdgeUSDPerGB = -0.01 }},
+	}
+	for _, tc := range bad {
+		s := DefaultSpec()
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, s)
+		}
+	}
+
+	// No edges is a valid two-tier (P2P → origin) configuration, even with a
+	// zero cache size.
+	s := DefaultSpec()
+	s.EdgeChunksPerSlot = 0
+	s.EdgeCacheChunks = 0
+	if err := s.Validate(); err != nil {
+		t.Errorf("edge-less spec must validate, got %v", err)
+	}
+}
+
+func TestDefaultSpecCalibration(t *testing.T) {
+	s := DefaultSpec()
+	if !s.Enabled || s.Only {
+		t.Fatalf("DefaultSpec must be enabled hybrid, got %+v", s)
+	}
+	// The three-tier fallback needs edge fees between the scaled intra-ISP
+	// band (~0–0.6 at CostScale 0.3) and the origin above the inter-ISP
+	// ceiling (3.0): local peers beat the edge, the edge beats remote peers,
+	// the origin is the strict last resort.
+	if s.EdgeEgressCost <= 0.6 || s.EdgeEgressCost >= 3.0 {
+		t.Errorf("EdgeEgressCost %v outside the (0.6, 3.0) calibration band", s.EdgeEgressCost)
+	}
+	if s.OriginEgressCost <= 3.0 {
+		t.Errorf("OriginEgressCost %v must exceed the inter-ISP ceiling 3.0", s.OriginEgressCost)
+	}
+	if s.EdgeEgressCost >= s.OriginEgressCost {
+		t.Errorf("edge fee %v must undercut origin fee %v", s.EdgeEgressCost, s.OriginEgressCost)
+	}
+	if s.Pricing.OriginUSDPerGB <= s.Pricing.EdgeUSDPerGB {
+		t.Errorf("origin egress %v USD/GB should exceed edge egress %v USD/GB",
+			s.Pricing.OriginUSDPerGB, s.Pricing.EdgeUSDPerGB)
+	}
+}
+
+func TestRecordSlotFeedsTelemetry(t *testing.T) {
+	read := func() map[string]string {
+		var sb strings.Builder
+		if err := Telemetry.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string)
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, val, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed exposition line %q", line)
+			}
+			out[name] = val
+		}
+		return out
+	}
+
+	before := read()
+	RecordSlot(10, 4, 2, 1, 3, 1, 1000)
+	after := read()
+
+	// Counters are process-wide, so assert deltas, not absolutes.
+	wantDelta := map[string]float64{
+		"cdn_edge_cache_hits_total":     3,
+		"cdn_edge_cache_misses_total":   1,
+		"cdn_p2p_served_bytes_total":    10000,
+		"cdn_edge_served_bytes_total":   4000,
+		"cdn_origin_served_bytes_total": 2000,
+		"cdn_backhaul_bytes_total":      1000,
+	}
+	for name, want := range wantDelta {
+		b, a := before[name], after[name]
+		if a == "" {
+			t.Errorf("family %s missing from exposition", name)
+			continue
+		}
+		var bv, av float64
+		var err error
+		if b != "" {
+			if bv, err = strconv.ParseFloat(b, 64); err != nil {
+				t.Fatalf("parse %s before=%q: %v", name, b, err)
+			}
+		}
+		if av, err = strconv.ParseFloat(a, 64); err != nil {
+			t.Fatalf("parse %s after=%q: %v", name, a, err)
+		}
+		if av-bv != want {
+			t.Errorf("%s grew by %v, want %v", name, av-bv, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package cdn
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/video"
+)
+
+// LRU is an edge server's chunk cache: a fixed-capacity least-recently-used
+// set over global chunk ids. Access is the one hot-path operation — it
+// reports a hit (recency refreshed) or records a miss (chunk inserted,
+// evicting the least-recently-used entry when full), which is exactly the
+// edge's serve-or-fill-from-origin decision.
+//
+// The cache is safe for concurrent use: the sim engines access it from one
+// goroutine, but the daemon's slot pipeline and the shard worker pool may
+// share edge state across goroutines, so every method takes the mutex (the
+// race hammer in lru_test.go pins this under -race).
+type LRU struct {
+	mu  sync.Mutex
+	cap int
+	// order is the recency list, most-recently-used at the front; items
+	// indexes its elements (each carrying a video.ChunkID value).
+	order *list.List
+	items map[video.ChunkID]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// NewLRU creates an empty cache holding up to capacity chunks.
+func NewLRU(capacity int) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cdn: LRU capacity must be positive, got %d", capacity)
+	}
+	return &LRU{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[video.ChunkID]*list.Element, capacity),
+	}, nil
+}
+
+// Access serves chunk id from the cache: true is a hit (the entry becomes
+// most-recently-used), false a miss (the chunk is fetched over backhaul,
+// inserted as most-recently-used, and the least-recently-used entry is
+// evicted if the cache is full).
+func (c *LRU) Access(id video.ChunkID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[id]; ok {
+		c.order.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.order.Len() >= c.cap {
+		lru := c.order.Back()
+		c.order.Remove(lru)
+		delete(c.items, lru.Value.(video.ChunkID))
+		c.evictions++
+	}
+	c.items[id] = c.order.PushFront(id)
+	return false
+}
+
+// Contains reports presence without touching recency or the hit/miss
+// counters (for tests and diagnostics).
+func (c *LRU) Contains(id video.ChunkID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[id]
+	return ok
+}
+
+// Len returns the number of cached chunks.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Capacity returns the configured capacity.
+func (c *LRU) Capacity() int { return c.cap }
+
+// Keys returns the cached chunk ids in recency order, most-recently-used
+// first (for eviction-order tests and cache dumps).
+func (c *LRU) Keys() []video.ChunkID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]video.ChunkID, 0, c.order.Len())
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(video.ChunkID))
+	}
+	return out
+}
+
+// Stats returns the lifetime hit/miss/eviction counters.
+func (c *LRU) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

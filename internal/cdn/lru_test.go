@@ -1,0 +1,153 @@
+package cdn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func chunk(i int) video.ChunkID {
+	return video.ChunkID{Video: video.ID(i / 100), Index: video.ChunkIndex(i % 100)}
+}
+
+func TestNewLRURejectsNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if _, err := NewLRU(c); err == nil {
+			t.Errorf("NewLRU(%d) accepted a non-positive capacity", c)
+		}
+	}
+	c, err := NewLRU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Capacity(); got != 3 {
+		t.Errorf("Capacity() = %d, want 3", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("new cache Len() = %d, want 0", got)
+	}
+}
+
+func TestLRUHitMissAccounting(t *testing.T) {
+	c, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(chunk(1)) {
+		t.Error("first access of chunk 1 reported a hit")
+	}
+	if !c.Access(chunk(1)) {
+		t.Error("second access of chunk 1 reported a miss")
+	}
+	if c.Access(chunk(2)) {
+		t.Error("first access of chunk 2 reported a hit")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 2 || evictions != 0 {
+		t.Errorf("Stats() = (%d, %d, %d), want (1, 2, 0)", hits, misses, evictions)
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c, err := NewLRU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 1, 2, 3 (recency now 3, 2, 1) then refresh 1 (recency 1, 3, 2).
+	c.Access(chunk(1))
+	c.Access(chunk(2))
+	c.Access(chunk(3))
+	c.Access(chunk(1))
+	wantKeys := []video.ChunkID{chunk(1), chunk(3), chunk(2)}
+	for i, k := range c.Keys() {
+		if k != wantKeys[i] {
+			t.Fatalf("Keys()[%d] = %v, want %v (full order %v)", i, k, wantKeys[i], c.Keys())
+		}
+	}
+	// Inserting 4 must evict 2, the least-recently-used entry.
+	c.Access(chunk(4))
+	if c.Contains(chunk(2)) {
+		t.Error("chunk 2 survived the eviction; LRU order is wrong")
+	}
+	for _, keep := range []int{1, 3, 4} {
+		if !c.Contains(chunk(keep)) {
+			t.Errorf("chunk %d was evicted but is not the LRU entry", keep)
+		}
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len() = %d, want capacity 3", got)
+	}
+}
+
+func TestLRUContainsDoesNotTouchRecency(t *testing.T) {
+	c, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(chunk(1))
+	c.Access(chunk(2))
+	// A Contains probe of 1 must not refresh it: inserting 3 still evicts 1.
+	if !c.Contains(chunk(1)) {
+		t.Fatal("chunk 1 missing after insert")
+	}
+	c.Access(chunk(3))
+	if c.Contains(chunk(1)) {
+		t.Error("Contains refreshed recency: chunk 1 survived, chunk 2 evicted")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 0 || misses != 3 {
+		t.Errorf("Contains touched the counters: hits %d misses %d, want 0 and 3", hits, misses)
+	}
+}
+
+// TestLRURaceHammer drives one cache from many goroutines; -race in CI pins
+// that every method is mutex-guarded (the daemon's shard worker pool shares
+// edge state across goroutines).
+func TestLRURaceHammer(t *testing.T) {
+	c, err := NewLRU(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const opsPerWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				id := chunk((w*31 + i) % 200)
+				switch i % 4 {
+				case 0, 1:
+					c.Access(id)
+				case 2:
+					c.Contains(id)
+				default:
+					c.Keys()
+					c.Len()
+					c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses, evictions := c.Stats()
+	if hits+misses != workers*opsPerWorker/2 {
+		t.Errorf("hits %d + misses %d != %d Access calls", hits, misses, workers*opsPerWorker/2)
+	}
+	if int(misses)-int(evictions) != c.Len() {
+		t.Errorf("misses %d - evictions %d != Len %d (insert/evict accounting broken)",
+			misses, evictions, c.Len())
+	}
+	if c.Len() > c.Capacity() {
+		t.Errorf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}

@@ -1,0 +1,135 @@
+package economics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validCounts() TierCounts {
+	return TierCounts{
+		P2PChunks:      700,
+		EdgeChunks:     200,
+		OriginChunks:   100,
+		BackhaulChunks: 40,
+		EdgeHits:       160,
+		EdgeMisses:     40,
+	}
+}
+
+func validPricing() CDNPricing {
+	return CDNPricing{EdgeUSDPerGB: 0.02, OriginUSDPerGB: 0.08, BackhaulUSDPerGB: 0.01}
+}
+
+func TestCDNPricingValidate(t *testing.T) {
+	if err := validPricing().Validate(); err != nil {
+		t.Errorf("valid pricing rejected: %v", err)
+	}
+	if err := (CDNPricing{}).Validate(); err != nil {
+		t.Errorf("zero (free) pricing rejected: %v", err)
+	}
+	for _, p := range []CDNPricing{
+		{EdgeUSDPerGB: -1},
+		{OriginUSDPerGB: -0.01},
+		{BackhaulUSDPerGB: -2},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("negative pricing %+v accepted", p)
+		}
+	}
+}
+
+func TestTierCountsServed(t *testing.T) {
+	if got := validCounts().Served(); got != 1000 {
+		t.Errorf("Served() = %d, want 1000", got)
+	}
+	if got := (TierCounts{}).Served(); got != 0 {
+		t.Errorf("zero counts Served() = %d, want 0", got)
+	}
+}
+
+func TestComputeOffload(t *testing.T) {
+	const chunkBytes = 1e6 // 1 MB chunks → volumes in round numbers of GB/1000
+	o, err := ComputeOffload(validCounts(), chunkBytes, validPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	approx("P2PGB", o.P2PGB, 0.7)
+	approx("EdgeGB", o.EdgeGB, 0.2)
+	approx("OriginGB", o.OriginGB, 0.1)
+	approx("BackhaulGB", o.BackhaulGB, 0.04)
+	approx("P2PShare", o.P2PShare, 0.7)
+	approx("EdgeShare", o.EdgeShare, 0.2)
+	approx("OriginShare", o.OriginShare, 0.1)
+	approx("OffloadRatio", o.OffloadRatio, 0.7)
+	approx("EdgeHitRate", o.EdgeHitRate, 0.8)
+	approx("EdgeUSD", o.EdgeUSD, 0.2*0.02)
+	approx("OriginUSD", o.OriginUSD, 0.1*0.08)
+	approx("BackhaulUSD", o.BackhaulUSD, 0.04*0.01)
+	approx("CDNUSD", o.CDNUSD, 0.2*0.02+0.1*0.08+0.04*0.01)
+	if sum := o.P2PShare + o.EdgeShare + o.OriginShare; math.Abs(sum-1) > 1e-12 {
+		t.Errorf("tier shares sum to %v, want 1", sum)
+	}
+}
+
+func TestComputeOffloadEmptyRun(t *testing.T) {
+	o, err := ComputeOffload(TierCounts{}, 1e6, validPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.P2PShare != 0 || o.EdgeShare != 0 || o.OriginShare != 0 ||
+		o.OffloadRatio != 0 || o.EdgeHitRate != 0 || o.CDNUSD != 0 {
+		t.Errorf("empty run produced non-zero report %+v", o)
+	}
+}
+
+func TestComputeOffloadRejections(t *testing.T) {
+	cases := []struct {
+		name       string
+		counts     TierCounts
+		chunkBytes float64
+		pricing    CDNPricing
+	}{
+		{"zero chunk size", validCounts(), 0, validPricing()},
+		{"negative chunk size", validCounts(), -1, validPricing()},
+		{"bad pricing", validCounts(), 1e6, CDNPricing{EdgeUSDPerGB: -1}},
+		{"negative counter", TierCounts{P2PChunks: -1}, 1e6, validPricing()},
+		{"hits+misses mismatch", TierCounts{EdgeChunks: 10, EdgeHits: 3, EdgeMisses: 3}, 1e6, validPricing()},
+	}
+	for _, tc := range cases {
+		if _, err := ComputeOffload(tc.counts, tc.chunkBytes, tc.pricing); err == nil {
+			t.Errorf("%s: ComputeOffload accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestOffloadFprint(t *testing.T) {
+	o, err := ComputeOffload(validCounts(), 1e6, validPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := o.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"offload ratio 0.7000",
+		"edge hit rate 0.8000",
+		"p2p", "edge", "origin", "backhaul", "total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	// The p2p row carries no bill: the em dash placeholder must appear once.
+	if !strings.Contains(out, "—") {
+		t.Errorf("Fprint output missing the unbilled-tier placeholder:\n%s", out)
+	}
+}

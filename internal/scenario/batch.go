@@ -21,7 +21,8 @@ type Grid struct {
 // batch sweeps. Keys: peers, slots, neighbors, epsilon, arrival, early-leave,
 // cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart,
 // sharding, shard-workers, shard-max, locality, cross-cap, transit-cost,
-// free-rider-frac, shade-factor, clique-size, throttle-cap.
+// free-rider-frac, shade-factor, clique-size, throttle-cap, edge-capacity,
+// edge-cache, origin-capacity, cdn-only.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
 	case "free-rider-frac":
@@ -123,12 +124,34 @@ func ApplyParam(s *Spec, key string, v float64) error {
 		s.Transport.Requests = int(v)
 	case "sinks":
 		s.Transport.Sinks = int(v)
+	case "edge-capacity":
+		// Per-edge upload capacity in chunks per slot (the offload-vs-
+		// provisioning axis); 0 drops the edges, leaving P2P → origin.
+		if v < 0 {
+			return fmt.Errorf("scenario: edge capacity %v must be >= 0", v)
+		}
+		s.Sim.CDN.EdgeChunksPerSlot = int(v)
+	case "edge-cache":
+		// Per-edge LRU cache size in chunks (the hit-rate axis).
+		if v <= 0 {
+			return fmt.Errorf("scenario: edge cache %v must be positive", v)
+		}
+		s.Sim.CDN.EdgeCacheChunks = int(v)
+	case "origin-capacity":
+		if v <= 0 {
+			return fmt.Errorf("scenario: origin capacity %v must be positive", v)
+		}
+		s.Sim.CDN.OriginChunksPerSlot = int(v)
+	case "cdn-only":
+		// 1 suppresses every P2P candidate — the CDN-only baseline.
+		s.Sim.CDN.Only = v != 0
 	default:
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
 			"videos, window, requests, sinks, warmstart, sharding, shard-workers, "+
 			"shard-max, locality, cross-cap, transit-cost, free-rider-frac, "+
-			"shade-factor, clique-size or throttle-cap)", key)
+			"shade-factor, clique-size, throttle-cap, edge-capacity, edge-cache, "+
+			"origin-capacity or cdn-only)", key)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"repro/internal/behavior"
+	"repro/internal/cdn"
 	"repro/internal/economics"
 	"repro/internal/experiments"
 	"repro/internal/isp"
@@ -334,6 +335,64 @@ func init() {
 		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
 		Behavior: behavior.Spec{CliqueSize: 8},
 		Sim:      clique,
+	})
+
+	// cdn-assist — the hybrid CDN/P2P workbench: an underseeded swarm (one
+	// global seed per video, tight neighbor lists) leaning on per-ISP edge
+	// servers and an origin, all bidding in the same auction with cost =
+	// egress fee. The offload report rides along in every JSON export: %
+	// bytes served P2P vs edge vs origin, edge cache hit rate, and the CDN
+	// bill next to the flat transit bill — the welfare × transit × CDN-spend
+	// frontier of ROADMAP item 3. Sweep `edge-capacity` to trace offload vs
+	// edge provisioning, or set `cdn-only=1` for the no-P2P baseline the
+	// dominance golden compares against.
+	assist := smallSim()
+	assist.StaticPeers = 60
+	assist.Slots = 8
+	assist.Catalog.Count = 6
+	assist.NeighborCount = 8
+	assist.SeedsPerVideo = 1
+	assist.Placement = sim.SeedsGlobal
+	assist.CDN = cdn.DefaultSpec()
+	// Uniform egress fees make large ε-band tie classes (every request sees
+	// the same edge/origin costs); a tighter increment keeps warm/cold and
+	// sharded/monolithic tie-break drift inside the equality goldens.
+	assist.Epsilon = 0.002
+	MustRegister(Spec{
+		Name:     "cdn-assist",
+		Summary:  "underseeded swarm leaning on per-ISP edge servers and an origin",
+		Workload: "cdn",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
+		Sim:      assist,
+	})
+
+	// flash-crowd-cdn — the flash-crowd premiere spike with the CDN tier
+	// absorbing it: fresh arrivals have empty caches, so until P2P
+	// replication warms up the edges (and, past their capacity, the origin)
+	// carry the burst. Compare against plain flash-crowd to see what the
+	// CDN bill buys in miss rate.
+	flashCDN := smallSim()
+	flashCDN.Scenario = sim.ScenarioDynamic
+	flashCDN.Slots = 12
+	flashCDN.ArrivalPerSec = 0.8
+	flashCDN.Arrival = sim.ArrivalFlashCrowd
+	flashCDN.FlashSlot = 4
+	flashCDN.FlashSlots = 2
+	flashCDN.FlashMultiplier = 6
+	flashCDN.SeedsPerVideo = 1
+	flashCDN.Placement = sim.SeedsGlobal
+	flashCDN.CDN = cdn.DefaultSpec()
+	flashCDN.Epsilon = 0.002 // same tie-class calibration as cdn-assist
+	MustRegister(Spec{
+		Name:     "flash-crowd-cdn",
+		Summary:  "flash-crowd spike absorbed by the CDN tier until P2P warms up",
+		Workload: "cdn",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Transit:  economics.TransitSpec{Kind: "flat", USDPerGB: 1},
+		Sim:      flashCDN,
 	})
 
 	// assignment — the bare solver on random transportation instances,

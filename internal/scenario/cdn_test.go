@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCDNPresetsEndToEnd runs both CDN presets end-to-end and pins the shape
+// of the offload report: a populated Offload struct, consistent tier shares,
+// and the CDN metric keys the batch/output plumbing reads.
+func TestCDNPresetsEndToEnd(t *testing.T) {
+	for _, name := range []string{"cdn-assist", "flash-crowd-cdn"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			res, err := spec.Run(goldenSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Offload == nil {
+				t.Fatal("CDN run returned no offload report")
+			}
+			o := res.Offload
+			if sum := o.P2PShare + o.EdgeShare + o.OriginShare; math.Abs(sum-1) > 1e-9 {
+				t.Errorf("tier shares sum to %v, want 1", sum)
+			}
+			if o.OffloadRatio <= 0 || o.OffloadRatio >= 1 {
+				t.Errorf("hybrid offload ratio %v should be strictly inside (0,1): the "+
+					"swarm serves most traffic but the CDN catches the startup misses", o.OffloadRatio)
+			}
+			if o.CDNUSD <= 0 {
+				t.Errorf("CDN served traffic but billed %v USD", o.CDNUSD)
+			}
+			for _, k := range []string{
+				"offload_ratio", "cdn_usd", "edge_hit_rate",
+				"served_p2p_chunks", "served_edge_chunks", "served_origin_chunks",
+				"backhaul_gb",
+			} {
+				if _, ok := res.Metrics[k]; !ok {
+					t.Errorf("metric %q missing from CDN run", k)
+				}
+			}
+			if res.Metrics["offload_ratio"] != o.OffloadRatio {
+				t.Errorf("metric offload_ratio %v != report %v",
+					res.Metrics["offload_ratio"], o.OffloadRatio)
+			}
+		})
+	}
+}
+
+// TestHybridDominatesCDNOnly is the tentpole economics golden: the paper's
+// P2P swarm, assisted by the CDN, beats the CDN-only baseline on welfare −
+// cost. Welfare must be miss-adjusted (the degradation-axis convention,
+// economics/degradation.go): the raw welfare sum REWARDS starvation, because
+// a capacity-starved CDN-only swarm serves every chunk at panic urgency and
+// books v ≈ Valuation.Max per grant while missing ~99% of playback. Charging
+// each miss its forgone value at the playback moment (d = 0, the valuation
+// ceiling) removes that mirage; the hybrid then dominates on both axes —
+// far more miss-adjusted welfare AND a strictly smaller CDN bill. If this
+// trips, P2P offload has stopped paying for itself.
+func TestHybridDominatesCDNOnly(t *testing.T) {
+	spec, ok := Get("cdn-assist")
+	if !ok {
+		t.Fatal("cdn-assist not registered")
+	}
+	hybrid, err := spec.Run(goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only := spec
+	only.Sim.CDN.Only = true
+	cdnOnly, err := only.Run(goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missPenalty := spec.Sim.Valuation.Max
+	adjusted := func(r *Result) float64 {
+		return r.Metrics["welfare_total"] - missPenalty*r.Metrics["missed"]
+	}
+	hw, ow := adjusted(hybrid), adjusted(cdnOnly)
+	if hw <= ow {
+		t.Errorf("hybrid miss-adjusted welfare %v does not beat CDN-only %v", hw, ow)
+	}
+	hc, oc := hybrid.Metrics["cdn_usd"], cdnOnly.Metrics["cdn_usd"]
+	if hc >= oc {
+		t.Errorf("hybrid CDN bill %v USD not below CDN-only bill %v USD", hc, oc)
+	}
+	if hw-hc <= ow-oc {
+		t.Errorf("hybrid welfare − cost %v does not dominate CDN-only %v", hw-hc, ow-oc)
+	}
+	if hm, om := hybrid.Metrics["miss_rate"], cdnOnly.Metrics["miss_rate"]; hm >= om {
+		t.Errorf("hybrid miss rate %v not below CDN-only miss rate %v", hm, om)
+	}
+	if cdnOnly.Metrics["served_p2p_chunks"] != 0 {
+		t.Errorf("CDN-only baseline served %v chunks P2P",
+			cdnOnly.Metrics["served_p2p_chunks"])
+	}
+}
+
+// TestOffloadMonotoneInEdgeCapacity sweeps the edge-capacity batch knob and
+// pins the economics direction: more edge capacity can only pull traffic off
+// the swarm, so the P2P offload ratio is non-increasing and the edge share of
+// delivered bytes non-decreasing along the sweep.
+func TestOffloadMonotoneInEdgeCapacity(t *testing.T) {
+	base, ok := Get("cdn-assist")
+	if !ok {
+		t.Fatal("cdn-assist not registered")
+	}
+	capacities := []float64{0, 100, 400, 1600}
+	var lastRatio, lastEdgeShare float64
+	for i, c := range capacities {
+		spec := base
+		if err := ApplyParam(&spec, "edge-capacity", c); err != nil {
+			t.Fatal(err)
+		}
+		res, err := spec.Run(goldenSeed)
+		if err != nil {
+			t.Fatalf("edge-capacity %v: %v", c, err)
+		}
+		ratio := res.Offload.OffloadRatio
+		edgeShare := res.Offload.EdgeShare
+		if c == 0 && edgeShare != 0 {
+			t.Errorf("no edges configured but edge share %v", edgeShare)
+		}
+		if i > 0 {
+			const tol = 1e-9
+			if ratio > lastRatio+tol {
+				t.Errorf("offload ratio rose from %v to %v as edge capacity grew %v → %v",
+					lastRatio, ratio, capacities[i-1], c)
+			}
+			if edgeShare < lastEdgeShare-tol {
+				t.Errorf("edge share fell from %v to %v as edge capacity grew %v → %v",
+					lastEdgeShare, edgeShare, capacities[i-1], c)
+			}
+		}
+		lastRatio, lastEdgeShare = ratio, edgeShare
+	}
+}
+
+// TestCDNBatchParams pins the four CDN batch knobs end-to-end through
+// ApplyParam into the sim config.
+func TestCDNBatchParams(t *testing.T) {
+	spec, ok := Get("cdn-assist")
+	if !ok {
+		t.Fatal("cdn-assist not registered")
+	}
+	if err := ApplyParam(&spec, "edge-capacity", 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyParam(&spec, "edge-cache", 77); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyParam(&spec, "origin-capacity", 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyParam(&spec, "cdn-only", 1); err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Sim.CDN
+	if c.EdgeChunksPerSlot != 123 || c.EdgeCacheChunks != 77 ||
+		c.OriginChunksPerSlot != 900 || !c.Only {
+		t.Errorf("batch knobs did not land in the CDN spec: %+v", c)
+	}
+	for _, bad := range []struct {
+		key string
+		v   float64
+	}{
+		{"edge-capacity", -1},
+		{"edge-cache", 0},
+		{"origin-capacity", 0},
+	} {
+		spec := spec
+		if err := ApplyParam(&spec, bad.key, bad.v); err == nil {
+			t.Errorf("ApplyParam(%q, %v) accepted an invalid value", bad.key, bad.v)
+		}
+	}
+}

@@ -35,6 +35,14 @@ func Fprint(w io.Writer, r *Result) error {
 			return err
 		}
 	}
+	if r.Offload != nil {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := r.Offload.Fprint(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

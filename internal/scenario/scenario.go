@@ -371,8 +371,12 @@ type Result struct {
 	// seed — welfare lost, transit shifted, per-ISP settlement deltas. Only
 	// present for KindSim runs with a non-zero Spec.Behavior.
 	Degradation *economics.Degradation `json:",omitempty"`
-	Series      []*metrics.Series      `json:"-"`
-	Elapsed     time.Duration          `json:"-"`
+	// Offload is the hybrid CDN tier report — per-tier served shares, edge
+	// cache economics and the CDN bill next to the transit bill. Only
+	// present for KindSim runs with Sim.CDN.Enabled.
+	Offload *economics.Offload `json:",omitempty"`
+	Series  []*metrics.Series  `json:"-"`
+	Elapsed time.Duration      `json:"-"`
 }
 
 // ParetoPoint reduces the run to its welfare-vs-transit coordinates for
@@ -474,6 +478,20 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 		Series: []*metrics.Series{
 			&r.Welfare, &r.InterISP, &r.MissRate, &r.Online, &r.CrossISPBytes,
 		},
+	}
+	if cfg.CDN.Enabled {
+		off, err := economics.ComputeOffload(r.TierCounts(), cfg.ChunkBytes(), cfg.CDN.Pricing)
+		if err != nil {
+			return nil, err
+		}
+		res.Offload = off
+		res.Metrics["offload_ratio"] = off.OffloadRatio
+		res.Metrics["cdn_usd"] = off.CDNUSD
+		res.Metrics["edge_hit_rate"] = off.EdgeHitRate
+		res.Metrics["served_p2p_chunks"] = float64(r.ServedP2P)
+		res.Metrics["served_edge_chunks"] = float64(r.ServedEdge)
+		res.Metrics["served_origin_chunks"] = float64(r.ServedOrigin)
+		res.Metrics["backhaul_gb"] = off.BackhaulGB
 	}
 	if s.Sharding.Enabled {
 		res.Metrics["shards_mean"] = r.Shards.Summarize().Mean

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cdn"
 	"repro/internal/obs"
 )
 
@@ -266,7 +267,7 @@ func (r *registry) observeSolve(stats map[string]float64) {
 
 // expose renders the full metric set in Prometheus text format: the
 // daemon's own families followed by the obs bridge's solver-telemetry
-// families.
+// families and the CDN tier's process-wide cache and per-tier byte counters.
 func (r *registry) expose() string {
 	var w strings.Builder
 	for _, m := range r.ordered {
@@ -274,6 +275,7 @@ func (r *registry) expose() string {
 		m.expose(&w)
 	}
 	_ = r.bridge.WritePrometheus(&w) // strings.Builder writes cannot fail
+	_ = cdn.Telemetry.WritePrometheus(&w)
 	return w.String()
 }
 

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cdn"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// cdnTestConfig is testConfig with the calibrated hybrid CDN tier switched
+// on: one origin plus one edge per ISP join every slot as always-on bidders.
+func cdnTestConfig() Config {
+	cfg := testConfig()
+	cfg.CDN = cdn.DefaultSpec()
+	return cfg
+}
+
+func TestConfigValidateCDN(t *testing.T) {
+	cfg := cdnTestConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("CDN config invalid: %v", err)
+	}
+	cfg.CDN.OriginChunksPerSlot = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("Config.Validate accepted a broken CDN spec")
+	}
+}
+
+// TestCDNRunEqualsRunRebuild extends the pipeline-equivalence golden to
+// CDN-enabled worlds: the incremental builder's carried candidate lists must
+// stay bit-identical to a from-scratch rebuild with CDN bidders present, for
+// the cold, warm and sharded auction paths.
+func TestCDNRunEqualsRunRebuild(t *testing.T) {
+	type mk func(cfg Config) sched.Scheduler
+	schedulers := map[string]mk{
+		"auction": func(cfg Config) sched.Scheduler { return &sched.Auction{Epsilon: cfg.Epsilon} },
+		"warm":    func(cfg Config) sched.Scheduler { return &sched.WarmAuction{Epsilon: cfg.Epsilon} },
+		"sharded": func(cfg Config) sched.Scheduler {
+			return &cluster.ShardedAuction{Epsilon: cfg.Epsilon, Workers: 2, Seed: cfg.Seed}
+		},
+	}
+	churn := churnTestConfig()
+	churn.CDN = cdn.DefaultSpec()
+	worlds := map[string]Config{
+		"static": cdnTestConfig(),
+		"churn":  churn,
+	}
+	for wname, cfg := range worlds {
+		for sname, make := range schedulers {
+			cfg := cfg
+			t.Run(wname+"/"+sname, func(t *testing.T) {
+				t.Parallel()
+				inc, err := Run(cfg, make(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := RunRebuild(cfg, make(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(inc, ref) {
+					t.Fatalf("incremental and rebuilt pipelines diverge with CDN:\n inc %+v\n ref %+v",
+						fingerprint(inc), fingerprint(ref))
+				}
+			})
+		}
+	}
+}
+
+// TestCDNCounterInvariants pins the tier accounting identities every
+// CDN-enabled run must satisfy.
+func TestCDNCounterInvariants(t *testing.T) {
+	cfg := cdnTestConfig()
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedP2P+res.ServedEdge+res.ServedOrigin != res.TotalGrants {
+		t.Errorf("tiers %d+%d+%d != total grants %d",
+			res.ServedP2P, res.ServedEdge, res.ServedOrigin, res.TotalGrants)
+	}
+	if res.EdgeCacheHits+res.EdgeCacheMisses != res.ServedEdge {
+		t.Errorf("cache hits %d + misses %d != edge served %d",
+			res.EdgeCacheHits, res.EdgeCacheMisses, res.ServedEdge)
+	}
+	if res.BackhaulChunks != res.EdgeCacheMisses {
+		t.Errorf("backhaul %d != edge misses %d (one fill per miss)",
+			res.BackhaulChunks, res.EdgeCacheMisses)
+	}
+	if res.ServedP2P == 0 {
+		t.Error("hybrid run served nothing P2P — CDN fees undercut every peer")
+	}
+	c := res.TierCounts()
+	if c.P2PChunks != res.ServedP2P || c.EdgeChunks != res.ServedEdge ||
+		c.OriginChunks != res.ServedOrigin || c.BackhaulChunks != res.BackhaulChunks ||
+		c.EdgeHits != res.EdgeCacheHits || c.EdgeMisses != res.EdgeCacheMisses {
+		t.Errorf("TierCounts() %+v does not mirror Results counters", c)
+	}
+}
+
+// TestCDNDisabledLeavesCountersZero pins that a plain run never touches the
+// tier counters: the zero Spec is bit-identical to the pre-CDN pipeline.
+func TestCDNDisabledLeavesCountersZero(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedEdge != 0 || res.ServedOrigin != 0 || res.EdgeCacheHits != 0 ||
+		res.EdgeCacheMisses != 0 || res.BackhaulChunks != 0 {
+		t.Errorf("disabled CDN recorded tier traffic: %+v", res.TierCounts())
+	}
+	if res.ServedP2P != res.TotalGrants {
+		t.Errorf("ServedP2P %d != TotalGrants %d on a pure P2P run",
+			res.ServedP2P, res.TotalGrants)
+	}
+}
+
+// TestCDNOnlyBaseline pins the CDN-only ablation: with P2P candidates
+// suppressed, every grant is CDN-served and CDN traffic stays out of the
+// inter-ISP accounting (it is billed by ComputeOffload, not transit).
+func TestCDNOnlyBaseline(t *testing.T) {
+	cfg := cdnTestConfig()
+	cfg.CDN.Only = true
+	res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGrants == 0 {
+		t.Fatal("CDN-only run granted nothing")
+	}
+	if res.ServedP2P != 0 {
+		t.Errorf("CDN-only run served %d chunks P2P", res.ServedP2P)
+	}
+	if res.ServedEdge+res.ServedOrigin != res.TotalGrants {
+		t.Errorf("CDN tiers %d+%d != grants %d",
+			res.ServedEdge, res.ServedOrigin, res.TotalGrants)
+	}
+	if res.TotalInterISP != 0 {
+		t.Errorf("CDN traffic leaked into the inter-ISP counter: %d", res.TotalInterISP)
+	}
+}
+
+func TestCDNDeterminism(t *testing.T) {
+	cfg := cdnTestConfig()
+	run := func() *Results {
+		res, err := Run(cfg, &sched.Auction{Epsilon: cfg.Epsilon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TierCounts() != b.TierCounts() {
+		t.Fatalf("non-deterministic tier counters: %+v vs %+v", a.TierCounts(), b.TierCounts())
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("CDN runs with the same seed diverge")
+	}
+}
+
+func TestRunDESRejectsCDN(t *testing.T) {
+	cfg := desConfig()
+	cfg.CDN = cdn.DefaultSpec()
+	if _, err := RunDES(cfg, DESOptions{TracePeer: -1}); err == nil {
+		t.Fatal("RunDES accepted a CDN-enabled config; the tier is fast-engine-only")
+	}
+}

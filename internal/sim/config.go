@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/behavior"
+	"repro/internal/cdn"
 	"repro/internal/isp"
 	"repro/internal/tracker"
 	"repro/internal/valuation"
@@ -168,6 +169,16 @@ type Config struct {
 	// honest baseline and leaves the engines bit-identical to the
 	// pre-behavior pipeline (pinned by the no-op regression goldens).
 	Behavior behavior.Spec
+	// CDN enables the hybrid CDN tier (internal/cdn): an origin server plus
+	// one edge server per ISP join every slot as always-on uploaders whose
+	// candidate cost is their egress fee, giving each chunk the three-tier
+	// fallback path P2P → edge → origin. CDN-served chunks bypass the
+	// ISP×ISP traffic matrix and accumulate in the per-tier counters behind
+	// the offload report (economics.ComputeOffload). The zero value leaves
+	// the engines bit-identical to the pre-CDN pipeline. Fast engine only:
+	// RunDES rejects CDN-enabled configs (the price-broadcast fan-out of
+	// cross-swarm servers is not plumbed through the protocol).
+	CDN cdn.Spec
 }
 
 // PaperConfig returns the paper's published parameters (§V).
@@ -284,6 +295,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: CostLatencyUnit must be >= 0, got %v", c.CostLatencyUnit)
 	}
 	if err := c.Behavior.Validate(c.NumISPs); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.CDN.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil

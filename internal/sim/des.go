@@ -59,6 +59,13 @@ type DESOptions struct {
 // network cost. Only the auction strategy exists at message level — that is
 // the protocol the paper defines.
 func RunDES(cfg Config, opts DESOptions) (*Results, error) {
+	if cfg.CDN.Enabled {
+		// CDN servers are cross-swarm uploaders: their price broadcasts
+		// would have to fan out to every watcher of every video, a protocol
+		// path the message-level engine does not implement. The fast engine
+		// (Run) carries the hybrid tier.
+		return nil, fmt.Errorf("sim: the CDN tier is not plumbed through the DES engine; use Run")
+	}
 	w, err := newWorld(cfg)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cdn"
 	"repro/internal/isp"
 	"repro/internal/sched"
 	"repro/internal/video"
@@ -121,17 +122,31 @@ func (w *world) buildInstanceRebuild(j int) (*sched.Instance, error) {
 			}
 			chunk := video.ChunkID{Video: p.vid, Index: idx}
 			var cands []sched.Candidate
-			for _, nb := range p.neighbors {
-				up, ok := w.peers[nb]
-				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
-					continue
+			if !w.cfg.CDN.Only {
+				for _, nb := range p.neighbors {
+					up, ok := w.peers[nb]
+					if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
+						continue
+					}
+					if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
+						continue
+					}
+					cands = append(cands, sched.Candidate{
+						Peer: nb,
+						Cost: w.cfg.CostScale * w.topo.MustCost(nb, id),
+					})
 				}
-				if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
-					continue
+			}
+			// The CDN fallback path: ISP-local edge, then origin (must stay
+			// in lock-step with buildInstance).
+			if w.cfg.CDN.Enabled {
+				if w.cdnEdge != nil {
+					cands = append(cands, sched.Candidate{
+						Peer: w.cdnEdge[p.ispID], Cost: w.cfg.CDN.EdgeEgressCost,
+					})
 				}
 				cands = append(cands, sched.Candidate{
-					Peer: nb,
-					Cost: w.cfg.CostScale * w.topo.MustCost(nb, id),
+					Peer: w.cdnOrigin, Cost: w.cfg.CDN.OriginEgressCost,
 				})
 			}
 			if len(cands) == 0 {
@@ -207,10 +222,29 @@ func (w *world) applyGrantsRebuild(j int, in *sched.Instance, grants []sched.Gra
 				if w.behave.MisreportsValue() {
 					val = w.cfg.Valuation.Value(req.Deadline)
 				}
-				w.behave.RecordGrant(u, req.Peer)
+				if up.tier == cdn.TierP2P {
+					w.behave.RecordGrant(u, req.Peer)
+				}
 			}
 			out.welfare += val - mustCost(in, g)
 			out.grants++
+			if up.tier != cdn.TierP2P {
+				// CDN-served: tier counters and the edge cache, never the
+				// ISP×ISP matrix (lock-step with applyGrants).
+				if up.tier == cdn.TierEdge {
+					out.servedEdge++
+					if up.edgeLRU.Access(req.Chunk) {
+						out.edgeHits++
+					} else {
+						out.edgeMisses++
+						out.backhaul++
+					}
+				} else {
+					out.servedOrigin++
+				}
+				continue
+			}
+			out.servedP2P++
 			inter, err := w.topo.IsInter(u, req.Peer)
 			if err != nil {
 				return fmt.Errorf("sim: %w", err)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cdn"
 	"repro/internal/economics"
 	"repro/internal/isp"
 	"repro/internal/metrics"
@@ -48,6 +49,18 @@ type Results struct {
 	Joined        int64
 	Departed      int64
 
+	// Per-tier delivery counters (the hybrid CDN tier, internal/cdn):
+	// ServedP2P + ServedEdge + ServedOrigin = TotalGrants. EdgeCacheHits +
+	// EdgeCacheMisses = ServedEdge, and BackhaulChunks = EdgeCacheMisses
+	// (each edge miss is one origin→edge fill). Without cfg.CDN.Enabled,
+	// ServedP2P = TotalGrants and the rest stay zero.
+	ServedP2P       int64
+	ServedEdge      int64
+	ServedOrigin    int64
+	EdgeCacheHits   int64
+	EdgeCacheMisses int64
+	BackhaulChunks  int64
+
 	// TrafficMatrix counts chunk transfers from ISP src to ISP dst over the
 	// run (diagonal = intra-ISP): the ledger an ISP operator audits, and
 	// the input the settlement models (internal/economics) price.
@@ -60,6 +73,19 @@ type Results struct {
 	// PerISPMissRate is each ISP's watchers' aggregate miss rate — the
 	// fairness view across ISPs (content-poor ISPs suffer first).
 	PerISPMissRate []float64
+}
+
+// TierCounts bundles the per-tier delivery counters for the economics
+// offload report (economics.ComputeOffload).
+func (r *Results) TierCounts() economics.TierCounts {
+	return economics.TierCounts{
+		P2PChunks:      r.ServedP2P,
+		EdgeChunks:     r.ServedEdge,
+		OriginChunks:   r.ServedOrigin,
+		BackhaulChunks: r.BackhaulChunks,
+		EdgeHits:       r.EdgeCacheHits,
+		EdgeMisses:     r.EdgeCacheMisses,
+	}
 }
 
 // MeanInterISPFraction returns total inter-ISP transfers over total
@@ -282,6 +308,18 @@ func recordSlot(w *world, res *Results, out *slotOutcome) error {
 	res.TotalInterISP += int64(out.interISP)
 	res.TotalMissed += out.missed
 	res.TotalPlayed += out.played
+	res.ServedP2P += out.servedP2P
+	res.ServedEdge += out.servedEdge
+	res.ServedOrigin += out.servedOrigin
+	res.EdgeCacheHits += out.edgeHits
+	res.EdgeCacheMisses += out.edgeMisses
+	res.BackhaulChunks += out.backhaul
+	if w.cfg.CDN.Enabled {
+		// Publish the slot's tier accounting to the process-wide /metrics
+		// families (telemetry only — results carry their own counters).
+		cdn.RecordSlot(out.servedP2P, out.servedEdge, out.servedOrigin,
+			out.backhaul, out.edgeHits, out.edgeMisses, w.cfg.ChunkBytes())
+	}
 	return nil
 }
 

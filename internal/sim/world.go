@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/behavior"
 	"repro/internal/buffer"
+	"repro/internal/cdn"
 	"repro/internal/economics"
 	"repro/internal/isp"
 	"repro/internal/randx"
@@ -23,12 +24,20 @@ type deliveredChunk struct {
 	at  float64
 }
 
-// peerRuntime is the simulator's view of one node (watcher or seed).
+// peerRuntime is the simulator's view of one node (watcher, seed, or CDN
+// server).
 type peerRuntime struct {
 	id    isp.PeerID
 	ispID isp.ID
 	vid   video.ID
 	seed  bool
+	// tier marks CDN servers (zero = regular peer). CDN nodes carry
+	// seed=true so playback, churn and the online count skip them; they
+	// never join the tracker, so neighbor lists never contain them —
+	// buildInstance appends them as candidates explicitly.
+	tier cdn.Tier
+	// edgeLRU is the edge server's chunk cache (nil for every other tier).
+	edgeLRU *cdn.LRU
 	// capacity is B(u): chunks uploadable per slot.
 	capacity int
 	cache    *buffer.Set
@@ -124,6 +133,13 @@ type world struct {
 	behave         *behavior.Runtime
 	behaveWatchers []isp.PeerID
 
+	// CDN tier state (cfg.CDN.Enabled only): the origin server's peer id
+	// (noPeer when disabled) and one edge server per ISP (nil slice when
+	// EdgeChunksPerSlot is 0). CDN nodes live in peers/order like everyone
+	// else; these indices are how buildInstance finds the watcher's edge.
+	cdnOrigin isp.PeerID
+	cdnEdge   []isp.PeerID
+
 	// costCache memoizes topo.MustCost per unordered peer pair: the draw is
 	// a pure function of (seed, pair) but burns a PRNG derivation plus
 	// truncated-normal rejection sampling, and the candidate scans ask for
@@ -183,6 +199,7 @@ func newWorld(cfg Config) (*world, error) {
 		builder:       sched.NewBuilder(),
 		forceRebuild:  true,
 		costCache:     make(map[uint64]float64),
+		cdnOrigin:     noPeer,
 	}
 	if w.chunksPerSlot <= 0 {
 		return nil, fmt.Errorf("sim: slot shorter than one chunk playback")
@@ -207,6 +224,9 @@ func newWorld(cfg Config) (*world, error) {
 	w.perISPMissed = make([]int64, cfg.NumISPs)
 	w.perISPPlayed = make([]int64, cfg.NumISPs)
 	if err := w.placeSeeds(); err != nil {
+		return nil, err
+	}
+	if err := w.placeCDN(); err != nil {
 		return nil, err
 	}
 	if cfg.Scenario == ScenarioStatic {
@@ -239,6 +259,49 @@ func (w *world) placeSeeds() error {
 				if err := w.addSeed(video.ID(v), m, seedCap); err != nil {
 					return err
 				}
+			}
+		}
+	}
+	return nil
+}
+
+// placeCDN stands up the CDN tier: the origin first (one node, lowest id),
+// then one edge per ISP in ISP order — a fixed, deterministic prefix of the
+// id space right after the seeds. CDN nodes are permanent (never depart),
+// invisible to the tracker (buildInstance appends them as candidates
+// explicitly), and skipped by playback/churn via the seed flag. The vid -1
+// sentinel can never match a watcher's video, so even a stray neighbor-list
+// hit could not treat them as swarm peers.
+func (w *world) placeCDN() error {
+	s := w.cfg.CDN
+	if !s.Enabled {
+		return nil
+	}
+	addServer := func(m isp.ID, capacity int, tier cdn.Tier, lru *cdn.LRU) (isp.PeerID, error) {
+		id, err := w.topo.AddPeer(m)
+		if err != nil {
+			return noPeer, fmt.Errorf("sim: cdn: %w", err)
+		}
+		w.peers[id] = &peerRuntime{
+			id: id, ispID: m, vid: -1, seed: true, tier: tier,
+			capacity: capacity, earlyLeaveSlot: -1, edgeLRU: lru,
+		}
+		w.appendOrder(id)
+		return id, nil
+	}
+	var err error
+	if w.cdnOrigin, err = addServer(0, s.OriginChunksPerSlot, cdn.TierOrigin, nil); err != nil {
+		return err
+	}
+	if s.EdgeChunksPerSlot > 0 {
+		w.cdnEdge = make([]isp.PeerID, w.cfg.NumISPs)
+		for m := 0; m < w.cfg.NumISPs; m++ {
+			lru, err := cdn.NewLRU(s.EdgeCacheChunks)
+			if err != nil {
+				return fmt.Errorf("sim: cdn: %w", err)
+			}
+			if w.cdnEdge[m], err = addServer(isp.ID(m), s.EdgeChunksPerSlot, cdn.TierEdge, lru); err != nil {
+				return err
 			}
 		}
 	}
@@ -559,15 +622,26 @@ func (w *world) buildInstance(j int) (*sched.Instance, *sched.InstanceDelta, err
 				b.EndRequest()
 				continue
 			}
-			for _, nb := range p.neighbors {
-				up, ok := w.peers[nb]
-				if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
-					continue
+			if !w.cfg.CDN.Only {
+				for _, nb := range p.neighbors {
+					up, ok := w.peers[nb]
+					if !ok || up.vid != p.vid || !up.cache.Has(idx) || up.capacity == 0 {
+						continue
+					}
+					if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
+						continue
+					}
+					b.AddCandidate(nb, w.cfg.CostScale*w.costOf(nb, id))
 				}
-				if w.behave != nil && !w.behave.AllowEdge(nb, up.ispID, up.seed, id, p.ispID) {
-					continue
+			}
+			// The CDN fallback path: the watcher's ISP-local edge, then the
+			// origin. Costs are the constant egress fees — cache-state-
+			// independent, so carried candidate lists stay sound.
+			if w.cfg.CDN.Enabled {
+				if w.cdnEdge != nil {
+					b.AddCandidate(w.cdnEdge[p.ispID], w.cfg.CDN.EdgeEgressCost)
 				}
-				b.AddCandidate(nb, w.cfg.CostScale*w.costOf(nb, id))
+				b.AddCandidate(w.cdnOrigin, w.cfg.CDN.OriginEgressCost)
 			}
 			b.EndRequest()
 		}
@@ -595,6 +669,11 @@ type slotOutcome struct {
 	// (0 for monolithic strategies).
 	shards     float64
 	departures []isp.PeerID
+	// Per-tier delivery counters (cfg.CDN.Enabled runs; servedP2P counts in
+	// every run and equals grants when the tier is off). backhaul counts
+	// origin→edge cache fills — one per edge miss.
+	servedP2P, servedEdge, servedOrigin int64
+	edgeHits, edgeMisses, backhaul      int64
 }
 
 // addPayments accumulates the λ-weighted payments of a round's grants.
@@ -673,10 +752,32 @@ func (w *world) applyGrants(j int, in *sched.Instance, grants []sched.Grant, out
 					// shaded/boosted bid the auction saw.
 					val = w.cfg.Valuation.Value(req.Deadline)
 				}
-				w.behave.RecordGrant(u, req.Peer)
+				if up.tier == cdn.TierP2P {
+					// CDN deliveries are not peer reciprocity: they never
+					// feed the tit-for-tat ledger.
+					w.behave.RecordGrant(u, req.Peer)
+				}
 			}
 			out.welfare += val - mustCost(in, g)
 			out.grants++
+			if up.tier != cdn.TierP2P {
+				// CDN-served: charge the tier counters (and the edge cache),
+				// never the ISP×ISP matrix — the CDN bill and the transit
+				// bill must not double-count a byte.
+				if up.tier == cdn.TierEdge {
+					out.servedEdge++
+					if up.edgeLRU.Access(req.Chunk) {
+						out.edgeHits++
+					} else {
+						out.edgeMisses++
+						out.backhaul++
+					}
+				} else {
+					out.servedOrigin++
+				}
+				continue
+			}
+			out.servedP2P++
 			inter, err := w.topo.IsInter(u, req.Peer)
 			if err != nil {
 				return fmt.Errorf("sim: %w", err)
