@@ -49,6 +49,9 @@ func run(args []string, out *os.File) error {
 		maxErrorRate = fs.Float64("max-error-rate", 0.05, "fail when a profile's error rate crosses this")
 		epsilon      = fs.Float64("epsilon", 0.01, "epsilon for the self-hosted daemon")
 		sharded      = fs.Bool("sharded", false, "self-hosted daemon uses the sharded orchestrator")
+		retries      = fs.Int("retries", 2, "max retries per call for transient/shed failures (0 = fail immediately)")
+		retryBase    = fs.Duration("retry-base", 10*time.Millisecond, "base backoff window, doubled per attempt with equal jitter")
+		retryMax     = fs.Duration("retry-max", 250*time.Millisecond, "backoff ceiling (Retry-After hints stretch the window up to this)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,10 +68,19 @@ func run(args []string, out *os.File) error {
 		profiles = []loadtest.Profile{p}
 	}
 
+	// Retries absorb transient faults (connection resets, 429 shedding) so
+	// ErrorRate stays a protocol-health signal; retry counts land in the
+	// manifest as retries/transient_errors/shed_responses.
+	policy := loadtest.RetryPolicy{MaxRetries: *retries, Base: *retryBase, Max: *retryMax}
+	if *retries <= 0 {
+		policy = loadtest.RetryPolicy{}
+	}
+
 	var results []loadtest.Result
 	failed := false
 	for _, p := range profiles {
 		p.TickInterval = *tick
+		p.Retry = policy
 		url := *target
 		var stop func()
 		if url == "" {
@@ -140,6 +152,10 @@ func printResult(out *os.File, r loadtest.Result) {
 	}
 	fmt.Fprintf(out, "  %-8s %8.1f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  err %.4f  ticks %d  grants %d  [%s]\n",
 		r.Name, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.ErrorRate, r.Ticks, r.Grants, status)
+	if r.Retries > 0 || r.TransientErrors > 0 || r.ShedResponses > 0 {
+		fmt.Fprintf(out, "           retries %d (transient %d, shed %d)\n",
+			r.Retries, r.TransientErrors, r.ShedResponses)
+	}
 	keys := make([]string, 0, len(r.Extra))
 	for k := range r.Extra {
 		keys = append(keys, k)

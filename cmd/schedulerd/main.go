@@ -9,10 +9,22 @@
 //	schedulerd -sharded -shard-workers 4          # sharded swarm orchestrator
 //	schedulerd -snapshot /var/lib/schedulerd.json # drain/restore state image
 //	schedulerd -debug-addr 127.0.0.1:8845         # pprof + /debug/trace listener
+//	schedulerd -solve-deadline 100ms -greedy-after 3   # degradation ladder
+//	schedulerd -max-pending-bids 4096             # shed excess load as 429s
+//	schedulerd -snapshot-every 10                 # periodic crash-safe snapshots
 //
 // SIGTERM or SIGINT drains gracefully: the slot clock stops, outstanding
 // bids solve in one final slot, the state snapshot is written (when
 // configured), and in-flight HTTP requests finish within -drain-timeout.
+//
+// Degradation under overload is a ladder, not a cliff: a slot whose solve
+// overruns -solve-deadline carries the previous grants forward; after
+// -greedy-after consecutive overruns the daemon escalates to the bounded
+// greedy fallback until the warm solver catches up. -max-pending-bids /
+// -max-pending-offers bound the books, shedding excess submissions as
+// 429 + Retry-After. -kill-after-ticks arms the fault-injection kill point
+// for crash-recovery drills: the process exits WITHOUT draining, and the
+// next start restores from the last -snapshot-every periodic snapshot.
 //
 // Observability: GET /metrics (Prometheus text format), /v1/stats (JSON),
 // /healthz; with -debug-addr, a private listener adds net/http/pprof and
@@ -32,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -55,20 +68,33 @@ func run(args []string, ready chan<- string) error {
 		shardWorkers  = fs.Int("shard-workers", 0, "concurrent shard solves (0 = sequential)")
 		maxShardPeers = fs.Int("max-shard-peers", 0, "refine shards above this peer count (0 = exact partition)")
 		snapshot      = fs.String("snapshot", "", "state snapshot path (drain writes, start restores)")
+		snapshotEvery = fs.Int("snapshot-every", 0, "also write the snapshot every N ticks (0 = only on drain)")
 		drainTimeout  = fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		debugAddr     = fs.String("debug-addr", "", "debug listen address for pprof and /debug/trace (empty = disabled; keep off the public port)")
+
+		solveDeadline   = fs.Duration("solve-deadline", 0, "per-slot solve budget; an overrunning slot carries the previous grants (0 = wait forever)")
+		greedyAfter     = fs.Int("greedy-after", 0, "escalate to the greedy fallback after this many consecutive overruns (0 = carry only)")
+		maxPendingBids  = fs.Int("max-pending-bids", 0, "shed bid batches once this many bids are queued for the slot (0 = unbounded)")
+		maxPendingOffer = fs.Int("max-pending-offers", 0, "shed offers once this many are queued for the slot (0 = unbounded)")
+		killAfterTicks  = fs.Int("kill-after-ticks", 0, "fault injection: exit without draining after N ticks (crash-recovery drills; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	d, err := service.New(service.Options{
-		Epsilon:       *epsilon,
-		SlotInterval:  *slot,
-		Sharded:       *sharded,
-		ShardWorkers:  *shardWorkers,
-		MaxShardPeers: *maxShardPeers,
-		SnapshotPath:  *snapshot,
+		Epsilon:          *epsilon,
+		SlotInterval:     *slot,
+		Sharded:          *sharded,
+		ShardWorkers:     *shardWorkers,
+		MaxShardPeers:    *maxShardPeers,
+		SnapshotPath:     *snapshot,
+		SnapshotEvery:    *snapshotEvery,
+		SolveDeadline:    *solveDeadline,
+		GreedyAfter:      *greedyAfter,
+		MaxPendingBids:   *maxPendingBids,
+		MaxPendingOffers: *maxPendingOffer,
+		Fault:            fault.Spec{KillAfterTicks: *killAfterTicks},
 	})
 	if err != nil {
 		return err
@@ -116,6 +142,18 @@ func run(args []string, ready chan<- string) error {
 	case err := <-serveErr:
 		d.Close()
 		return err
+	case <-d.KillPoint():
+		// Armed kill point tripped: a SIGKILL-equivalent for recovery drills.
+		// No drain, no final snapshot — the next start restores from whatever
+		// the last periodic snapshot captured.
+		fmt.Println("schedulerd: kill point tripped, exiting without drain")
+		_ = srv.Close()
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
+		<-serveErr
+		d.Close()
+		return nil
 	case <-ctx.Done():
 	}
 

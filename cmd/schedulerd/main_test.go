@@ -89,6 +89,88 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestRunKillPointAndRestart is the operator-level crash drill: a daemon
+// armed with -kill-after-ticks exits without draining, and a restart against
+// the same -snapshot path resumes from the last periodic snapshot.
+func TestRunKillPointAndRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-slot", "10ms",
+			"-snapshot", snap,
+			"-snapshot-every", "1",
+			"-kill-after-ticks", "3",
+		}, ready)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	// The kill point trips on the slot clock alone; the process must exit on
+	// its own, no signal delivered.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("kill-point exit returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("kill point never tripped")
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no periodic snapshot survived the kill: %v", err)
+	}
+
+	// Restart from the snapshot: the restored daemon reports a non-zero slot.
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run([]string{"-addr", "127.0.0.1:0", "-slot", "0", "-snapshot", snap}, ready2)
+	}()
+	var addr string
+	select {
+	case addr = <-ready2:
+	case err := <-done2:
+		t.Fatalf("restart exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("restart never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Slot int64 `json:"slot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Slot < 3 {
+		t.Fatalf("restored slot %d, want >= 3 (the kill tick)", st.Slot)
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("restarted daemon drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted daemon did not drain")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-epsilon", "0", "-addr", "127.0.0.1:0"}, nil); err == nil {
 		t.Fatal("zero epsilon should fail startup")

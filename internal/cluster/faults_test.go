@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/randx"
+	"repro/internal/sched"
+)
+
+// TestShardedSlowSolverInjection: the fault layer's slow-solver wrapper
+// composes with the per-shard solver factory — a drill can make individual
+// shards lag without touching the orchestrator — and the grants are the same
+// as with clean solvers (the wrapper only adds latency).
+func TestShardedSlowSolverInjection(t *testing.T) {
+	const eps = 0.01
+	slots := buildSlots(3, 4, 3, 20, 6, 0.1, false)
+	spec := fault.Spec{SolveDelay: time.Millisecond}
+	slow := &ShardedAuction{Epsilon: eps, Workers: 2,
+		NewSolver: func(key Key, rng *randx.Source) sched.Scheduler {
+			return fault.Slow(&sched.WarmAuction{Epsilon: eps}, spec)
+		}}
+	clean := &ShardedAuction{Epsilon: eps, Workers: 2}
+	for i, in := range slots {
+		start := time.Now()
+		sres, err := slow.Schedule(in)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if time.Since(start) < spec.SolveDelay {
+			t.Fatalf("slot %d: injected delay did not fire", i)
+		}
+		cres, err := clean.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sres.Grants) != len(cres.Grants) {
+			t.Fatalf("slot %d: slow solvers changed the outcome: %d vs %d grants",
+				i, len(sres.Grants), len(cres.Grants))
+		}
+	}
+}

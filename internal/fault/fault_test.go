@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"full", Spec{CrashProb: 0.1, RejoinAfterSlots: 2, SolveDelay: time.Millisecond,
+			SolveDelayEveryN: 3, DropProb: 0.5, DelayMax: time.Millisecond, KillAfterTicks: 4}, true},
+		{"crash prob high", Spec{CrashProb: 1.5}, false},
+		{"crash prob negative", Spec{CrashProb: -0.1}, false},
+		{"rejoin negative", Spec{RejoinAfterSlots: -1}, false},
+		{"solve delay negative", Spec{SolveDelay: -time.Second}, false},
+		{"every-n negative", Spec{SolveDelayEveryN: -1}, false},
+		{"drop prob high", Spec{DropProb: 2}, false},
+		{"delay max negative", Spec{DelayMax: -1}, false},
+		{"kill negative", Spec{KillAfterTicks: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Spec{}).IsZero() {
+		t.Fatal("zero spec should report IsZero")
+	}
+	if (Spec{CrashProb: 0.01}).IsZero() {
+		t.Fatal("non-zero spec should not report IsZero")
+	}
+}
+
+func TestNewInjectorRejectsBadSpec(t *testing.T) {
+	if _, err := NewInjector(Spec{CrashProb: 2}, 1); err == nil {
+		t.Fatal("expected error for invalid spec")
+	}
+}
+
+// TestInjectorDeterminism: same (spec, seed) → same crash and link sequences.
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Spec{CrashProb: 0.3, DropProb: 0.2, DelayMax: 10 * time.Millisecond}
+	a, err := NewInjector(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if a.CrashPeer() != b.CrashPeer() {
+			t.Fatalf("crash draw %d diverged", i)
+		}
+		dropA, delayA := a.LinkFate()
+		dropB, delayB := b.LinkFate()
+		if dropA != dropB || delayA != delayB {
+			t.Fatalf("link draw %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestAxesIndependent: consuming link draws must not shift the crash stream,
+// so sweeping one fault axis holds the others' traces fixed.
+func TestAxesIndependent(t *testing.T) {
+	spec := Spec{CrashProb: 0.3, DropProb: 0.5}
+	a, _ := NewInjector(spec, 7)
+	b, _ := NewInjector(spec, 7)
+	for i := 0; i < 100; i++ {
+		b.LinkFate() // extra draws on an unrelated axis
+	}
+	for i := 0; i < 100; i++ {
+		if a.CrashPeer() != b.CrashPeer() {
+			t.Fatalf("crash draw %d shifted by link activity", i)
+		}
+	}
+}
+
+func TestInjectorCounters(t *testing.T) {
+	inj, _ := NewInjector(Spec{CrashProb: 1, DropProb: 1}, 1)
+	for i := 0; i < 5; i++ {
+		if !inj.CrashPeer() {
+			t.Fatal("CrashProb=1 must always crash")
+		}
+		drop, _ := inj.LinkFate()
+		if !drop {
+			t.Fatal("DropProb=1 must always drop")
+		}
+	}
+	st := inj.Stats()
+	if st.Crashes != 5 || st.Drops != 5 {
+		t.Fatalf("unexpected counters: %+v", st)
+	}
+}
+
+// countingScheduler records how many solves reached the inner scheduler.
+type countingScheduler struct{ calls int }
+
+func (c *countingScheduler) Name() string { return "counting" }
+func (c *countingScheduler) Schedule(in *sched.Instance) (*sched.Result, error) {
+	c.calls++
+	return &sched.Result{}, nil
+}
+
+func TestSlowPassthroughWhenDisabled(t *testing.T) {
+	inner := &countingScheduler{}
+	if got := Slow(inner, Spec{}); got != sched.Scheduler(inner) {
+		t.Fatal("Slow with zero delay must return the inner scheduler unchanged")
+	}
+}
+
+func TestSlowSchedulerDelegates(t *testing.T) {
+	inner := &countingScheduler{}
+	s := Slow(inner, Spec{SolveDelay: time.Microsecond, SolveDelayEveryN: 2})
+	if s.Name() != "counting+slow" {
+		t.Fatalf("unexpected name %q", s.Name())
+	}
+	in, err := sched.NewInstance(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Schedule(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner saw %d solves, want 4", inner.calls)
+	}
+}

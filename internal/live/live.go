@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/auction"
+	"repro/internal/fault"
 	"repro/internal/protocol"
 	"repro/internal/video"
 )
@@ -74,6 +75,9 @@ type Hub struct {
 	// goroutine blocked on a pre-Join read cannot outlive the hub.
 	all     map[net.Conn]struct{}
 	closing bool
+	// faults, when set, makes the hub a lossy network: each forwarded
+	// envelope draws a drop/delay fate from the injector's link stream.
+	faults *fault.Injector
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -98,6 +102,26 @@ func NewHub() (*Hub, error) {
 
 // Addr returns the hub's dial address.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Peers returns how many peers have completed their Join handshake. Dial
+// returns before the hub's serve goroutine registers the peer, so tests (and
+// drills) that must not lose the first message poll this before sending.
+func (h *Hub) Peers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// SetLinkFaults installs (or, with nil, removes) a fault injector whose link
+// stream decides each forwarded envelope's fate — dropped, delayed, or clean.
+// Join and Leave frames are never dropped; only peer-to-peer protocol
+// traffic rides the lossy path, mirroring a network that loses data packets
+// but keeps its control session alive.
+func (h *Hub) SetLinkFaults(inj *fault.Injector) {
+	h.mu.Lock()
+	h.faults = inj
+	h.mu.Unlock()
+}
 
 func (h *Hub) acceptLoop() {
 	defer h.wg.Done()
@@ -163,9 +187,21 @@ func (h *Hub) serve(conn net.Conn) {
 		}
 		h.mu.Lock()
 		out, ok := h.conns[dst]
+		inj := h.faults
 		h.mu.Unlock()
 		if !ok {
 			continue // destination gone: drop, like the real network
+		}
+		if inj != nil {
+			drop, delay := inj.LinkFate()
+			if drop {
+				continue // lost on the wire; the protocol must re-converge
+			}
+			// Sleeping here delays every later message from this source too —
+			// an in-order slow link, not packet reordering.
+			if delay > 0 {
+				time.Sleep(delay)
+			}
 		}
 		// Forward with the verified source id.
 		if err := writeEnvelope(out, src, dst, m); err != nil {

@@ -61,6 +61,8 @@ type TickResponse struct {
 	Welfare   float64 `json:"welfare"`
 	Shards    int     `json:"shards"`
 	SolveMs   float64 `json:"solve_ms"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Greedy    bool    `json:"greedy,omitempty"`
 }
 
 // StatsTotals are the daemon's cumulative counters.
@@ -72,6 +74,8 @@ type StatsTotals struct {
 	Joins        int64   `json:"joins"`
 	Leaves       int64   `json:"leaves"`
 	Welfare      float64 `json:"welfare"`
+	Degraded     int64   `json:"degraded_slots"`
+	Shed         int64   `json:"shed_requests"`
 }
 
 // Stats is the daemon's /v1/stats snapshot (the subset the load generator
@@ -92,14 +96,17 @@ type Stats struct {
 }
 
 // Client is a schedulerd API client. The zero value is not usable; call
-// NewClient.
+// NewClient or NewClientWithRetry.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	rstats *RetryStats
 }
 
 // NewClient returns a client for a schedulerd base URL
-// (e.g. "http://127.0.0.1:8844").
+// (e.g. "http://127.0.0.1:8844"). It never retries: every failure surfaces
+// on the first attempt, which the deterministic end-to-end golden relies on.
 func NewClient(base string) *Client {
 	return &Client{
 		base: base,
@@ -107,10 +114,23 @@ func NewClient(base string) *Client {
 	}
 }
 
+// NewClientWithRetry returns a client that retries transient connection
+// failures and shed (429/503) answers under the policy, recording activity
+// into stats (shared across clients; may be nil).
+func NewClientWithRetry(base string, policy RetryPolicy, stats *RetryStats) *Client {
+	c := NewClient(base)
+	c.retry = policy
+	c.rstats = stats
+	return c
+}
+
 // apiError is a non-2xx answer from the daemon.
 type apiError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on shed answers (zero when
+	// absent).
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
@@ -122,19 +142,23 @@ func (c *Client) post(path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("loadtest: encoding %s body: %w", path, err)
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return fmt.Errorf("loadtest: POST %s: %w", path, err)
-	}
-	return finish(resp, path, out)
+	return c.withRetry(func() error {
+		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("loadtest: POST %s: %w", path, err)
+		}
+		return finish(resp, path, out)
+	})
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("loadtest: GET %s: %w", path, err)
-	}
-	return finish(resp, path, out)
+	return c.withRetry(func() error {
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			return fmt.Errorf("loadtest: GET %s: %w", path, err)
+		}
+		return finish(resp, path, out)
+	})
 }
 
 func finish(resp *http.Response, path string, out any) error {
@@ -144,7 +168,11 @@ func finish(resp *http.Response, path string, out any) error {
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
-		return &apiError{Status: resp.StatusCode, Msg: e.Error}
+		ra := time.Duration(0)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return &apiError{Status: resp.StatusCode, Msg: e.Error, RetryAfter: ra}
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)

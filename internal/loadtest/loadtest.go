@@ -60,6 +60,10 @@ type Profile struct {
 	MaxHeapGrowth float64 `json:"-"`
 	// Seed feeds the per-worker RNGs, making a profile run reproducible.
 	Seed int64 `json:"-"`
+	// Retry is the workers' backoff policy for transient connection failures
+	// and shed (429/503) answers. Zero disables retries, restoring the old
+	// count-everything-as-an-error behavior.
+	Retry RetryPolicy `json:"-"`
 }
 
 // Result is one profile's recorded outcome, shaped for the manifest.
@@ -78,6 +82,13 @@ type Result struct {
 	Ticks       int64   `json:"ticks"`
 	Grants      int64   `json:"grants"`
 	Welfare     float64 `json:"welfare"`
+	// Retries/TransientErrors/ShedResponses break down the lossy-path
+	// traffic: re-attempts performed, connection-level failures seen, and
+	// 429/503 answers seen. A call that a retry recovered never reaches
+	// Errors, so ErrorRate stays a protocol-health signal.
+	Retries         int64 `json:"retries,omitempty"`
+	TransientErrors int64 `json:"transient_errors,omitempty"`
+	ShedResponses   int64 `json:"shed_responses,omitempty"`
 	// Extra carries profile-specific readings (stress knee, soak heap
 	// ratios, spike population).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -92,7 +103,11 @@ type Result struct {
 // run uses the defaults in cmd/loadgen.
 func DefaultProfiles(base time.Duration, workers int) []Profile {
 	tick := 25 * time.Millisecond
-	return []Profile{
+	// All profiles ride the lossy path politely by default: a couple of
+	// retries absorbs restart blips and shed answers without masking a truly
+	// broken endpoint.
+	retry := RetryPolicy{MaxRetries: 2, Base: 10 * time.Millisecond, Max: 250 * time.Millisecond}
+	profiles := []Profile{
 		{
 			Name: "baseline", Benchmark: "BenchmarkServiceBaseline",
 			Duration: base, Workers: workers, BidsPerRound: 2,
@@ -119,6 +134,10 @@ func DefaultProfiles(base time.Duration, workers int) []Profile {
 			ChurnProb: 0.02, LeakCheck: true, MaxHeapGrowth: 3.0, Seed: 4,
 		},
 	}
+	for i := range profiles {
+		profiles[i].Retry = retry
+	}
+	return profiles
 }
 
 // ProfileByName returns the named profile from DefaultProfiles.
@@ -192,6 +211,12 @@ type runner struct {
 
 	requests atomic.Int64
 	errors   atomic.Int64
+	rstats   RetryStats
+}
+
+// client builds a worker client honoring the profile's retry policy.
+func (r *runner) client() *Client {
+	return NewClientWithRetry(r.target, r.profile.Retry, &r.rstats)
 }
 
 // Run executes one profile against the target base URL and returns its
@@ -271,6 +296,10 @@ func Run(target string, p Profile) (Result, error) {
 	}
 
 	res := r.result(elapsed, peakWorkers)
+	rs := r.rstats.Snapshot()
+	res.Retries = rs.Retries
+	res.TransientErrors = rs.Transient
+	res.ShedResponses = rs.Shed
 	// Run-scoped server-side deltas from the daemon's cumulative counters.
 	res.Ticks = endStats.Totals.Ticks - startStats.Totals.Ticks
 	res.Grants = endStats.Totals.Grants - startStats.Totals.Grants
@@ -337,7 +366,7 @@ func (r *runner) call(op func() error) {
 
 // tickLoop advances slots on manual-tick daemons.
 func (r *runner) tickLoop(ctx context.Context) {
-	c := NewClient(r.target)
+	c := r.client()
 	t := time.NewTicker(r.profile.TickInterval)
 	defer t.Stop()
 	for {
@@ -356,7 +385,7 @@ func (r *runner) tickLoop(ctx context.Context) {
 func (r *runner) worker(ctx context.Context, id int64) {
 	p := r.profile
 	rng := rand.New(rand.NewSource(p.Seed*1_000_003 + id))
-	c := NewClient(r.target)
+	c := r.client()
 
 	r.call(func() error { return c.Join(id, int(id%5)) })
 	r.pop.add(id)

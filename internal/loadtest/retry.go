@@ -1,0 +1,171 @@
+package loadtest
+
+// retry.go: transient-failure handling for the load generator's client. A
+// live daemon under drills resets connections, times out, and sheds load
+// (429 + Retry-After); a load generator that counts those as protocol errors
+// reports a broken service where there is only a lossy path. The client
+// therefore classifies every failure:
+//
+//	transient — connection-level (ECONNRESET/ECONNREFUSED/EPIPE, timeouts,
+//	            truncated responses): retried under the backoff policy
+//	shed      — the daemon refused with 429/503: retried, honoring the
+//	            server's Retry-After hint up to the policy's cap
+//	hard      — a protocol error (4xx/5xx otherwise, bad JSON): never
+//	            retried; the only class that should move the error rate
+//
+// Backoff is equal-jitter exponential: half the window deterministic, half
+// uniform, so synchronized workers de-correlate instead of re-stampeding the
+// daemon that just shed them.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy bounds the client's re-attempts. The zero value disables
+// retries entirely (every failure surfaces on the first attempt), which is
+// what the deterministic end-to-end golden needs.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// Base is the first backoff window; it doubles per attempt.
+	Base time.Duration
+	// Max caps the backoff window (and any server Retry-After hint).
+	Max time.Duration
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxRetries > 0 }
+
+// backoff returns the sleep before re-attempt number attempt (0-based),
+// stretching toward retryAfter when the server sent a hint. Equal jitter:
+// uniformly drawn from [window/2, window).
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	window := base << uint(attempt)
+	if retryAfter > window {
+		window = retryAfter
+	}
+	if p.Max > 0 && window > p.Max {
+		window = p.Max
+	}
+	half := window / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// RetryStats aggregates retry activity across every client sharing it (the
+// load generator hands one to all its workers). Counters are cumulative for
+// the run; read them with Snapshot.
+type RetryStats struct {
+	// Retries counts re-attempts performed (sleep + resend).
+	Retries int64
+	// Transient counts connection-level failures observed, whether or not a
+	// retry recovered them.
+	Transient int64
+	// Shed counts 429/503 answers observed.
+	Shed int64
+}
+
+// add bumps one counter atomically.
+func (s *RetryStats) add(p *int64) { atomic.AddInt64(p, 1) }
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (s *RetryStats) Snapshot() RetryStats {
+	return RetryStats{
+		Retries:   atomic.LoadInt64(&s.Retries),
+		Transient: atomic.LoadInt64(&s.Transient),
+		Shed:      atomic.LoadInt64(&s.Shed),
+	}
+}
+
+// errClass is the retry decision for one failure.
+type errClass int
+
+const (
+	classHard errClass = iota
+	classTransient
+	classShed
+)
+
+// classify sorts a client-call failure into its retry class. Connection-level
+// faults travel wrapped (url.Error around net.OpError around syscall errno),
+// so the checks use errors.Is/As against the chain.
+func classify(err error) errClass {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		if ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable {
+			return classShed
+		}
+		return classHard
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return classTransient
+	}
+	if errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return classTransient
+	}
+	return classHard
+}
+
+// retryAfterOf extracts the server's Retry-After hint from a shed answer.
+func retryAfterOf(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// withRetry runs op under the policy: hard errors return immediately,
+// transient and shed failures back off and re-attempt until the budget runs
+// out. The last error (still classified) is returned when retries exhaust.
+func (c *Client) withRetry(op func() error) error {
+	err := op()
+	if err == nil || !c.retry.enabled() {
+		if err != nil {
+			c.note(classify(err))
+		}
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		class := classify(err)
+		c.note(class)
+		if class == classHard || attempt >= c.retry.MaxRetries {
+			return err
+		}
+		time.Sleep(c.retry.backoff(attempt, retryAfterOf(err)))
+		if c.rstats != nil {
+			c.rstats.add(&c.rstats.Retries)
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+}
+
+// note records a classified failure into the shared stats.
+func (c *Client) note(class errClass) {
+	if c.rstats == nil {
+		return
+	}
+	switch class {
+	case classTransient:
+		c.rstats.add(&c.rstats.Transient)
+	case classShed:
+		c.rstats.add(&c.rstats.Shed)
+	}
+}

@@ -22,7 +22,7 @@ type Grid struct {
 // cost-scale, seeds-per-video, videos, window, requests, sinks, warmstart,
 // sharding, shard-workers, shard-max, locality, cross-cap, transit-cost,
 // free-rider-frac, shade-factor, clique-size, throttle-cap, edge-capacity,
-// edge-cache, origin-capacity, cdn-only.
+// edge-cache, origin-capacity, cdn-only, crash-prob, rejoin-after.
 func ApplyParam(s *Spec, key string, v float64) error {
 	switch key {
 	case "free-rider-frac":
@@ -145,13 +145,27 @@ func ApplyParam(s *Spec, key string, v float64) error {
 	case "cdn-only":
 		// 1 suppresses every P2P candidate — the CDN-only baseline.
 		s.Sim.CDN.Only = v != 0
+	case "crash-prob":
+		// Per-slot crash-stop probability for live non-seed watchers
+		// (internal/fault); 0 keeps the run bit-identical to a fault-free one.
+		if v < 0 || v > 1 {
+			return fmt.Errorf("scenario: crash probability %v outside [0,1]", v)
+		}
+		s.Sim.Fault.CrashProb = v
+	case "rejoin-after":
+		// Slots until a crashed watcher respawns as a fresh arrival; 0 means
+		// crashed peers never come back.
+		if v < 0 {
+			return fmt.Errorf("scenario: rejoin delay %v must be >= 0", v)
+		}
+		s.Sim.Fault.RejoinAfterSlots = int(v)
 	default:
 		return fmt.Errorf("scenario: unknown sweep parameter %q (want peers, slots, "+
 			"neighbors, epsilon, arrival, early-leave, cost-scale, seeds-per-video, "+
 			"videos, window, requests, sinks, warmstart, sharding, shard-workers, "+
 			"shard-max, locality, cross-cap, transit-cost, free-rider-frac, "+
 			"shade-factor, clique-size, throttle-cap, edge-capacity, edge-cache, "+
-			"origin-capacity or cdn-only)", key)
+			"origin-capacity, cdn-only, crash-prob or rejoin-after)", key)
 	}
 	return nil
 }

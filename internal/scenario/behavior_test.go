@@ -236,6 +236,8 @@ var metricsAddedThisAxis = map[string]bool{"missed": true}
 var postAxisScenarios = map[string]bool{
 	"cdn-assist":      true,
 	"flash-crowd-cdn": true,
+	// Registered with the fault-injection axis; pinned by fault_test.go.
+	"chaos-churn": true,
 }
 
 // TestHonestPathGolden is the honest no-op regression golden (the

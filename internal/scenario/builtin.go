@@ -5,6 +5,7 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/economics"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/isp"
 	"repro/internal/sim"
 	"repro/internal/tracker"
@@ -84,6 +85,24 @@ func init() {
 		Solver:    SolverAuction,
 		WarmStart: true,
 		Sim:       churn,
+	})
+
+	// chaos-churn — the churn workload under fault injection: on top of the
+	// Fig. 6 dynamics, 5% of live watchers crash-stop each slot (mid-download
+	// state lost, no graceful departure) and respawn as fresh arrivals two
+	// slots later. The crash stream is seed-derived and independent of the
+	// arrival/departure draws, so `-sweep "crash-prob=0,0.05,0.15"` holds the
+	// underlying churn trace fixed while the crash rate moves. The run surfaces
+	// `crashes`/`rejoins` metrics; crash-prob=0 is bit-identical to plain churn.
+	chaos := churn
+	chaos.Fault = fault.Spec{CrashProb: 0.05, RejoinAfterSlots: 2}
+	MustRegister(Spec{
+		Name:     "chaos-churn",
+		Summary:  "churn workload with 5% per-slot crash-stops rejoining after 2 slots",
+		Workload: "churn",
+		Kind:     KindSim,
+		Solver:   SolverAuction,
+		Sim:      chaos,
 	})
 
 	// flash-crowd — a premiere spike: the arrival rate jumps 6× for two

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestChaosChurnSurfacesFaultMetrics: the chaos preset actually crashes peers
+// and reports it; rejoins never exceed crashes (each crash respawns at most
+// once).
+func TestChaosChurnSurfacesFaultMetrics(t *testing.T) {
+	spec, ok := Get("chaos-churn")
+	if !ok {
+		t.Fatal("chaos-churn not registered")
+	}
+	res, err := spec.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes, ok := res.Metrics["crashes"]
+	if !ok {
+		t.Fatal("chaos run reports no crashes metric")
+	}
+	if crashes == 0 {
+		t.Fatal("chaos-churn crashed nobody")
+	}
+	rejoins := res.Metrics["rejoins"]
+	if rejoins > crashes {
+		t.Fatalf("rejoins %v exceed crashes %v", rejoins, crashes)
+	}
+}
+
+// TestCrashProbZeroMatchesCleanChurn is the off-switch golden at registry
+// level: sweeping chaos-churn down to crash-prob=0 (and no rejoin) must
+// reproduce the plain churn preset's metrics exactly — the injector is never
+// built, no fault stream is drawn, and the fault metrics disappear from the
+// map rather than reporting zeros.
+func TestCrashProbZeroMatchesCleanChurn(t *testing.T) {
+	const seed = 42
+	chaos, ok := Get("chaos-churn")
+	if !ok {
+		t.Fatal("chaos-churn not registered")
+	}
+	clean, ok := Get("churn")
+	if !ok {
+		t.Fatal("churn not registered")
+	}
+	for _, kv := range []struct {
+		key string
+		v   float64
+	}{{"crash-prob", 0}, {"rejoin-after", 0}} {
+		if err := ApplyParam(&chaos, kv.key, kv.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := chaos.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Run(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != len(want.Metrics) {
+		t.Fatalf("metric sets differ: %d vs %d keys (fault metrics must vanish when off)",
+			len(got.Metrics), len(want.Metrics))
+	}
+	for k, v := range want.Metrics {
+		if got.Metrics[k] != v {
+			t.Errorf("crash-prob=0 drifted from clean churn: %s = %v, want exactly %v",
+				k, got.Metrics[k], v)
+		}
+	}
+}
+
+// TestFaultParamValidation: the sweep vocabulary rejects out-of-range fault
+// parameters before any run starts.
+func TestFaultParamValidation(t *testing.T) {
+	spec, _ := Get("churn")
+	if err := ApplyParam(&spec, "crash-prob", 1.5); err == nil {
+		t.Error("crash-prob 1.5 accepted")
+	}
+	if err := ApplyParam(&spec, "rejoin-after", -1); err == nil {
+		t.Error("rejoin-after -1 accepted")
+	}
+}

@@ -493,6 +493,12 @@ func (s Spec) runSim(seed uint64) (*Result, error) {
 		res.Metrics["served_origin_chunks"] = float64(r.ServedOrigin)
 		res.Metrics["backhaul_gb"] = off.BackhaulGB
 	}
+	if !cfg.Fault.IsZero() {
+		// Only under active fault injection: a fault-free run's metric map
+		// stays bit-identical to builds that predate the fault layer.
+		res.Metrics["crashes"] = float64(r.Crashes)
+		res.Metrics["rejoins"] = float64(r.Rejoins)
+	}
 	if s.Sharding.Enabled {
 		res.Metrics["shards_mean"] = r.Shards.Summarize().Mean
 		res.Series = append(res.Series, &r.Shards)

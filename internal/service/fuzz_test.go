@@ -1,0 +1,48 @@
+package service
+
+// fuzz_test.go: snapshot-decode robustness. The snapshot file is the one
+// piece of state that crosses a process boundary, and after a SIGKILL it may
+// be truncated, torn, or hand-edited. Startup must either restore it or fail
+// with an error — never panic, never come up with impossible counters. The
+// committed corpus (testdata/fuzz/FuzzSnapshotDecode) rides along in plain
+// `go test` runs, so the chaos lane exercises the decoder without -fuzz.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte(`{"taken":"2026-01-02T03:04:05Z","slot":7,"totals":{"ticks":7,"grants":3},` +
+		`"peers":[{"peer":1,"isp":0},{"peer":2,"isp":1}],"prices":[{"peer":1,"price":0.5}]}`))
+	f.Add([]byte(`{"taken":"2026-01-02T03:04:05Z","slot":7,"totals":{"ti`)) // torn write
+	f.Add([]byte(`{"slot":-1}`))
+	f.Add([]byte(`{"totals":{"ticks":-9}}`))
+	f.Add([]byte(`{"peers":[{"peer":1,"isp":-2}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"slot":9223372036854775807,"peers":[{"peer":-1}]}`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "snap.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Options{Epsilon: 0.01, SnapshotPath: path})
+		if err != nil {
+			return // clean refusal is the contract for bad bytes
+		}
+		// Restored: the daemon must be in a sane, usable state.
+		st := d.Stats()
+		if st.Slot < 0 || st.Totals.Ticks < 0 {
+			t.Fatalf("restored impossible state from %q: %+v", data, st)
+		}
+		if _, err := d.Tick(); err != nil {
+			t.Fatalf("restored daemon cannot tick: %v", err)
+		}
+		d.Close()
+	})
+}

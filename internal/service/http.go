@@ -9,6 +9,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -85,6 +86,10 @@ type TickResponse struct {
 	Welfare   float64 `json:"welfare"`
 	Shards    int     `json:"shards"`
 	SolveMs   float64 `json:"solve_ms"`
+	// Degraded marks a slot whose warm solve missed its deadline; Greedy
+	// additionally marks escalation to the fallback scheduler.
+	Degraded bool `json:"degraded,omitempty"`
+	Greedy   bool `json:"greedy,omitempty"`
 }
 
 // errorResponse is the uniform error body.
@@ -145,6 +150,21 @@ func writeError(w http.ResponseWriter, status int, err error) int {
 	return writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// writeOverloaded answers a load-shed refusal: 429 with a Retry-After hint of
+// one slot interval (rounded up to a whole second; 1 s for manually ticked
+// daemons), the point at which the books will have drained.
+func (d *Daemon) writeOverloaded(w http.ResponseWriter, err error) int {
+	retry := int64(1)
+	if iv := d.opts.SlotInterval; iv > 0 {
+		retry = int64((iv + time.Second - 1) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	return writeError(w, http.StatusTooManyRequests, err)
+}
+
 // decodeInto parses a POST body, rejecting unknown methods and oversized or
 // malformed payloads.
 func decodeInto(w http.ResponseWriter, r *http.Request, into any) (int, bool) {
@@ -187,6 +207,9 @@ func (d *Daemon) handleOffer(w http.ResponseWriter, r *http.Request) int {
 		return status
 	}
 	if err := d.Offer(isp.PeerID(req.Peer), req.Capacity); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			return d.writeOverloaded(w, err)
+		}
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	return writeJSON(w, http.StatusOK, struct{}{})
@@ -211,6 +234,9 @@ func (d *Daemon) handleBid(w http.ResponseWriter, r *http.Request) int {
 		})
 	}
 	if err := d.Bid(isp.PeerID(req.Peer), reqs); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			return d.writeOverloaded(w, err)
+		}
 		return writeError(w, http.StatusBadRequest, err)
 	}
 	return writeJSON(w, http.StatusOK, struct{}{})
@@ -233,6 +259,8 @@ func (d *Daemon) handleTick(w http.ResponseWriter, r *http.Request) int {
 		Welfare:   tr.Welfare,
 		Shards:    tr.Shards,
 		SolveMs:   float64(tr.Solve) / float64(time.Millisecond),
+		Degraded:  tr.Degraded,
+		Greedy:    tr.Greedy,
 	})
 }
 

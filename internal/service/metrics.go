@@ -168,10 +168,19 @@ type registry struct {
 	httpRequests *counter
 	httpErrors   *counter
 
-	slot        *gauge
-	peers       *gauge
-	lastWelfare *gauge
-	shards      *gauge
+	// Degradation and load-shedding families (the robustness layer):
+	// overruns fire per missed deadline, degraded slots per fallback tick,
+	// greedy ticks per escalation, shed requests per 429.
+	solveOverruns *counter
+	degradedSlots *counter
+	greedyTicks   *counter
+	shedRequests  *counter
+
+	slot          *gauge
+	peers         *gauge
+	lastWelfare   *gauge
+	shards        *gauge
+	overrunStreak *gauge
 
 	solveSeconds *histogram
 	httpSeconds  *histogram
@@ -206,27 +215,33 @@ var (
 
 func newRegistry() *registry {
 	r := &registry{
-		ticks:        &counter{nm: "schedulerd_ticks_total", hp: "Completed slot ticks."},
-		tickErrors:   &counter{nm: "schedulerd_tick_errors_total", hp: "Slot ticks that failed to solve."},
-		bids:         &counter{nm: "schedulerd_bids_total", hp: "Chunk bids accepted into the book."},
-		grantsTotal:  &counter{nm: "schedulerd_grants_total", hp: "Grants issued across all slots."},
-		rejectsTotal: &counter{nm: "schedulerd_bid_rejects_total", hp: "Bids dropped at tick time (no live candidate uploader)."},
-		joins:        &counter{nm: "schedulerd_joins_total", hp: "Peer registrations (churn, arrival side)."},
-		leaves:       &counter{nm: "schedulerd_leaves_total", hp: "Peer departures (churn, departure side)."},
-		welfareTotal: &counter{nm: "schedulerd_welfare_total", hp: "Cumulative social welfare over all slots."},
-		httpRequests: &counter{nm: "schedulerd_http_requests_total", hp: "HTTP API requests served."},
-		httpErrors:   &counter{nm: "schedulerd_http_errors_total", hp: "HTTP API requests answered with an error status."},
-		slot:         &gauge{nm: "schedulerd_slot", hp: "Current slot number."},
-		peers:        &gauge{nm: "schedulerd_peers", hp: "Registered peer population."},
-		lastWelfare:  &gauge{nm: "schedulerd_slot_welfare", hp: "Social welfare of the last solved slot."},
-		shards:       &gauge{nm: "schedulerd_shards", hp: "Shard count of the last solved slot (0 for the monolithic solver)."},
-		solveSeconds: newHistogram("schedulerd_solve_seconds", "Per-slot solve latency.", solveBuckets),
-		httpSeconds:  newHistogram("schedulerd_http_request_seconds", "HTTP API request latency.", httpBuckets),
+		ticks:         &counter{nm: "schedulerd_ticks_total", hp: "Completed slot ticks."},
+		tickErrors:    &counter{nm: "schedulerd_tick_errors_total", hp: "Slot ticks that failed to solve."},
+		bids:          &counter{nm: "schedulerd_bids_total", hp: "Chunk bids accepted into the book."},
+		grantsTotal:   &counter{nm: "schedulerd_grants_total", hp: "Grants issued across all slots."},
+		rejectsTotal:  &counter{nm: "schedulerd_bid_rejects_total", hp: "Bids dropped at tick time (no live candidate uploader)."},
+		joins:         &counter{nm: "schedulerd_joins_total", hp: "Peer registrations (churn, arrival side)."},
+		leaves:        &counter{nm: "schedulerd_leaves_total", hp: "Peer departures (churn, departure side)."},
+		welfareTotal:  &counter{nm: "schedulerd_welfare_total", hp: "Cumulative social welfare over all slots."},
+		httpRequests:  &counter{nm: "schedulerd_http_requests_total", hp: "HTTP API requests served."},
+		httpErrors:    &counter{nm: "schedulerd_http_errors_total", hp: "HTTP API requests answered with an error status."},
+		solveOverruns: &counter{nm: "schedulerd_solve_overruns_total", hp: "Warm solves that missed the tick deadline."},
+		degradedSlots: &counter{nm: "schedulerd_degraded_slots_total", hp: "Slots served degraded (carried grants or greedy fallback)."},
+		greedyTicks:   &counter{nm: "schedulerd_greedy_ticks_total", hp: "Degraded slots that escalated to the greedy fallback scheduler."},
+		shedRequests:  &counter{nm: "schedulerd_shed_requests_total", hp: "Bid/offer submissions refused with 429 (book bound reached)."},
+		slot:          &gauge{nm: "schedulerd_slot", hp: "Current slot number."},
+		peers:         &gauge{nm: "schedulerd_peers", hp: "Registered peer population."},
+		lastWelfare:   &gauge{nm: "schedulerd_slot_welfare", hp: "Social welfare of the last solved slot."},
+		shards:        &gauge{nm: "schedulerd_shards", hp: "Shard count of the last solved slot (0 for the monolithic solver)."},
+		overrunStreak: &gauge{nm: "schedulerd_consecutive_overruns", hp: "Current consecutive solve-deadline overrun streak (alarm input)."},
+		solveSeconds:  newHistogram("schedulerd_solve_seconds", "Per-slot solve latency.", solveBuckets),
+		httpSeconds:   newHistogram("schedulerd_http_request_seconds", "HTTP API request latency.", httpBuckets),
 	}
 	r.ordered = []metric{
 		r.ticks, r.tickErrors, r.bids, r.grantsTotal, r.rejectsTotal,
 		r.joins, r.leaves, r.welfareTotal, r.httpRequests, r.httpErrors,
-		r.slot, r.peers, r.lastWelfare, r.shards,
+		r.solveOverruns, r.degradedSlots, r.greedyTicks, r.shedRequests,
+		r.slot, r.peers, r.lastWelfare, r.shards, r.overrunStreak,
 		r.solveSeconds, r.httpSeconds,
 	}
 	b := obs.NewRegistry()

@@ -19,6 +19,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/isp"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -53,6 +55,37 @@ type Options struct {
 	// SnapshotPath, when non-empty, is where Drain writes the JSON state
 	// snapshot, and where New restores one from if the file exists.
 	SnapshotPath string
+	// SnapshotEvery additionally writes the snapshot every N completed ticks
+	// (0 = only on Drain). With a small N the daemon survives a SIGKILL with
+	// at most N ticks of counter drift — the crash-recovery golden runs at 1.
+	SnapshotEvery int
+
+	// SolveDeadline bounds each tick's solve wall-clock time. 0 disables the
+	// deadline (every solve runs to completion under the tick lock). With a
+	// deadline, an overrunning warm solve keeps running in the background
+	// while the tick degrades gracefully: previous grants are carried and the
+	// slot is marked degraded; after GreedyAfter consecutive overruns the
+	// tick escalates to the bounded sched.Greedy fallback; once the warm
+	// solve returns, the next tick re-converges warm.
+	SolveDeadline time.Duration
+	// GreedyAfter is K, the consecutive-overrun count at which degraded
+	// ticks escalate from carrying grants to the greedy fallback scheduler.
+	// 0 = never escalate (carry only).
+	GreedyAfter int
+
+	// MaxPendingBids/MaxPendingOffers bound the books between ticks:
+	// submissions past the bound fail with ErrOverloaded, which the HTTP
+	// layer maps to 429 + Retry-After. 0 = unbounded.
+	MaxPendingBids   int
+	MaxPendingOffers int
+
+	// Fault wires the deterministic fault layer into the daemon for staging
+	// drills: SolveDelay/SolveDelayEveryN wrap the solver (forcing deadline
+	// overruns on demand) and KillAfterTicks trips the kill point — a signal
+	// the operator (cmd/schedulerd) answers by exiting without draining, the
+	// SIGKILL-equivalent the recovery golden restores from. The zero value
+	// changes nothing.
+	Fault fault.Spec
 }
 
 // DefaultOptions returns the daemon defaults: the paper's ε, a 1-second
@@ -92,6 +125,12 @@ type Totals struct {
 	Joins        int64   `json:"joins"`
 	Leaves       int64   `json:"leaves"`
 	Welfare      float64 `json:"welfare"`
+	// DegradedSlots counts ticks that missed the solve deadline and fell
+	// back (carried grants or greedy); ShedRequests counts Bid/Offer calls
+	// refused with ErrOverloaded. Both zero unless the corresponding
+	// Options bounds are set.
+	DegradedSlots int64 `json:"degraded_slots"`
+	ShedRequests  int64 `json:"shed_requests"`
 }
 
 // TickResult summarizes one solved slot.
@@ -104,6 +143,11 @@ type TickResult struct {
 	Welfare   float64
 	Shards    int
 	Solve     time.Duration
+	// Degraded marks a slot whose warm solve missed the deadline; Greedy
+	// additionally marks that the slot escalated to the fallback scheduler
+	// (otherwise a degraded slot carried the previous grants).
+	Degraded bool
+	Greedy   bool
 }
 
 // Daemon is the live scheduler: one persistent warm solver behind a
@@ -129,12 +173,30 @@ type Daemon struct {
 	started   time.Time
 	draining  bool
 
+	// Degradation state (SolveDeadline > 0 only): inflight holds the result
+	// channel of a warm solve that overran its deadline and is still running
+	// off-lock; overruns counts consecutive degraded ticks and resets when a
+	// solve lands in time.
+	inflight chan solveOutcome
+	overruns int
+
+	// ispOf mirrors peers' ISP assignments for the sharded solver's lookup.
+	// An overrunning solve outlives the tick's critical section, so the
+	// lookup cannot read d.peers lock-free; the mirror has its own lock.
+	// Nil unless Sharded.
+	ispMu sync.RWMutex
+	ispOf map[isp.PeerID]isp.ID
+
 	metrics *registry
 
 	// tickSeq counts completed tickLocked calls (including failed solves),
 	// outside d.mu so the debug trace-capture endpoint can watch slot
 	// progress without contending with the tick path.
 	tickSeq atomic.Int64
+
+	// killed closes when Options.Fault.KillAfterTicks trips (see KillPoint).
+	killed   chan struct{}
+	killOnce sync.Once
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -150,6 +212,22 @@ func New(opts Options) (*Daemon, error) {
 	if opts.SlotInterval < 0 {
 		return nil, fmt.Errorf("service: negative slot interval %v", opts.SlotInterval)
 	}
+	if opts.SolveDeadline < 0 {
+		return nil, fmt.Errorf("service: negative solve deadline %v", opts.SolveDeadline)
+	}
+	if opts.GreedyAfter < 0 {
+		return nil, fmt.Errorf("service: negative greedy-after %d", opts.GreedyAfter)
+	}
+	if opts.MaxPendingBids < 0 || opts.MaxPendingOffers < 0 {
+		return nil, fmt.Errorf("service: negative book bound (%d bids, %d offers)",
+			opts.MaxPendingBids, opts.MaxPendingOffers)
+	}
+	if opts.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("service: negative snapshot interval %d", opts.SnapshotEvery)
+	}
+	if err := opts.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	d := &Daemon{
 		opts:     opts,
 		peers:    make(map[isp.PeerID]peerInfo),
@@ -157,26 +235,34 @@ func New(opts Options) (*Daemon, error) {
 		bidIdx:   make(map[bidKey]int),
 		grants:   make(map[isp.PeerID][]Grant),
 		started:  time.Now(),
+		killed:   make(chan struct{}),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		metrics:  newRegistry(),
 	}
 	if opts.Sharded {
+		d.ispOf = make(map[isp.PeerID]isp.ID)
 		sa := &cluster.ShardedAuction{
 			Epsilon:       opts.Epsilon,
 			Workers:       opts.ShardWorkers,
 			MaxShardPeers: opts.MaxShardPeers,
 		}
-		// The lookup runs inside Schedule, which executes under d.mu — the
-		// map is never mutated concurrently with it, so it reads lock-free.
+		// With a solve deadline an overrunning Schedule outlives the tick's
+		// critical section, so the lookup reads the dedicated ISP mirror
+		// under its own lock instead of d.peers.
 		sa.SetISPLookup(func(p isp.PeerID) (isp.ID, bool) {
-			info, ok := d.peers[p]
-			return info.ISP, ok
+			d.ispMu.RLock()
+			id, ok := d.ispOf[p]
+			d.ispMu.RUnlock()
+			return id, ok
 		})
 		d.sched = sa
 	} else {
 		d.sched = &sched.WarmAuction{Epsilon: opts.Epsilon}
 	}
+	// The slow-solver drill wraps whatever stack was chosen (no-op when the
+	// fault spec injects no delay).
+	d.sched = fault.Slow(d.sched, opts.Fault)
 	d.metrics.solverEpsilon.Set(opts.Epsilon)
 	if opts.SnapshotPath != "" {
 		if err := d.restoreSnapshot(opts.SnapshotPath); err != nil {
@@ -226,6 +312,11 @@ func (d *Daemon) Join(p isp.PeerID, ispID isp.ID) error {
 		d.metrics.joins.inc(1)
 	}
 	d.peers[p] = peerInfo{ISP: ispID}
+	if d.ispOf != nil {
+		d.ispMu.Lock()
+		d.ispOf[p] = ispID
+		d.ispMu.Unlock()
+	}
 	d.metrics.peers.set(float64(len(d.peers)))
 	return nil
 }
@@ -239,6 +330,11 @@ func (d *Daemon) Leave(p isp.PeerID) error {
 	}
 	delete(d.peers, p)
 	delete(d.grants, p)
+	if d.ispOf != nil {
+		d.ispMu.Lock()
+		delete(d.ispOf, p)
+		d.ispMu.Unlock()
+	}
 	if i, ok := d.offerIdx[p]; ok {
 		// Keep book order stable for determinism: mark the slot dead by
 		// zeroing capacity; buildInstance compacts it away.
@@ -257,6 +353,19 @@ func (d *Daemon) Leave(p isp.PeerID) error {
 	return nil
 }
 
+// ErrOverloaded is returned by Bid and Offer when the corresponding book is
+// at its configured bound (Options.MaxPendingBids/MaxPendingOffers). The
+// HTTP layer maps it to 429 with a Retry-After header; clients back off and
+// retry after the next tick drains the books.
+var ErrOverloaded = errors.New("service: book full, retry after the next tick")
+
+// shedLocked records one load-shed refusal and returns ErrOverloaded.
+func (d *Daemon) shedLocked() error {
+	d.totals.ShedRequests++
+	d.metrics.shedRequests.inc(1)
+	return ErrOverloaded
+}
+
 // Offer posts (or replaces) a peer's bandwidth offer for the next slot.
 func (d *Daemon) Offer(p isp.PeerID, capacity int) error {
 	if capacity <= 0 {
@@ -270,6 +379,11 @@ func (d *Daemon) Offer(p isp.PeerID, capacity int) error {
 	if i, ok := d.offerIdx[p]; ok {
 		d.offers[i].Capacity = capacity
 		return nil
+	}
+	if max := d.opts.MaxPendingOffers; max > 0 && len(d.offers) >= max {
+		// Tombstoned rows count toward the bound: it caps book memory, not
+		// just live entries.
+		return d.shedLocked()
 	}
 	d.offerIdx[p] = len(d.offers)
 	d.offers = append(d.offers, sched.Uploader{Peer: p, Capacity: capacity})
@@ -293,6 +407,19 @@ func (d *Daemon) Bid(p isp.PeerID, reqs []BidRequest) error {
 	defer d.mu.Unlock()
 	if _, known := d.peers[p]; !known {
 		return fmt.Errorf("service: unknown peer %d (join first)", p)
+	}
+	if max := d.opts.MaxPendingBids; max > 0 {
+		fresh := 0
+		for _, r := range reqs {
+			if _, ok := d.bidIdx[bidKey{peer: p, chunk: r.Chunk}]; !ok {
+				fresh++
+			}
+		}
+		if fresh > 0 && len(d.bids)+fresh > max {
+			// The whole batch sheds: partial acceptance would leave the
+			// client guessing which chunks are booked.
+			return d.shedLocked()
+		}
 	}
 	for _, r := range reqs {
 		if len(r.Candidates) == 0 {
@@ -345,7 +472,10 @@ type StatsSnapshot struct {
 	LastGrants    int     `json:"last_grants"`
 	LastShards    int     `json:"last_shards"`
 	LastSolveMs   float64 `json:"last_solve_ms"`
-	UptimeSec     float64 `json:"uptime_sec"`
+	// ConsecutiveOverruns is the live degraded streak (0 = warm solves are
+	// landing within their deadline); the alarm input the runbook names.
+	ConsecutiveOverruns int     `json:"consecutive_overruns"`
+	UptimeSec           float64 `json:"uptime_sec"`
 	// Runtime memory stats, for soak-profile leak checks.
 	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
 	HeapObjects     uint64 `json:"heap_objects"`
@@ -358,17 +488,18 @@ type StatsSnapshot struct {
 func (d *Daemon) Stats() StatsSnapshot {
 	d.mu.Lock()
 	s := StatsSnapshot{
-		Scheduler:     d.sched.Name(),
-		Slot:          d.slot,
-		Peers:         len(d.peers),
-		PendingBids:   len(d.bidIdx),
-		PendingOffers: len(d.offerIdx),
-		Totals:        d.totals,
-		LastWelfare:   d.last.Welfare,
-		LastGrants:    d.last.Grants,
-		LastShards:    d.last.Shards,
-		LastSolveMs:   float64(d.last.Solve) / float64(time.Millisecond),
-		UptimeSec:     time.Since(d.started).Seconds(),
+		Scheduler:           d.sched.Name(),
+		Slot:                d.slot,
+		Peers:               len(d.peers),
+		PendingBids:         len(d.bidIdx),
+		PendingOffers:       len(d.offerIdx),
+		Totals:              d.totals,
+		LastWelfare:         d.last.Welfare,
+		LastGrants:          d.last.Grants,
+		LastShards:          d.last.Shards,
+		LastSolveMs:         float64(d.last.Solve) / float64(time.Millisecond),
+		ConsecutiveOverruns: d.overruns,
+		UptimeSec:           time.Since(d.started).Seconds(),
 	}
 	d.mu.Unlock()
 	fillMemStats(&s)
@@ -398,36 +529,48 @@ func (d *Daemon) tickLocked() (TickResult, error) {
 	}
 	start := time.Now()
 	ssp := tk.Begin("solve")
-	res, err := d.sched.Schedule(in)
+	res, degraded, usedGreedy, err := d.solveLocked(in)
 	solve := time.Since(start)
 	if err != nil {
 		tsp.End()
 		return TickResult{}, fmt.Errorf("service: slot %d solve: %w", d.slot, err)
 	}
-	if tk != nil && res.Stats != nil {
+	if tk != nil && res != nil && res.Stats != nil {
 		ssp.Arg("bids", res.Stats["bids"]).
 			Arg("iterations", res.Stats["iterations"]).
 			Arg("sweep_passes", res.Stats["sweep_passes"])
 	}
 	ssp.End()
-	welfare, err := in.Welfare(res.Grants)
-	if err != nil {
-		tsp.End()
-		return TickResult{}, fmt.Errorf("service: slot %d welfare: %w", d.slot, err)
-	}
 
-	// Publish per-peer grants.
-	for p := range d.grants {
-		delete(d.grants, p)
-	}
-	for _, g := range res.Grants {
-		req := &in.Requests[g.Request]
-		price := 0.0
-		if res.Prices != nil {
-			price = res.Prices[g.Uploader]
+	var welfare float64
+	grantCount := 0
+	if res != nil {
+		welfare, err = in.Welfare(res.Grants)
+		if err != nil {
+			tsp.End()
+			return TickResult{}, fmt.Errorf("service: slot %d welfare: %w", d.slot, err)
 		}
-		d.grants[req.Peer] = append(d.grants[req.Peer],
-			Grant{Chunk: req.Chunk, Uploader: g.Uploader, Price: price})
+		// Publish per-peer grants.
+		for p := range d.grants {
+			delete(d.grants, p)
+		}
+		for _, g := range res.Grants {
+			req := &in.Requests[g.Request]
+			price := 0.0
+			if res.Prices != nil {
+				price = res.Prices[g.Uploader]
+			}
+			d.grants[req.Peer] = append(d.grants[req.Peer],
+				Grant{Chunk: req.Chunk, Uploader: g.Uploader, Price: price})
+		}
+		grantCount = len(res.Grants)
+	} else {
+		// Degraded carry: the previous slot's grants stay published for this
+		// slot (welfare 0 — nothing new was scheduled), and this tick's bids
+		// drain unserved below. Clients re-bid next round anyway.
+		for _, gs := range d.grants {
+			grantCount += len(gs)
+		}
 	}
 	d.grantSlot = d.slot
 
@@ -435,20 +578,30 @@ func (d *Daemon) tickLocked() (TickResult, error) {
 		Slot:      d.slot,
 		Requests:  len(in.Requests),
 		Uploaders: len(in.Uploaders),
-		Grants:    len(res.Grants),
+		Grants:    grantCount,
 		Rejected:  rejected,
 		Welfare:   welfare,
 		Solve:     solve,
+		Degraded:  degraded,
+		Greedy:    usedGreedy,
 	}
-	if v, ok := res.Stats["shards"]; ok {
-		tr.Shards = int(v)
+	if res != nil {
+		if v, ok := res.Stats["shards"]; ok {
+			tr.Shards = int(v)
+		}
 	}
 	d.slot++
 	d.last = tr
 	d.totals.Ticks++
-	d.totals.Grants += int64(len(res.Grants))
+	if res != nil {
+		// Carried grants were already counted the slot they were solved.
+		d.totals.Grants += int64(grantCount)
+	}
 	d.totals.BidsRejected += int64(rejected)
 	d.totals.Welfare += welfare
+	if degraded {
+		d.totals.DegradedSlots++
+	}
 
 	// Drain the books: every tick is one auction round; peers re-offer and
 	// re-bid each round (the load generator and the trace replayer both do).
@@ -470,7 +623,16 @@ func (d *Daemon) tickLocked() (TickResult, error) {
 	m.welfareTotal.inc(welfare)
 	m.shards.set(float64(tr.Shards))
 	m.solveSeconds.observe(solve.Seconds())
-	m.observeSolve(res.Stats)
+	if res != nil {
+		m.observeSolve(res.Stats)
+	}
+	if degraded {
+		m.degradedSlots.inc(1)
+	}
+	if usedGreedy {
+		m.greedyTicks.inc(1)
+	}
+	m.overrunStreak.set(float64(d.overruns))
 	if tk != nil {
 		tsp.Arg("slot", float64(tr.Slot)).
 			Arg("requests", float64(tr.Requests)).
@@ -479,9 +641,84 @@ func (d *Daemon) tickLocked() (TickResult, error) {
 			Arg("rejected", float64(rejected)).
 			Arg("welfare", welfare)
 	}
+
+	// Periodic snapshot, then the kill point — in that order, so a
+	// KillAfterTicks drill with SnapshotEvery=1 restores at the kill tick.
+	if d.opts.SnapshotPath != "" && d.opts.SnapshotEvery > 0 &&
+		d.totals.Ticks%int64(d.opts.SnapshotEvery) == 0 {
+		if werr := d.writeSnapshotLocked(d.opts.SnapshotPath); werr != nil {
+			d.metrics.tickErrors.inc(1)
+		}
+	}
+	if ka := d.opts.Fault.KillAfterTicks; ka > 0 && d.totals.Ticks >= int64(ka) {
+		d.killOnce.Do(func() { close(d.killed) })
+	}
 	tsp.End()
 	return tr, nil
 }
+
+// solveOutcome carries an asynchronous solve's result.
+type solveOutcome struct {
+	res *sched.Result
+	err error
+}
+
+// solveLocked runs the slot solve under the degradation policy. Without a
+// deadline it is a plain synchronous Schedule. With one, the warm solve runs
+// on a goroutine: if it lands within SolveDeadline the tick proceeds normally
+// and the overrun streak resets; if not, the solve keeps running off-lock
+// (recorded in d.inflight) and the tick degrades — carry the previous grants
+// (res == nil), or after GreedyAfter consecutive overruns solve this tick's
+// instance with the bounded greedy fallback. A finished overrun solve is
+// discarded at the next tick (its instance is stale) and the warm solver is
+// used again — re-convergence costs nothing because the solver kept its
+// prices.
+func (d *Daemon) solveLocked(in *sched.Instance) (res *sched.Result, degraded, usedGreedy bool, err error) {
+	if d.opts.SolveDeadline <= 0 {
+		res, err = d.sched.Schedule(in)
+		return res, false, false, err
+	}
+	if d.inflight != nil {
+		select {
+		case <-d.inflight:
+			// The overrunning solve finished between ticks. Its result is for
+			// a drained book — discard it; the warm solver is free again.
+			d.inflight = nil
+		default:
+		}
+	}
+	if d.inflight == nil {
+		ch := make(chan solveOutcome, 1)
+		scheduler := d.sched
+		go func() {
+			r, e := scheduler.Schedule(in)
+			ch <- solveOutcome{res: r, err: e}
+		}()
+		timer := time.NewTimer(d.opts.SolveDeadline)
+		select {
+		case out := <-ch:
+			timer.Stop()
+			d.overruns = 0
+			return out.res, false, false, out.err
+		case <-timer.C:
+			d.inflight = ch
+		}
+	}
+	// Degraded slot: the warm solver is busy (overran just now, or still
+	// catching up from an earlier overrun).
+	d.overruns++
+	d.metrics.solveOverruns.inc(1)
+	if d.opts.GreedyAfter > 0 && d.overruns >= d.opts.GreedyAfter {
+		res, err = sched.Greedy{}.Schedule(in)
+		return res, true, true, err
+	}
+	return nil, true, false, nil
+}
+
+// KillPoint returns a channel that closes when Options.Fault.KillAfterTicks
+// trips. The daemon only signals; the operator exits without draining — the
+// SIGKILL-equivalent the crash-recovery drill restores from.
+func (d *Daemon) KillPoint() <-chan struct{} { return d.killed }
 
 // buildInstance turns the books into a solvable instance: tombstoned offers
 // compact away, bid candidate lists filter down to uploaders that actually
@@ -537,6 +774,9 @@ func (d *Daemon) Drain() error {
 		return nil
 	}
 	d.draining = true
+	// Let any overrunning solve land first, so the final drain tick gets the
+	// warm solver and shutdown leaves no goroutine behind.
+	d.awaitInflightLocked()
 	var err error
 	if len(d.bidIdx) > 0 || len(d.offerIdx) > 0 {
 		_, err = d.tickLocked()
@@ -549,10 +789,23 @@ func (d *Daemon) Drain() error {
 	return err
 }
 
+// awaitInflightLocked blocks until an overrunning solve (if any) returns,
+// discarding its stale result and resetting the overrun streak.
+func (d *Daemon) awaitInflightLocked() {
+	if d.inflight != nil {
+		<-d.inflight
+		d.inflight = nil
+		d.overruns = 0
+	}
+}
+
 // Close stops the clock without draining or snapshotting.
 func (d *Daemon) Close() {
 	d.stopOnce.Do(func() { close(d.stop) })
 	<-d.loopDone
+	d.mu.Lock()
+	d.awaitInflightLocked()
+	d.mu.Unlock()
 }
 
 // Snapshot is the JSON state image Drain writes and New restores: the
@@ -636,10 +889,27 @@ func (d *Daemon) restoreSnapshot(path string) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return fmt.Errorf("service: decoding snapshot %s: %w", path, err)
 	}
+	// A snapshot that decodes but says nonsense (hand-edited, torn write on
+	// a filesystem without atomic rename) must fail startup cleanly rather
+	// than seed the daemon with impossible counters.
+	if s.Slot < 0 {
+		return fmt.Errorf("service: snapshot %s: negative slot %d", path, s.Slot)
+	}
+	if s.Totals.Ticks < 0 || s.Totals.Grants < 0 || s.Totals.Bids < 0 {
+		return fmt.Errorf("service: snapshot %s: negative totals %+v", path, s.Totals)
+	}
+	for _, p := range s.Peers {
+		if p.ISP < 0 {
+			return fmt.Errorf("service: snapshot %s: peer %d with negative ISP %d", path, p.Peer, p.ISP)
+		}
+	}
 	d.slot = s.Slot
 	d.totals = s.Totals
 	for _, p := range s.Peers {
 		d.peers[isp.PeerID(p.Peer)] = peerInfo{ISP: isp.ID(p.ISP)}
+		if d.ispOf != nil {
+			d.ispOf[isp.PeerID(p.Peer)] = isp.ID(p.ISP)
+		}
 	}
 	d.metrics.peers.set(float64(len(d.peers)))
 	d.metrics.slot.set(float64(d.slot))

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/behavior"
 	"repro/internal/cdn"
+	"repro/internal/fault"
 	"repro/internal/isp"
 	"repro/internal/tracker"
 	"repro/internal/valuation"
@@ -179,6 +180,14 @@ type Config struct {
 	// RunDES rejects CDN-enabled configs (the price-broadcast fan-out of
 	// cross-swarm servers is not plumbed through the protocol).
 	CDN cdn.Spec
+	// Fault enables the deterministic fault-injection layer (internal/fault):
+	// per-slot crash-stop draws over live watchers (with optional rejoin as
+	// fresh arrivals) riding a dedicated derived random stream. The zero
+	// value leaves the engines bit-identical to the pre-fault pipeline
+	// (pinned by the no-op regression golden). Fast engine only: RunDES
+	// rejects fault-enabled configs (crash-stop is applied at the slot
+	// boundary, which the event-driven engine does not model).
+	Fault fault.Spec
 }
 
 // PaperConfig returns the paper's published parameters (§V).
@@ -298,6 +307,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.CDN.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Fault.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil

@@ -66,6 +66,11 @@ func RunDES(cfg Config, opts DESOptions) (*Results, error) {
 		// (Run) carries the hybrid tier.
 		return nil, fmt.Errorf("sim: the CDN tier is not plumbed through the DES engine; use Run")
 	}
+	if !cfg.Fault.IsZero() {
+		// Crash-stop is applied at the slot boundary by the fast engine's
+		// churn step; the event-driven engine has no equivalent hook yet.
+		return nil, fmt.Errorf("sim: fault injection is not plumbed through the DES engine; use Run")
+	}
 	w, err := newWorld(cfg)
 	if err != nil {
 		return nil, err

@@ -49,6 +49,12 @@ type Results struct {
 	Joined        int64
 	Departed      int64
 
+	// Crashes/Rejoins count injected crash-stops and their respawns
+	// (cfg.Fault; zero when fault injection is off). Crashed peers are
+	// included in Departed, rejoins in Joined.
+	Crashes int64
+	Rejoins int64
+
 	// Per-tier delivery counters (the hybrid CDN tier, internal/cdn):
 	// ServedP2P + ServedEdge + ServedOrigin = TotalGrants. EdgeCacheHits +
 	// EdgeCacheMisses = ServedEdge, and BackhaulChunks = EdgeCacheMisses
@@ -131,6 +137,8 @@ func (r *Results) MissRateFairness() float64 {
 func (r *Results) finalizeFrom(w *world) {
 	r.Joined = w.joined
 	r.Departed = w.departed
+	r.Crashes = w.crashes
+	r.Rejoins = w.rejoins
 	r.TrafficMatrix = w.traffic.Clone()
 	r.PerISPMissRate = make([]float64, len(w.perISPPlayed))
 	for i := range w.perISPPlayed {
@@ -334,6 +342,9 @@ func finishSlot(w *world, out *slotOutcome) error {
 				return err
 			}
 		}
+	}
+	if err := w.applyCrashFaults(); err != nil {
+		return err
 	}
 	if w.cfg.Scenario == ScenarioDynamic {
 		arrivals := w.rngChurn.Poisson(w.cfg.ArrivalRate(w.slot) * w.cfg.SlotSeconds)

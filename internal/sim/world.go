@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/cdn"
 	"repro/internal/economics"
+	"repro/internal/fault"
 	"repro/internal/isp"
 	"repro/internal/randx"
 	"repro/internal/sched"
@@ -140,6 +141,16 @@ type world struct {
 	cdnOrigin isp.PeerID
 	cdnEdge   []isp.PeerID
 
+	// faults is the compiled fault injector (nil when cfg.Fault is the
+	// all-off zero value, which keeps every crash hook off the hot path and
+	// the clean run bit-identical); rejoinAt queues crashed-watcher respawns
+	// by slot, and crashScratch is the per-slot crash list scratch.
+	faults       *fault.Injector
+	rejoinAt     map[int]int
+	crashScratch []isp.PeerID
+	crashes      int64
+	rejoins      int64
+
 	// costCache memoizes topo.MustCost per unordered peer pair: the draw is
 	// a pure function of (seed, pair) but burns a PRNG derivation plus
 	// truncated-normal rejection sampling, and the candidate scans ask for
@@ -213,6 +224,17 @@ func newWorld(cfg Config) (*world, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
+	}
+	if !cfg.Fault.IsZero() {
+		// Like behavior, the fault streams derive from their own root key
+		// (6): crash/rejoin draws never touch topology/churn/peer/locality
+		// randomness, so the clean world at the same seed is the exact
+		// control for a fault sweep.
+		w.faults, err = fault.NewInjector(cfg.Fault, root.Derive(6).Uint64())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		w.rejoinAt = make(map[int]int)
 	}
 	w.dirty = make([][]uint64, catalog.Count())
 	if w.traffic, err = economics.NewMatrix(cfg.NumISPs); err != nil {
@@ -433,6 +455,55 @@ func (w *world) removePeer(id isp.PeerID) {
 	if w.tombstones*2 > len(w.order) {
 		w.compactOrder()
 	}
+}
+
+// applyCrashFaults draws crash-stop decisions for this slot's live watchers
+// and replays any queued rejoins. A crashed watcher departs immediately —
+// without the static-world respawn, so crash-stop shrinks even a static
+// population — and, when RejoinAfterSlots > 0, a replacement is queued to
+// arrive that many slots later. All draws ride the injector's own derived
+// streams, so the clean run at the same seed stays bit-identical.
+func (w *world) applyCrashFaults() error {
+	if w.faults == nil {
+		return nil
+	}
+	// Collect first, remove after: removePeer may compact w.order mid-walk.
+	crashed := w.crashScratch[:0]
+	for _, id := range w.order {
+		if id == noPeer || w.peers[id].seed {
+			continue
+		}
+		if w.faults.CrashPeer() {
+			crashed = append(crashed, id)
+		}
+	}
+	for _, id := range crashed {
+		w.removePeer(id)
+	}
+	w.crashes += int64(len(crashed))
+	if after := w.faults.Spec().RejoinAfterSlots; after > 0 && len(crashed) > 0 {
+		w.rejoinAt[w.slot+after] += len(crashed)
+	}
+	w.crashScratch = crashed[:0]
+	if n := w.rejoinAt[w.slot]; n > 0 {
+		delete(w.rejoinAt, w.slot)
+		for i := 0; i < n; i++ {
+			if err := w.spawnRejoinPeer(); err != nil {
+				return err
+			}
+		}
+		w.rejoins += int64(n)
+	}
+	return nil
+}
+
+// spawnRejoinPeer respawns a crashed watcher as a fresh arrival: new
+// identity, new video draw from the fault rejoin stream, playback from the
+// start next slot. A reboot, not a resume — mid-download state died with the
+// crash.
+func (w *world) spawnRejoinPeer() error {
+	vid := w.catalog.Pick(w.faults.RejoinRand())
+	return w.addWatcher(vid, w.nextISPRoundRobin(), 0, w.slot+1, -1)
 }
 
 // compactOrder squeezes the tombstones out of the iteration order.
